@@ -1,0 +1,164 @@
+// Benchmarks regenerating the paper's tables and figures (one benchmark per
+// table/figure; the rendered rows go to the benchmark log on -v via
+// b.Log-free stdout suppression) plus micro-benchmarks of the engine
+// substrate. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The full-scale figures are produced by cmd/arganbench (-full).
+package argan
+
+import (
+	"io"
+	"testing"
+
+	"argan/internal/ace"
+	"argan/internal/algorithms"
+	"argan/internal/bench"
+	"argan/internal/core"
+	"argan/internal/gap"
+	"argan/internal/graph"
+	"argan/internal/partition"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := bench.Quick(io.Discard)
+	o.Scale = 0.05
+	o.Workers = []int{4, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper table/figure.
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig4a(b *testing.B)  { benchExperiment(b, "fig4a") }
+func BenchmarkFig4b(b *testing.B)  { benchExperiment(b, "fig4b") }
+func BenchmarkFig4c(b *testing.B)  { benchExperiment(b, "fig4c") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6a(b *testing.B)  { benchExperiment(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B)  { benchExperiment(b, "fig6b") }
+func BenchmarkFig6c(b *testing.B)  { benchExperiment(b, "fig6c") }
+func BenchmarkFig6d(b *testing.B)  { benchExperiment(b, "fig6d") }
+func BenchmarkFig6e(b *testing.B)  { benchExperiment(b, "fig6e") }
+func BenchmarkFig6f(b *testing.B)  { benchExperiment(b, "fig6f") }
+func BenchmarkFig6g(b *testing.B)  { benchExperiment(b, "fig6g") }
+func BenchmarkFig6h(b *testing.B)  { benchExperiment(b, "fig6h") }
+func BenchmarkFig6i(b *testing.B)  { benchExperiment(b, "fig6i") }
+func BenchmarkFig6j(b *testing.B)  { benchExperiment(b, "fig6j") }
+func BenchmarkFig6k(b *testing.B)  { benchExperiment(b, "fig6k") }
+func BenchmarkFig6l(b *testing.B)  { benchExperiment(b, "fig6l") }
+
+// Micro-benchmarks of the substrate.
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	return graph.PowerLaw(graph.GenConfig{N: 10000, M: 140000, Directed: true, Seed: 1, MaxW: 100})
+}
+
+func BenchmarkGeneratePowerLaw(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		graph.PowerLaw(graph.GenConfig{N: 10000, M: 140000, Directed: true, Seed: int64(i), MaxW: 100})
+	}
+}
+
+func BenchmarkPartitionHash(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Partition(g, partition.Hash{}, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionGreedy(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Partition(g, partition.Greedy{Seed: 1}, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimEngineSSSP(b *testing.B) {
+	g := benchGraph(b)
+	frags, err := partition.Partition(g, partition.Hash{}, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := gap.RunSim(frags, algorithms.NewSSSP(), ace.Query{Source: 0},
+			gap.Config{Mode: gap.ModeGAP})
+		if err != nil || !res.Metrics.Converged {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.NumEdges()), "edges")
+}
+
+func BenchmarkLiveEngineSSSP(b *testing.B) {
+	g := benchGraph(b)
+	frags, err := partition.Partition(g, partition.Hash{}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gap.RunLive(frags, algorithms.NewSSSP(), ace.Query{Source: 0},
+			gap.LiveConfig{Mode: gap.ModeGAP}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeqSSSP(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algorithms.SeqSSSP(g, 0)
+	}
+}
+
+func BenchmarkSeqPageRank(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algorithms.SeqPageRank(g, 1e-3)
+	}
+}
+
+func BenchmarkSeqCore(b *testing.B) {
+	g := graph.PowerLaw(graph.GenConfig{N: 10000, M: 140000, Directed: false, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algorithms.SeqCore(g)
+	}
+}
+
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+func BenchmarkParallelMST(b *testing.B) {
+	g := graph.Uniform(graph.GenConfig{N: 3000, M: 12000, Directed: false, Seed: 2, MaxW: 50})
+	frags, err := partition.Partition(g, partition.Hash{}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := core.MST(g, frags, gap.Config{Mode: gap.ModeGAP}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

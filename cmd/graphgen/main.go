@@ -1,0 +1,83 @@
+// Command graphgen generates synthetic graphs to edge-list or binary files.
+//
+// Usage:
+//
+//	graphgen -kind powerlaw -n 100000 -m 1400000 -o lj.el
+//	graphgen -kind rmat -n 65536 -m 1000000 -labels 16 -o tw.bin -binary
+//	graphgen -dataset LJ -scale 0.5 -o lj_standin.el
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"argan/internal/graph"
+)
+
+func main() {
+	kind := flag.String("kind", "powerlaw", "generator: powerlaw, uniform, rmat, grid, kb")
+	dataset := flag.String("dataset", "", "emit a built-in dataset stand-in instead (HW, DP, LJ, TW, FS, UK)")
+	scale := flag.Float64("scale", 1, "dataset scale")
+	n := flag.Int("n", 10000, "vertices")
+	m := flag.Int("m", 50000, "edges")
+	rows := flag.Int("rows", 100, "grid rows")
+	cols := flag.Int("cols", 100, "grid cols")
+	directed := flag.Bool("directed", true, "directed graph")
+	alpha := flag.Float64("alpha", 2.5, "power-law exponent")
+	maxw := flag.Float64("maxw", 100, "max edge weight (0 = unweighted)")
+	labels := flag.Int("labels", 0, "number of vertex labels (0 = unlabeled)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	binary := flag.Bool("binary", false, "write the compact binary format")
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	if *dataset != "" {
+		g, err = graph.LoadDataset(*dataset, *scale)
+		if err != nil {
+			fatal("%v", err)
+		}
+	} else {
+		c := graph.GenConfig{N: *n, M: *m, Directed: *directed, Alpha: *alpha, Seed: *seed, MaxW: *maxw, Labels: *labels}
+		switch *kind {
+		case "powerlaw":
+			g = graph.PowerLaw(c)
+		case "uniform":
+			g = graph.Uniform(c)
+		case "rmat":
+			g = graph.RMAT(c)
+		case "grid":
+			g = graph.Grid(*rows, *cols, c)
+		case "kb":
+			g = graph.KnowledgeBase(c)
+		default:
+			fatal("unknown -kind %q", *kind)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *binary {
+		err = graph.WriteBinary(w, g)
+	} else {
+		err = graph.WriteEdgeList(w, g)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "graphgen: wrote %v\n", g)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "graphgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+package argan_test
+
+import (
+	"fmt"
+
+	"argan"
+)
+
+// The canonical entry point: build a graph, pick an environment, run a
+// query under Argan's defaults (GAP + GAwD) and read both the answer and
+// the engine's cost accounting.
+func ExampleSSSP() {
+	g := argan.NewBuilder(5, true).
+		AddWeighted(0, 1, 2).
+		AddWeighted(1, 2, 2).
+		AddWeighted(0, 2, 5).
+		AddWeighted(2, 3, 1).
+		MustBuild()
+	env := argan.Env{Workers: 2}
+	res, err := argan.SSSP(g, 0, env, env.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	for v := 0; v < 4; v++ {
+		fmt.Printf("dist[%d] = %.0f\n", v, res.Values[v])
+	}
+	// Output:
+	// dist[0] = 0
+	// dist[1] = 2
+	// dist[2] = 4
+	// dist[3] = 5
+}
+
+// Every parallel model is a configuration of the same engine; BSP, AP and
+// AAP are the special cases of GAP described in the paper's §II-B.
+func ExampleEnv_Config() {
+	g := argan.Chain(6, true)
+	env := argan.Env{Workers: 3}
+	for _, mode := range []argan.Mode{argan.ModeGAP, argan.ModeBSP, argan.ModeAPGC} {
+		res, err := argan.BFS(g, 0, env, env.Config(mode, argan.AdaptFixed))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%v: hops to the chain end = %d\n", mode, res.Values[5])
+	}
+	// Output:
+	// GAP: hops to the chain end = 5
+	// BSP: hops to the chain end = 5
+	// AP-GC: hops to the chain end = 5
+}

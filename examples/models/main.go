@@ -1,0 +1,82 @@
+// Models: one query, every parallel model — a miniature of the paper's
+// Fig. 6 panels. Runs SSSP, Color and PageRank over a social-network-like
+// graph under GAP (Argan), AAP (Grape+), AP (Grape*), BSP (Grape) and the
+// fixed-granularity extremes FG+ / FG-, printing the response-time and
+// staleness table.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"argan"
+)
+
+func main() {
+	g := argan.PowerLaw(argan.GenConfig{
+		N: 20_000, M: 280_000, Directed: true, Alpha: 2.5, Seed: 103, MaxW: 100, Labels: 16,
+	})
+	fmt.Printf("graph: %v\n", g)
+	env := argan.Env{Workers: 16, Hetero: 1.2}
+
+	fgPlus := env.Config(argan.ModeGAP, argan.AdaptFixed)
+	fgPlus.Eta0 = math.Inf(1)
+	fgMinus := env.Config(argan.ModeGAP, argan.AdaptFixed)
+	fgMinus.Eta0 = 0
+
+	models := []struct {
+		name string
+		cfg  argan.Config
+	}{
+		{"GAP+GAwD", env.DefaultConfig()},
+		{"GAP+GA", env.Config(argan.ModeGAP, argan.AdaptGA)},
+		{"AAP", env.Config(argan.ModeAAP, argan.AdaptFixed)},
+		{"AP-GC", env.Config(argan.ModeAPGC, argan.AdaptFixed)},
+		{"BSP", env.Config(argan.ModeBSP, argan.AdaptFixed)},
+		{"FG+", fgPlus},
+		{"FG-", fgMinus},
+	}
+
+	apps := []struct {
+		name string
+		run  func(cfg argan.Config) (argan.Metrics, error)
+	}{
+		{"sssp", func(cfg argan.Config) (argan.Metrics, error) {
+			r, err := argan.SSSP(g, 0, env, cfg)
+			if err != nil {
+				return argan.Metrics{}, err
+			}
+			return r.Metrics, nil
+		}},
+		{"color", func(cfg argan.Config) (argan.Metrics, error) {
+			r, err := argan.Color(g, env, cfg)
+			if err != nil {
+				return argan.Metrics{}, err
+			}
+			return r.Metrics, nil
+		}},
+		{"pr", func(cfg argan.Config) (argan.Metrics, error) {
+			r, err := argan.PageRank(g, 1e-3, env, cfg)
+			if err != nil {
+				return argan.Metrics{}, err
+			}
+			return r.Metrics, nil
+		}},
+	}
+
+	for _, app := range apps {
+		fmt.Printf("\n-- %s --\n%-10s %12s %10s %12s %12s %8s\n", app.name, "model", "response", "vs GAP", "T_w", "T_c", "phi")
+		var base float64
+		for _, mo := range models {
+			m, err := app.run(mo.cfg)
+			if err != nil {
+				panic(err)
+			}
+			if base == 0 {
+				base = m.RespTime
+			}
+			fmt.Printf("%-10s %12.0f %9.2fx %12.0f %12.0f %7.1f%%\n",
+				mo.name, m.RespTime, m.RespTime/base, m.TotalTw, m.TotalTc, 100*m.Phi)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: build a small weighted graph, run SSSP under Argan's default
+// configuration (GAP parallel model + GAwD granularity adjustment) and read
+// both the answer and the engine's cost accounting.
+package main
+
+import (
+	"fmt"
+
+	"argan"
+)
+
+func main() {
+	// A toy road map: 8 intersections, weighted two-way streets.
+	b := argan.NewBuilder(8, false)
+	type road struct {
+		a, b argan.VID
+		km   float64
+	}
+	for _, r := range []road{
+		{0, 1, 4}, {0, 2, 1}, {2, 1, 2}, {1, 3, 5},
+		{2, 3, 8}, {3, 4, 3}, {2, 5, 10}, {4, 5, 2},
+		{4, 6, 6}, {5, 7, 4}, {6, 7, 1},
+	} {
+		b.AddWeighted(r.a, r.b, r.km)
+	}
+	g := b.MustBuild()
+
+	env := argan.Env{Workers: 4}
+	res, err := argan.SSSP(g, 0, env, env.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("shortest distances from intersection 0:")
+	for v, d := range res.Values {
+		fmt.Printf("  %d -> %.0f km\n", v, d)
+	}
+	m := res.Metrics
+	fmt.Printf("\nengine: %d updates in %d rounds, %d messages\n", m.Updates, m.Rounds, m.MsgsSent)
+	fmt.Printf("costs:  response=%.0f  T_w=%.0f  T_c=%.0f  phi=%.1f%%\n",
+		m.RespTime, m.TotalTw, m.TotalTc, 100*m.Phi)
+}

@@ -1,0 +1,3 @@
+module argan
+
+go 1.23

@@ -1,0 +1,224 @@
+// Package ace defines the paper's ACE programming model (§II-A): local
+// computation over a fragment is expressed as fixpoint iterations of
+// per-vertex update functions f_xv over status variables x_v, with an
+// aggregate function g_aggr merging remote updates. Because the runtime can
+// pause between any two update batches to ingest or forward messages, one
+// ACE program runs unchanged at every granularity from vertex-centric to
+// whole-subgraph batches — granularity is owned by the parallel model
+// (package gap), not by user code.
+package ace
+
+import (
+	"argan/internal/graph"
+)
+
+// Category classifies an algorithm by the access pattern of its status
+// variables (paper §III-C, Table III); the category selects the staleness
+// function τ used by granularity adjustment.
+type Category int
+
+const (
+	// CategoryI — PAF sequentially and in parallel (Sim, peeling Core):
+	// τ = 0, no staleness is possible.
+	CategoryI Category = iota + 1
+	// CategoryII — PAF sequentially, PBF in parallel (Dijkstra SSSP, BFS,
+	// WCC, Borůvka MST, Color): an update is entirely stale when the value
+	// it produced is later overridden (Eq. 8).
+	CategoryII
+	// CategoryIII — PBF in both (Δ-PageRank, h-index Core, Bellman-Ford,
+	// SimRank): staleness is the residual-change fraction of the update
+	// cost (Eq. 9).
+	CategoryIII
+)
+
+func (c Category) String() string {
+	switch c {
+	case CategoryI:
+		return "I"
+	case CategoryII:
+		return "II"
+	case CategoryIII:
+		return "III"
+	}
+	return "?"
+}
+
+// DepKind declares which status variables form Y_xv, the inputs of the
+// update function, which in turn determines message routing: whose replicas
+// must learn about a change, and which vertices to re-activate when a value
+// changes.
+type DepKind int
+
+const (
+	// DepIn: Y_xv is the in-neighborhood (pull along incoming edges);
+	// changes to x_v re-activate out-neighbors and are shipped to the
+	// workers owning out-neighbors of v.
+	DepIn DepKind = iota
+	// DepOut: Y_xv is the out-neighborhood (pull along outgoing edges, e.g.
+	// graph simulation reads successor status).
+	DepOut
+	// DepSelf: the program pushes explicit deltas to neighbors via
+	// Ctx.Send; an incoming message re-activates its target only.
+	DepSelf
+	// DepBoth: Y_xv is the full neighborhood regardless of direction
+	// (coloring on directed graphs); changes propagate both ways.
+	DepBoth
+)
+
+// Query carries the per-run input Q broadcast by the coordinator at start.
+type Query struct {
+	// Source is the source vertex for traversal queries (SSSP, BFS).
+	Source graph.VID
+	// Eps is a convergence threshold (Δ-PageRank).
+	Eps float64
+	// Pattern is the labeled query pattern for graph simulation.
+	Pattern *graph.Graph
+	// Args carries any extra scalar parameters.
+	Args map[string]float64
+}
+
+// Arg returns Args[k] or def when absent.
+func (q Query) Arg(k string, def float64) float64 {
+	if v, ok := q.Args[k]; ok {
+		return v
+	}
+	return def
+}
+
+// Ctx is the engine-provided view an update function works through: the
+// fragment, the status variables Ψ_i, and the channels by which changes
+// leave the update function (publish, scatter, activate). All methods must
+// be called only from within Program callbacks.
+type Ctx[V any] struct {
+	frag *graph.Fragment
+	psi  []V
+
+	set      func(local uint32, v V)
+	send     func(local uint32, d V)
+	activate func(local uint32)
+}
+
+// NewCtx wires a context; used by the engine (and by tests of programs).
+func NewCtx[V any](f *graph.Fragment, psi []V,
+	set func(uint32, V), send func(uint32, V), activate func(uint32)) *Ctx[V] {
+	return &Ctx[V]{frag: f, psi: psi, set: set, send: send, activate: activate}
+}
+
+// Frag returns the fragment being computed over.
+func (c *Ctx[V]) Frag() *graph.Fragment { return c.frag }
+
+// Get reads the status variable of a local vertex.
+func (c *Ctx[V]) Get(local uint32) V { return c.psi[local] }
+
+// Psi exposes the whole status slice (read-only use).
+func (c *Ctx[V]) Psi() []V { return c.psi }
+
+// Set publishes a new value for the *owned* vertex the update function is
+// responsible for. The engine stores it, forwards ⟨v, x_v⟩ to v's replicas,
+// and re-activates dependents according to the program's DepKind.
+func (c *Ctx[V]) Set(local uint32, v V) { c.set(local, v) }
+
+// Send scatters a delta toward a vertex (DepSelf programs): local targets
+// are aggregated immediately, ghost targets are buffered for their owner.
+func (c *Ctx[V]) Send(local uint32, d V) { c.send(local, d) }
+
+// Activate re-inserts an owned vertex into the active set H.
+func (c *Ctx[V]) Activate(local uint32) { c.activate(local) }
+
+// Program is a parallel ACE program ρ. One instance is created per worker
+// (programs may hold per-fragment auxiliary state).
+type Program[V any] interface {
+	// Name identifies the program ("sssp", "pr", ...).
+	Name() string
+	// Category selects the staleness function τ (§III-C).
+	Category() Category
+	// Deps declares the shape of Y_xv (see DepKind).
+	Deps() DepKind
+
+	// Setup is called once per worker before initialization; programs
+	// allocate auxiliary per-vertex state here.
+	Setup(f *graph.Fragment, q Query)
+	// InitValue returns the initial status variable of a local vertex and
+	// whether the vertex starts in the active set (ghosts are never
+	// activated regardless).
+	InitValue(f *graph.Fragment, local uint32, q Query) (V, bool)
+	// Update is the update function f_xv applied to an owned active vertex.
+	// It reads Y_xv through ctx.Get and emits changes via ctx.Set/Send.
+	Update(ctx *Ctx[V], local uint32)
+	// Aggregate is g_aggr: it merges an incoming value into the current one
+	// and reports whether the result differs (h_in only acts on changes).
+	Aggregate(cur, in V) (V, bool)
+
+	// Equal reports value equality; drives Category II staleness and
+	// correctness checks.
+	Equal(a, b V) bool
+	// Delta returns |a-b|, the change magnitude; drives Category III
+	// staleness (Eq. 9).
+	Delta(a, b V) float64
+	// Size estimates the wire size of a value in bytes for the network
+	// cost model.
+	Size(v V) int
+	// Output extracts the answer for an owned vertex once the fixpoint is
+	// reached (usually just the status variable).
+	Output(ctx *Ctx[V], local uint32) V
+}
+
+// InitialSyncer is an optional Program extension: when InitialSync reports
+// true, the runtime ships every border vertex's initial value to its
+// replicas before computation starts. Pull-style programs whose owned
+// initial values cannot be derived locally at the replica side (e.g. Core's
+// x_v = deg(v)) require this.
+type InitialSyncer interface {
+	InitialSync() bool
+}
+
+// Coster is an optional Program extension overriding the default update
+// cost model (deg(Y_xv) + 1 edge-scan units).
+type Coster interface {
+	Cost(f *graph.Fragment, local uint32) float64
+}
+
+// Prioritizer is an optional Program extension: when implemented, the
+// engine's active set becomes a priority queue popping the smallest
+// priority first (parallelized Dijkstra processes nearest vertices first).
+type Prioritizer[V any] interface {
+	Priority(v V) float64
+}
+
+// UpdateCost returns the modeled cost of one f_xv invocation: |Y_xv| + 1
+// edge scans (the paper's GAwD estimate for fixed-size values), honoring a
+// Coster override.
+func UpdateCost[V any](p Program[V], f *graph.Fragment, local uint32) float64 {
+	if c, ok := p.(Coster); ok {
+		return c.Cost(f, local)
+	}
+	switch p.Deps() {
+	case DepIn:
+		return float64(f.InDegree(local)) + 1
+	case DepOut:
+		return float64(f.OutDegree(local)) + 1
+	case DepBoth:
+		return float64(f.InDegree(local)+f.OutDegree(local)) + 1
+	default: // DepSelf scatters along out-edges
+		return float64(f.OutDegree(local)) + 1
+	}
+}
+
+// Message is one ⟨v, x_v⟩ pair in flight. V is the vertex's *global* id so
+// that it survives crossing fragments.
+type Message[V any] struct {
+	V   graph.VID
+	Val V
+}
+
+// Batch is a set of messages M_{i,j} travelling together, with enough
+// metadata for the cost model.
+type Batch[V any] struct {
+	From  int
+	To    int
+	Msgs  []Message[V]
+	Bytes int
+}
+
+// Factory builds a fresh program instance for one worker.
+type Factory[V any] func() Program[V]

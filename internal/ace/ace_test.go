@@ -1,0 +1,103 @@
+package ace
+
+import (
+	"testing"
+
+	"argan/internal/graph"
+)
+
+type fakeProg struct {
+	deps DepKind
+}
+
+func (p *fakeProg) Name() string                                           { return "fake" }
+func (p *fakeProg) Category() Category                                     { return CategoryII }
+func (p *fakeProg) Deps() DepKind                                          { return p.deps }
+func (p *fakeProg) Setup(*graph.Fragment, Query)                           {}
+func (p *fakeProg) InitValue(*graph.Fragment, uint32, Query) (int32, bool) { return 0, false }
+func (p *fakeProg) Update(*Ctx[int32], uint32)                             {}
+func (p *fakeProg) Aggregate(cur, in int32) (int32, bool)                  { return in, cur != in }
+func (p *fakeProg) Equal(a, b int32) bool                                  { return a == b }
+func (p *fakeProg) Delta(a, b int32) float64                               { return 0 }
+func (p *fakeProg) Size(int32) int                                         { return 4 }
+func (p *fakeProg) Output(c *Ctx[int32], l uint32) int32                   { return c.Get(l) }
+
+type costedProg struct{ fakeProg }
+
+func (p *costedProg) Cost(*graph.Fragment, uint32) float64 { return 42 }
+
+func testFragment(t *testing.T) *graph.Fragment {
+	t.Helper()
+	// 0 -> 1 -> 2, 2 -> 0; one worker.
+	g := graph.NewBuilder(3, true).AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 0).MustBuild()
+	frags, err := graph.BuildFragments(g, make([]uint16, 3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frags[0]
+}
+
+func TestCategoryStrings(t *testing.T) {
+	if CategoryI.String() != "I" || CategoryII.String() != "II" || CategoryIII.String() != "III" {
+		t.Fatal("category strings wrong")
+	}
+	if Category(9).String() != "?" {
+		t.Fatal("unknown category string wrong")
+	}
+}
+
+func TestQueryArg(t *testing.T) {
+	q := Query{Args: map[string]float64{"k": 3}}
+	if q.Arg("k", 7) != 3 || q.Arg("missing", 7) != 7 {
+		t.Fatal("Arg lookup wrong")
+	}
+	if (Query{}).Arg("x", 1.5) != 1.5 {
+		t.Fatal("nil-args default wrong")
+	}
+}
+
+func TestUpdateCostByDeps(t *testing.T) {
+	f := testFragment(t)
+	l0, _ := f.Local(0)
+	// Vertex 0: in-degree 1 (from 2), out-degree 1 (to 1).
+	for _, c := range []struct {
+		deps DepKind
+		want float64
+	}{
+		{DepIn, 2}, {DepOut, 2}, {DepSelf, 2}, {DepBoth, 3},
+	} {
+		p := &fakeProg{deps: c.deps}
+		if got := UpdateCost[int32](p, f, l0); got != c.want {
+			t.Fatalf("deps %v: cost %v, want %v", c.deps, got, c.want)
+		}
+	}
+}
+
+func TestUpdateCostOverride(t *testing.T) {
+	f := testFragment(t)
+	p := &costedProg{}
+	if got := UpdateCost[int32](p, f, 0); got != 42 {
+		t.Fatalf("Coster override ignored: %v", got)
+	}
+}
+
+func TestCtxAccessors(t *testing.T) {
+	f := testFragment(t)
+	psi := []int32{10, 20, 30}
+	var setL uint32
+	var setV int32
+	var sent, activated []uint32
+	ctx := NewCtx(f, psi,
+		func(l uint32, v int32) { setL, setV = l, v },
+		func(l uint32, d int32) { sent = append(sent, l) },
+		func(l uint32) { activated = append(activated, l) })
+	if ctx.Frag() != f || ctx.Get(1) != 20 || len(ctx.Psi()) != 3 {
+		t.Fatal("ctx reads wrong")
+	}
+	ctx.Set(2, 99)
+	ctx.Send(1, 5)
+	ctx.Activate(0)
+	if setL != 2 || setV != 99 || len(sent) != 1 || sent[0] != 1 || len(activated) != 1 {
+		t.Fatal("ctx dispatch wrong")
+	}
+}

@@ -1,0 +1,83 @@
+package ace
+
+import "fmt"
+
+// This file implements the convergence conditions of §II-B: GAP guarantees
+// asynchronous convergence when LocalEval is monotone with respect to the
+// partial results, which for the derived programs of §IV reduces to
+// algebraic laws of the aggregate function g_aggr. CheckLaws verifies them
+// over caller-supplied sample values, turning the paper's proof obligation
+// into an executable property check (used by the test suite over random
+// samples for every built-in program).
+
+// Laws describes which algebraic properties a program's aggregation must
+// satisfy for asynchronous convergence.
+type Laws struct {
+	// Commutative: g(a,b) == g(b,a) — message arrival order is irrelevant.
+	Commutative bool
+	// Associative: g(g(a,b),c) == g(a,g(b,c)) — batching is irrelevant.
+	Associative bool
+	// Idempotent: g(a,a) == a — duplicated delivery is harmless. Holds for
+	// the selection-style aggregates (min/and/replace), not for the
+	// accumulative ones (Δ-PageRank's sum), which instead rely on
+	// exactly-once delivery.
+	Idempotent bool
+	// Monotone: repeated aggregation never moves a value "backwards"
+	// (g(a,b) ⊑ a in the program's order) — the fixpoint is approached from
+	// one side, the core §II-B condition.
+	Monotone bool
+}
+
+// SelectionLaws are the laws satisfied by min/intersection-style programs
+// (SSSP, BFS, WCC, Core, Sim).
+func SelectionLaws() Laws {
+	return Laws{Commutative: true, Associative: true, Idempotent: true, Monotone: true}
+}
+
+// AccumulationLaws are the laws satisfied by sum-style programs
+// (Δ-PageRank): order-insensitive but not idempotent.
+func AccumulationLaws() Laws {
+	return Laws{Commutative: true, Associative: true, Monotone: true}
+}
+
+// ReplacementLaws are the laws of single-writer replace-style programs
+// (Color): neither commutative nor monotone across writers, correct only
+// because each status variable has a unique writer and links are FIFO.
+func ReplacementLaws() Laws { return Laws{Idempotent: true} }
+
+// CheckLaws verifies the declared laws of the program's Aggregate over the
+// given sample values. leq is the program's partial order (nil skips the
+// monotonicity check). It returns the first violated law.
+func CheckLaws[V any](p Program[V], laws Laws, leq func(a, b V) bool, samples []V) error {
+	agg := func(a, b V) V {
+		v, _ := p.Aggregate(a, b)
+		return v
+	}
+	for _, a := range samples {
+		for _, b := range samples {
+			if laws.Commutative {
+				if !p.Equal(agg(a, b), agg(b, a)) {
+					return fmt.Errorf("ace: %s: aggregate not commutative at (%v,%v)", p.Name(), a, b)
+				}
+			}
+			if laws.Monotone && leq != nil {
+				if !leq(agg(a, b), a) {
+					return fmt.Errorf("ace: %s: aggregate not monotone at (%v,%v)", p.Name(), a, b)
+				}
+			}
+			for _, c := range samples {
+				if laws.Associative {
+					if !p.Equal(agg(agg(a, b), c), agg(a, agg(b, c))) {
+						return fmt.Errorf("ace: %s: aggregate not associative at (%v,%v,%v)", p.Name(), a, b, c)
+					}
+				}
+			}
+		}
+		if laws.Idempotent {
+			if !p.Equal(agg(a, a), a) {
+				return fmt.Errorf("ace: %s: aggregate not idempotent at %v", p.Name(), a)
+			}
+		}
+	}
+	return nil
+}

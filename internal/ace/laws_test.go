@@ -1,0 +1,71 @@
+package ace
+
+import (
+	"strings"
+	"testing"
+
+	"argan/internal/graph"
+)
+
+// badProg's aggregate is subtraction: fails every law, so each check path
+// is exercised.
+type badProg struct{ fakeProg }
+
+func (p *badProg) Aggregate(cur, in int32) (int32, bool) { return cur - in, true }
+
+// addProg's aggregate is addition: order-insensitive but neither
+// idempotent nor monotone under <=.
+type addProg struct{ fakeProg }
+
+func (p *addProg) Aggregate(cur, in int32) (int32, bool) { return cur + in, true }
+
+// replaceProg's aggregate is last-writer-wins: idempotent only.
+type replaceProg struct{ fakeProg }
+
+func (p *replaceProg) Aggregate(cur, in int32) (int32, bool) { return in, cur != in }
+
+func TestCheckLawsViolations(t *testing.T) {
+	samples := []int32{0, 1, 5, 7}
+	leq := func(a, b int32) bool { return a <= b }
+	bad := &badProg{}
+	cases := []struct {
+		laws Laws
+		want string
+	}{
+		{Laws{Commutative: true}, "not commutative"},
+		{Laws{Associative: true}, "not associative"},
+		{Laws{Idempotent: true}, "not idempotent"},
+		{Laws{Monotone: true}, "not monotone"},
+	}
+	for _, c := range cases {
+		var p Program[int32] = bad
+		if c.laws.Monotone {
+			p = &addProg{} // subtraction is monotone on non-negative samples
+		}
+		err := CheckLaws[int32](p, c.laws, leq, samples)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("laws %+v: got %v, want %q", c.laws, err, c.want)
+		}
+	}
+}
+
+func TestCheckLawsPasses(t *testing.T) {
+	rp := &replaceProg{}
+	if err := CheckLaws[int32](rp, ReplacementLaws(), nil, []int32{1, 2, 9}); err != nil {
+		t.Fatal(err)
+	}
+	// Monotone check skipped without a partial order.
+	if err := CheckLaws[int32](&addProg{}, Laws{Monotone: true}, nil, []int32{1, 2}); err != nil {
+		t.Fatal("monotone check must be skipped with nil leq")
+	}
+	if !SelectionLaws().Idempotent || AccumulationLaws().Idempotent {
+		t.Fatal("canned law sets wrong")
+	}
+}
+
+func TestMessageBatchTypes(t *testing.T) {
+	b := Batch[int32]{From: 1, To: 2, Msgs: []Message[int32]{{V: graph.VID(7), Val: 9}}, Bytes: 12}
+	if b.Msgs[0].V != 7 || b.Msgs[0].Val != 9 || b.Bytes != 12 {
+		t.Fatalf("batch fields wrong: %+v", b)
+	}
+}

@@ -1,0 +1,373 @@
+// Package adapt implements the paper's §III: runtime granularity adjustment
+// driven by computation effectiveness φ(η) = (η − T_w)/(η + T_c). A Tuner
+// runs the two-phase GA algorithm (Algorithm 2) — an information-collection
+// phase of length η recording amortized per-vertex costs χ_v and outgoing
+// buffer sizes S_j, then an estimation phase after which φ is evaluated for
+// candidate granularities in (0, η] and η is updated to the argmax (or
+// doubled when φ is still rising at η). GAwD is the discretized variant:
+// k candidates, |Y|+1 cost estimates instead of clock reads.
+package adapt
+
+import (
+	"math"
+
+	"argan/internal/ace"
+)
+
+// Policy selects the granularity-adjustment algorithm.
+type Policy int
+
+const (
+	// PolicyFixed keeps η at its initial value (FG⁺ is η=+Inf, FG⁻ is η=0).
+	PolicyFixed Policy = iota
+	// PolicyGA is the exact algorithm: every update timestamped, every
+	// recorded time a candidate.
+	PolicyGA
+	// PolicyGAwD is GA with discretization: k candidate granularities,
+	// estimated update costs.
+	PolicyGAwD
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyGA:
+		return "GA"
+	case PolicyGAwD:
+		return "GAwD"
+	}
+	return "fixed"
+}
+
+// Config parameterizes a Tuner.
+type Config struct {
+	Policy   Policy
+	K        int          // number of GAwD candidates (paper default 4)
+	Category ace.Category // selects the staleness function τ
+	// TB maps cumulative outgoing bytes to communication cost (Eq. 2);
+	// TB is only charged for peers that received any bytes.
+	TB func(bytes int) float64
+
+	// Overhead model, in virtual cost units, charged back to the worker so
+	// that T_a appears in the response time exactly as in Fig. 4c:
+	// ClockCost per high-precision clock read (GA only), RecordCost per χ_v
+	// bookkeeping entry, CandidateCost per S_η candidate scanned in phase 2
+	// (GAwD pre-sizes S_η to k, so the charge is k per adjustment).
+	ClockCost     float64
+	RecordCost    float64
+	CandidateCost float64
+
+	EtaMin, EtaMax float64 // clamp for the adjusted η
+}
+
+// DefaultConfig returns the GAwD configuration used throughout the
+// experiments (k = 4 per §VI-A).
+func DefaultConfig(cat ace.Category, tb func(int) float64) Config {
+	return Config{
+		Policy: PolicyGAwD, K: 4, Category: cat, TB: tb,
+		// A high-precision clock read costs several edge scans; GAwD's
+		// whole point (§III-D) is replacing it with the |Y|+1 estimate.
+		ClockCost: 8, RecordCost: 0.05, CandidateCost: 0.01,
+		EtaMin: 8, EtaMax: 1 << 16,
+	}
+}
+
+// TwSample pairs the estimated staleness (fixpoint substituted by x^{2η},
+// Eq. 6) with the real staleness computed from the true fixpoint (Eq. 5);
+// Fig. 4b plots these.
+type TwSample struct {
+	Est  float64
+	Real float64
+}
+
+type record struct {
+	local  uint32
+	bucket int32
+	rel    float64 // time since t0 (exact candidate time for GA)
+	cost   float64
+	delta  float64
+}
+
+type byteRec struct {
+	peer   int
+	bucket int32
+	bytes  int
+}
+
+type vstate struct {
+	cumCost  float64
+	cumDelta float64
+	lastIdx  int32 // index into valLog of the last value snapshot
+}
+
+// Tuner adjusts one worker's granularity bound η. It is generic in the
+// status-variable type V so that Category II equality tests can snapshot
+// values.
+type Tuner[V any] struct {
+	cfg   Config
+	equal func(a, b V) bool
+	delta func(a, b V) float64
+	peers int
+
+	eta     float64
+	t0      float64
+	active  bool // inside a collection+estimation cycle
+	records []record
+	vals    []V // value snapshots parallel to records
+	bytes   []byteRec
+
+	samples    []TwSample
+	etaHistory []float64
+	adjusts    int
+}
+
+// NewTuner builds a tuner for one worker. equal and delta come from the
+// program (Equal / Delta); peers is n-1 (used only for sizing).
+func NewTuner[V any](cfg Config, equal func(a, b V) bool, delta func(a, b V) float64, peers int) *Tuner[V] {
+	if cfg.K <= 0 {
+		cfg.K = 4
+	}
+	if cfg.EtaMax == 0 {
+		cfg.EtaMax = 1 << 26
+	}
+	if cfg.EtaMin == 0 {
+		cfg.EtaMin = 1
+	}
+	return &Tuner[V]{cfg: cfg, equal: equal, delta: delta, peers: peers}
+}
+
+// Active reports whether the tuner adjusts η at all.
+func (t *Tuner[V]) Active() bool { return t.cfg.Policy != PolicyFixed }
+
+// Begin starts a collection cycle at virtual time now with the current η.
+func (t *Tuner[V]) Begin(now, eta float64) {
+	if !t.Active() || math.IsInf(eta, 1) || eta <= 0 {
+		return
+	}
+	t.eta = eta
+	t.t0 = now
+	t.active = true
+	t.records = t.records[:0]
+	t.vals = t.vals[:0]
+	t.bytes = t.bytes[:0]
+}
+
+// Collecting reports whether now falls inside the information-collection
+// phase (the first η of the cycle).
+func (t *Tuner[V]) Collecting(now float64) bool {
+	return t.active && now < t.t0+t.eta
+}
+
+// Due reports whether the estimation phase has elapsed (now ≥ t0 + 2η), so
+// Adjust should run.
+func (t *Tuner[V]) Due(now float64) bool {
+	return t.active && now >= t.t0+2*t.eta
+}
+
+// CycleOpen reports whether a collection/estimation cycle is in progress.
+func (t *Tuner[V]) CycleOpen() bool { return t.active }
+
+func (t *Tuner[V]) bucketOf(now float64) int32 {
+	if t.cfg.Policy == PolicyGA {
+		return int32(len(t.records)) // every record its own candidate
+	}
+	b := int32(float64(t.cfg.K) * (now - t.t0) / t.eta)
+	if b < 0 {
+		b = 0
+	}
+	if b >= int32(t.cfg.K) {
+		b = int32(t.cfg.K) - 1
+	}
+	return b
+}
+
+// Record adds one χ_v entry: the update of local at virtual time now with
+// the given amortized cost, producing value val with change magnitude
+// delta. It returns the bookkeeping overhead to charge to the worker.
+func (t *Tuner[V]) Record(local uint32, now, cost float64, val V, delta float64) float64 {
+	if !t.Collecting(now) {
+		return 0
+	}
+	t.records = append(t.records, record{local: local, bucket: t.bucketOf(now), rel: now - t.t0, cost: cost, delta: delta})
+	t.vals = append(t.vals, val)
+	if t.cfg.Policy == PolicyGA {
+		return t.cfg.ClockCost + t.cfg.RecordCost
+	}
+	return t.cfg.RecordCost
+}
+
+// RecordBytes adds an S_j entry: bytes appended for peer at time now.
+func (t *Tuner[V]) RecordBytes(peer int, now float64, bytes int) {
+	if !t.Collecting(now) || bytes <= 0 {
+		return
+	}
+	t.bytes = append(t.bytes, byteRec{peer: peer, bucket: t.bucketOf(now), bytes: bytes})
+}
+
+// candidateTime maps a bucket to the candidate granularity it represents.
+func (t *Tuner[V]) candidateTime(bucket int32) float64 {
+	if t.cfg.Policy == PolicyGA {
+		// For GA every record is a candidate at its exact recorded time.
+		r := t.records[bucket].rel
+		if r <= 0 {
+			r = t.eta / float64(len(t.records)+1)
+		}
+		return r
+	}
+	return t.eta * (float64(bucket) + 1) / float64(t.cfg.K)
+}
+
+// sweep evaluates T_w and T_c incrementally over candidates using the given
+// fixpoint oracle, returning the per-candidate φ values, the candidate
+// times, and T_w at the final candidate (t = η).
+func (t *Tuner[V]) sweep(fix func(local uint32) V) (phis, times []float64, twAtEta float64) {
+	state := make(map[uint32]*vstate, 256)
+	contrib := func(vs *vstate, local uint32) float64 {
+		switch t.cfg.Category {
+		case ace.CategoryI:
+			return 0
+		case ace.CategoryII:
+			if t.equal(t.vals[vs.lastIdx], fix(local)) {
+				return 0
+			}
+			return vs.cumCost
+		default: // Category III, Eq. 9
+			dstar := t.delta(t.vals[vs.lastIdx], fix(local))
+			den := vs.cumDelta + dstar
+			if den == 0 {
+				return 0
+			}
+			return vs.cumCost * dstar / den
+		}
+	}
+
+	tw := 0.0
+	tc := 0.0
+	peerBytes := make(map[int]int, t.peers)
+	alpha := t.cfg.TB(0) // fixed per-batch part of T_B
+	bi := 0
+
+	emit := func(tc64 float64, tcand float64) {
+		phi := (tcand - tw) / (tcand + tc64)
+		phis = append(phis, phi)
+		times = append(times, tcand)
+	}
+
+	flushBucket := func(b int32) {
+		// Fold in byte records up to bucket b.
+		for bi < len(t.bytes) && t.bytes[bi].bucket <= b {
+			r := t.bytes[bi]
+			prev := peerBytes[r.peer]
+			if prev == 0 {
+				tc += alpha
+			}
+			tc += t.cfg.TB(prev+r.bytes) - t.cfg.TB(prev) // β·Δbytes
+			peerBytes[r.peer] = prev + r.bytes
+			bi++
+		}
+	}
+
+	last := int32(-1)
+	for i, r := range t.records {
+		if r.bucket != last {
+			if last >= 0 {
+				flushBucket(last)
+				emit(tc, t.candidateTime(last))
+			}
+			last = r.bucket
+		}
+		vs := state[r.local]
+		if vs == nil {
+			vs = &vstate{}
+			state[r.local] = vs
+		} else {
+			tw -= contrib(vs, r.local)
+		}
+		vs.cumCost += r.cost
+		vs.cumDelta += r.delta
+		vs.lastIdx = int32(i)
+		tw += contrib(vs, r.local)
+	}
+	if last >= 0 {
+		flushBucket(last)
+		emit(tc, t.candidateTime(last))
+	}
+	twAtEta = tw
+	return phis, times, twAtEta
+}
+
+// Adjust runs the granularity-adjustment phase (lines 9–18 of Algorithm 2):
+// it estimates φ for every candidate using the intermediate values x^{t=2η}
+// as the fixpoint substitute (cur), picks the best granularity, and returns
+// the new η together with the modeled adjustment overhead T_a. When truth
+// is non-nil the real staleness T_w* is also computed and a TwSample
+// recorded (Fig. 4b). The cycle ends; call Begin to start the next one.
+func (t *Tuner[V]) Adjust(cur func(local uint32) V, truth func(local uint32) V) (newEta, overhead float64) {
+	if !t.active {
+		return t.eta, 0
+	}
+	t.active = false
+	t.adjusts++
+
+	// Overhead: phase-1 bookkeeping was charged per record; phase-2 scans
+	// the candidate structures, whose size is k for GAwD (pre-allocated,
+	// per the discretization) and the full record log for GA.
+	candidates := len(t.records)
+	if t.cfg.Policy == PolicyGAwD {
+		candidates = t.cfg.K
+	}
+	overhead = t.cfg.CandidateCost * float64(candidates)
+
+	if len(t.records) == 0 {
+		t.etaHistory = append(t.etaHistory, t.eta)
+		return t.eta, overhead
+	}
+
+	phis, times, twEst := t.sweep(cur)
+	if truth != nil {
+		_, _, twReal := t.sweep(truth)
+		t.samples = append(t.samples, TwSample{Est: twEst, Real: twReal})
+	}
+
+	// Damped hill climbing on the estimated profile: compare the
+	// effectiveness of truncating at η/2 against running the full η. The
+	// growth margin is larger than the shrink margin because the fixpoint
+	// substitute x^{2η} systematically favors later candidates (values
+	// recorded late had more time to converge toward it), which would
+	// otherwise always read as "still rising".
+	phiAt := func(frac float64) float64 {
+		cut := frac * t.eta
+		v := phis[0]
+		for i, tc := range times {
+			if tc <= cut {
+				v = phis[i]
+			}
+		}
+		return v
+	}
+	low, high := phiAt(0.5), phiAt(1.0)
+	switch {
+	case high > low*1.3+0.02:
+		newEta = 2 * t.eta // genuinely rising: explore beyond η
+	case low > high*1.1+0.01:
+		newEta = t.eta / 2 // falling: finer granularity is more effective
+	default:
+		newEta = t.eta // flat or noise: hold
+	}
+	if newEta < t.cfg.EtaMin {
+		newEta = t.cfg.EtaMin
+	}
+	if newEta > t.cfg.EtaMax {
+		newEta = t.cfg.EtaMax
+	}
+	t.etaHistory = append(t.etaHistory, newEta)
+	return newEta, overhead
+}
+
+// Samples returns the (estimated, real) staleness pairs gathered so far.
+func (t *Tuner[V]) Samples() []TwSample { return t.samples }
+
+// EtaHistory returns the sequence of adjusted granularity bounds.
+func (t *Tuner[V]) EtaHistory() []float64 { return t.etaHistory }
+
+// Adjustments returns how many times Adjust ran.
+func (t *Tuner[V]) Adjustments() int { return t.adjusts }

@@ -1,0 +1,209 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"argan/internal/ace"
+)
+
+func tb(bytes int) float64 {
+	if bytes <= 0 {
+		return 6
+	}
+	return 6 + 0.01*float64(bytes)
+}
+
+func newTestTuner(policy Policy, cat ace.Category, k int) *Tuner[float64] {
+	cfg := DefaultConfig(cat, tb)
+	cfg.Policy = policy
+	cfg.K = k
+	return NewTuner[float64](cfg,
+		func(a, b float64) bool { return a == b },
+		func(a, b float64) float64 { return math.Abs(a - b) },
+		4)
+}
+
+func TestLifecycle(t *testing.T) {
+	tu := newTestTuner(PolicyGAwD, ace.CategoryII, 4)
+	if !tu.Active() || tu.CycleOpen() {
+		t.Fatal("fresh tuner state wrong")
+	}
+	tu.Begin(100, 64)
+	if !tu.CycleOpen() || !tu.Collecting(110) || tu.Collecting(200) {
+		t.Fatal("phase boundaries wrong")
+	}
+	if tu.Due(150) || !tu.Due(228) {
+		t.Fatal("due boundary wrong")
+	}
+	tu.Adjust(func(uint32) float64 { return 0 }, nil)
+	if tu.CycleOpen() {
+		t.Fatal("cycle should close after Adjust")
+	}
+	if tu.Adjustments() != 1 || len(tu.EtaHistory()) != 1 {
+		t.Fatal("bookkeeping wrong")
+	}
+}
+
+func TestFixedPolicyInert(t *testing.T) {
+	tu := newTestTuner(PolicyFixed, ace.CategoryII, 4)
+	tu.Begin(0, 64)
+	if tu.CycleOpen() || tu.Record(1, 1, 5, 1, 0) != 0 {
+		t.Fatal("fixed policy must not collect")
+	}
+}
+
+func TestInfiniteEtaInert(t *testing.T) {
+	tu := newTestTuner(PolicyGAwD, ace.CategoryII, 4)
+	tu.Begin(0, math.Inf(1))
+	if tu.CycleOpen() {
+		t.Fatal("infinite eta cannot run a cycle")
+	}
+}
+
+func TestRecordOverheads(t *testing.T) {
+	ga := newTestTuner(PolicyGA, ace.CategoryII, 4)
+	ga.Begin(0, 1000)
+	gaCost := ga.Record(1, 10, 5, 1, 0)
+	gawd := newTestTuner(PolicyGAwD, ace.CategoryII, 4)
+	gawd.Begin(0, 1000)
+	gawdCost := gawd.Record(1, 10, 5, 1, 0)
+	if gaCost <= gawdCost {
+		t.Fatalf("GA per-record cost (%v) must exceed GAwD's (%v): the clock reads", gaCost, gawdCost)
+	}
+	// Outside the collection window nothing is recorded.
+	if gawd.Record(1, 1500, 5, 1, 0) != 0 {
+		t.Fatal("record outside collection window")
+	}
+}
+
+func TestAdjustShrinksWhenEarlyCandidatesWin(t *testing.T) {
+	// Category II: all values recorded late differ from the fixpoint (stale
+	// tail), early values equal it -> phi falls with t -> eta shrinks.
+	tu := newTestTuner(PolicyGAwD, ace.CategoryII, 4)
+	tu.Begin(0, 1000)
+	// Early bucket: value 1 (the fixpoint) at low cost.
+	tu.Record(1, 100, 50, 1, 0)
+	// Later buckets: values that will not match the fixpoint.
+	tu.Record(2, 400, 200, 7, 1)
+	tu.Record(3, 600, 200, 8, 1)
+	tu.Record(4, 900, 300, 9, 1)
+	fix := func(l uint32) float64 {
+		if l == 1 {
+			return 1
+		}
+		return 0 // none of the others reached their fixpoint
+	}
+	newEta, overhead := tu.Adjust(fix, nil)
+	if newEta >= 1000 {
+		t.Fatalf("eta should shrink, got %v", newEta)
+	}
+	if overhead <= 0 {
+		t.Fatal("phase-2 scan must cost something")
+	}
+}
+
+func TestAdjustGrowsWhenPhiRises(t *testing.T) {
+	// All recorded work converged (matches fixpoint): zero staleness, and
+	// a large fixed per-batch T_B cost that amortizes with larger t ->
+	// phi rises steeply -> eta doubles.
+	cfg := DefaultConfig(ace.CategoryII, func(bytes int) float64 { return 300 + 0.01*float64(bytes) })
+	tu := NewTuner[float64](cfg, func(a, b float64) bool { return a == b },
+		func(a, b float64) float64 { return math.Abs(a - b) }, 4)
+	tu.Begin(0, 100)
+	vals := []float64{1, 2, 3, 4}
+	times := []float64{10, 40, 60, 90}
+	for i := range vals {
+		tu.Record(uint32(i), times[i], 10, vals[i], 0)
+		tu.RecordBytes(1, times[i], 40)
+	}
+	fix := func(l uint32) float64 { return vals[l] }
+	newEta, _ := tu.Adjust(fix, nil)
+	if newEta != 200 {
+		t.Fatalf("eta should double to 200, got %v", newEta)
+	}
+}
+
+func TestCategoryIStalenessZero(t *testing.T) {
+	tu := newTestTuner(PolicyGAwD, ace.CategoryI, 4)
+	tu.Begin(0, 1000)
+	tu.Record(1, 100, 50, 1, 1)
+	tu.Record(2, 800, 300, 9, 5)
+	phis, _, tw := tu.sweep(func(uint32) float64 { return 0 })
+	if tw != 0 {
+		t.Fatalf("category I staleness must be 0, got %v", tw)
+	}
+	for _, p := range phis {
+		if p <= 0 {
+			t.Fatalf("phi must be positive with zero staleness: %v", phis)
+		}
+	}
+}
+
+func TestCategoryIIIRatio(t *testing.T) {
+	tu := newTestTuner(PolicyGAwD, ace.CategoryIII, 4)
+	tu.Begin(0, 1000)
+	// One vertex, cost 100, moved by delta 3; fixpoint is 2 further away.
+	tu.Record(1, 500, 100, 3, 3)
+	_, _, tw := tu.sweep(func(uint32) float64 { return 5 })
+	want := 100 * 2.0 / (3 + 2)
+	if math.Abs(tw-want) > 1e-9 {
+		t.Fatalf("Eq.9 staleness = %v, want %v", tw, want)
+	}
+}
+
+func TestTwSamplesWithTruth(t *testing.T) {
+	tu := newTestTuner(PolicyGAwD, ace.CategoryII, 4)
+	tu.Begin(0, 1000)
+	tu.Record(1, 100, 50, 1, 0)
+	tu.Record(2, 600, 70, 2, 0)
+	cur := func(l uint32) float64 { return float64(l) } // both match x^{2eta}
+	truth := func(l uint32) float64 { return -1 }       // nothing matches truth
+	tu.Adjust(cur, truth)
+	s := tu.Samples()
+	if len(s) != 1 {
+		t.Fatalf("want 1 sample, got %d", len(s))
+	}
+	if !(s[0].Est <= s[0].Real) {
+		t.Fatalf("estimate (%v) should not exceed real staleness (%v) here", s[0].Est, s[0].Real)
+	}
+}
+
+func TestEtaClamp(t *testing.T) {
+	cfg := DefaultConfig(ace.CategoryII, tb)
+	cfg.EtaMin, cfg.EtaMax = 100, 1500
+	tu := NewTuner[float64](cfg, func(a, b float64) bool { return a == b }, func(a, b float64) float64 { return 0 }, 2)
+	tu.Begin(0, 1000)
+	vals := []float64{1, 2, 3, 4}
+	for i := range vals {
+		tu.Record(uint32(i), float64(100+250*i), 100, vals[i], 0)
+		tu.RecordBytes(1, float64(100+250*i), 40)
+	}
+	newEta, _ := tu.Adjust(func(l uint32) float64 { return vals[l] }, nil)
+	if newEta > 1500 {
+		t.Fatalf("eta exceeds clamp: %v", newEta)
+	}
+}
+
+// Property: bucket indices are within [0, k) for any time inside the
+// collection window.
+func TestBucketRange(t *testing.T) {
+	f := func(raw uint16, kRaw uint8) bool {
+		k := int(kRaw%30) + 2
+		tu := newTestTuner(PolicyGAwD, ace.CategoryII, k)
+		tu.Begin(0, 1000)
+		now := float64(raw) / 65.536 // 0..1000
+		b := tu.bucketOf(now)
+		return b >= 0 && int(b) < k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyGA.String() != "GA" || PolicyGAwD.String() != "GAwD" || PolicyFixed.String() != "fixed" {
+		t.Fatal("policy strings wrong")
+	}
+}

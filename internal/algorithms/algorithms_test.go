@@ -1,0 +1,244 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"argan/internal/graph"
+)
+
+func TestSeqSSSPSmall(t *testing.T) {
+	g := graph.NewBuilder(5, true).
+		AddWeighted(0, 1, 4).AddWeighted(0, 2, 1).
+		AddWeighted(2, 1, 2).AddWeighted(1, 3, 1).
+		AddWeighted(2, 3, 5).MustBuild()
+	d := SeqSSSP(g, 0)
+	want := []float64{0, 3, 1, 4, math.Inf(1)}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("dist[%d] = %v, want %v", v, d[v], want[v])
+		}
+	}
+}
+
+// Property: Dijkstra and queue-based Bellman-Ford agree on any graph with
+// positive weights.
+func TestSSSPVariantsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.PowerLaw(graph.GenConfig{N: 120, M: 700, Directed: true, Seed: seed, MaxW: 9})
+		a, b := SeqSSSP(g, 0), SeqBellmanFord(g, 0)
+		for v := range a {
+			if a[v] != b[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BFS distance lower-bounds weighted distance scaled by min
+// weight, and every BFS-reachable vertex is SSSP-reachable.
+func TestBFSConsistentWithSSSP(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.PowerLaw(graph.GenConfig{N: 100, M: 500, Directed: true, Seed: seed})
+		hops, dist := SeqBFS(g, 0), SeqSSSP(g, 0)
+		for v := range hops {
+			if (hops[v] >= 0) != !math.IsInf(dist[v], 1) {
+				return false
+			}
+			if hops[v] >= 0 && dist[v] < float64(hops[v]) {
+				return false // unit weights: dist >= hops
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WCC labels are the minimum id of each component, and two
+// endpoint of any edge share a label.
+func TestWCCProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.Uniform(graph.GenConfig{N: 90, M: 120, Directed: true, Seed: seed})
+		cc := SeqWCC(g)
+		for v := 0; v < g.NumVertices(); v++ {
+			if cc[v] > graph.VID(v) {
+				return false // label must not exceed own id
+			}
+			for _, u := range g.OutNeighbors(graph.VID(v)) {
+				if cc[u] != cc[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SeqColor yields a proper coloring.
+func TestSeqColorProper(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		g := graph.PowerLaw(graph.GenConfig{N: 100, M: 600, Directed: directed, Seed: seed})
+		colors := SeqColor(g)
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, u := range g.OutNeighbors(graph.VID(v)) {
+				if u != graph.VID(v) && colors[u] == colors[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHIndex(t *testing.T) {
+	cases := []struct {
+		in   []int32
+		want int32
+	}{
+		{nil, 0},
+		{[]int32{0}, 0},
+		{[]int32{5}, 1},
+		{[]int32{1, 1, 1}, 1},
+		{[]int32{3, 3, 3}, 3},
+		{[]int32{5, 4, 3, 2, 1}, 3},
+		{[]int32{9, 9, 9, 9}, 4},
+	}
+	for _, c := range cases {
+		in := append([]int32{}, c.in...)
+		if got := hIndex(in); got != c.want {
+			t.Fatalf("hIndex(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: coreness values from peeling satisfy the defining property:
+// in the subgraph induced by {v : core[v] >= k}, every vertex has degree
+// >= k, for k = max coreness.
+func TestSeqCoreProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.PowerLaw(graph.GenConfig{N: 80, M: 500, Directed: false, Seed: seed})
+		core := SeqCore(g)
+		var kmax int32
+		for _, c := range core {
+			if c > kmax {
+				kmax = c
+			}
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if core[v] != kmax {
+				continue
+			}
+			deg := 0
+			for _, u := range g.OutNeighbors(graph.VID(v)) {
+				if core[u] >= kmax && u != graph.VID(v) {
+					deg++
+				}
+			}
+			if deg < int(kmax) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the graph-simulation relation is sound — every retained pattern
+// vertex has all its pattern edges matched by some successor.
+func TestSeqSimSound(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.KnowledgeBase(graph.GenConfig{N: 90, M: 400, Seed: seed, Labels: 5})
+		pat := RandomPattern(g, 4, 5, seed+1)
+		sim := SeqSim(g, pat)
+		for v := 0; v < g.NumVertices(); v++ {
+			m := sim[v]
+			for q := 0; q < pat.NumVertices(); q++ {
+				if m&(1<<q) == 0 {
+					continue
+				}
+				if pat.Label(graph.VID(q)) != g.Label(graph.VID(v)) {
+					return false
+				}
+				for _, qq := range pat.OutNeighbors(graph.VID(q)) {
+					ok := false
+					for _, u := range g.OutNeighbors(graph.VID(v)) {
+						if sim[u]&(1<<qq) != 0 {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomPatternShape(t *testing.T) {
+	g := graph.KnowledgeBase(graph.GenConfig{N: 200, M: 800, Seed: 4, Labels: 6})
+	p := RandomPattern(g, 4, 5, 9)
+	if p.NumVertices() != 4 {
+		t.Fatalf("|V_Q| = %d", p.NumVertices())
+	}
+	if p.NumEdges() < 3 || p.NumEdges() > 5 {
+		t.Fatalf("|E_Q| = %d, want 3..5", p.NumEdges())
+	}
+	if !p.Labeled() {
+		t.Fatal("pattern must carry labels")
+	}
+}
+
+func TestSeqPageRankMass(t *testing.T) {
+	g := graph.PowerLaw(graph.GenConfig{N: 300, M: 2000, Directed: true, Seed: 5})
+	pr := SeqPageRank(g, 1e-7)
+	for v, r := range pr {
+		if r < 1-Damping-1e-9 {
+			t.Fatalf("rank[%d] = %v below teleport mass", v, r)
+		}
+	}
+	// With a tighter threshold the ranks only grow (monotone accumulation).
+	loose := SeqPageRank(g, 1e-3)
+	for v := range pr {
+		if loose[v] > pr[v]+1e-9 {
+			t.Fatalf("rank[%d]: loose %v > tight %v", v, loose[v], pr[v])
+		}
+	}
+}
+
+func TestProgramMetadata(t *testing.T) {
+	type meta interface {
+		Name() string
+	}
+	progs := []meta{
+		NewSSSP()(), NewBellmanFord()(), NewBFS()(), NewWCC()(),
+		NewColor()(), NewNaiveColor()(), NewPageRank()(), NewCore()(), NewSim()(),
+	}
+	seen := map[string]bool{}
+	for _, p := range progs {
+		if p.Name() == "" || seen[p.Name()] {
+			t.Fatalf("bad or duplicate program name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+}

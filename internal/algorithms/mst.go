@@ -1,0 +1,183 @@
+package algorithms
+
+import (
+	"math"
+	"sort"
+
+	"argan/internal/ace"
+	"argan/internal/graph"
+)
+
+// Borůvka's minimum-spanning-forest algorithm (Category II in the paper's
+// Table III). The parallel version composes one ACE query per Borůvka
+// round: within each round, every component agrees on its minimum-weight
+// outgoing edge by a label-propagation fixpoint over the component's own
+// edges (components are connected, so the min can travel along tree paths),
+// then the coordinator hooks the selected edges and re-labels — exactly the
+// coordinator/GlobalEval division of labor of §II-A.
+
+// MSTEdge is one selected forest edge.
+type MSTEdge struct {
+	U, V graph.VID
+	W    float64
+}
+
+// SeqMST computes the minimum spanning forest of an undirected graph with
+// sequential Borůvka and returns its edges sorted by (U,V) plus the total
+// weight. Ties are broken by (w, min endpoint, max endpoint), making the
+// result unique and comparable with the parallel version.
+func SeqMST(g *graph.Graph) ([]MSTEdge, float64) {
+	n := g.NumVertices()
+	parent := make([]graph.VID, n)
+	for i := range parent {
+		parent[i] = graph.VID(i)
+	}
+	var find func(graph.VID) graph.VID
+	find = func(v graph.VID) graph.VID {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	var out []MSTEdge
+	total := 0.0
+	for {
+		best := map[graph.VID]MSTEdge{}
+		for v := 0; v < n; v++ {
+			cv := find(graph.VID(v))
+			adj, ws := g.OutNeighbors(graph.VID(v)), g.OutWeights(graph.VID(v))
+			for i, u := range adj {
+				if find(u) == cv {
+					continue
+				}
+				e := canonEdge(graph.VID(v), u, ws[i])
+				if b, ok := best[cv]; !ok || LessMSTEdge(e, b) {
+					best[cv] = e
+				}
+			}
+		}
+		if len(best) == 0 {
+			break
+		}
+		added := false
+		for _, e := range best {
+			if find(e.U) == find(e.V) {
+				continue // both sides picked the same edge
+			}
+			parent[find(e.U)] = find(e.V)
+			out = append(out, e)
+			total += e.W
+			added = true
+		}
+		if !added {
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out, total
+}
+
+func canonEdge(a, b graph.VID, w float64) MSTEdge {
+	if a > b {
+		a, b = b, a
+	}
+	return MSTEdge{a, b, w}
+}
+
+// lessEdge is the deterministic tie-broken edge order.
+func LessMSTEdge(a, b MSTEdge) bool {
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// MSTVal is the status variable of one Borůvka round: the vertex's current
+// component label and the best outgoing edge its component has seen so far.
+type MSTVal struct {
+	Comp graph.VID
+	Edge MSTEdge // Edge.W = +Inf when none
+}
+
+// mstRound is the per-round ACE program: vertices push their component's
+// best outgoing edge to same-component neighbors until every member agrees
+// (a min-propagation fixpoint along the component's internal edges).
+type mstRound struct {
+	f    *graph.Fragment
+	comp []graph.VID // global component labels, read-only this round
+}
+
+func (p *mstRound) Name() string           { return "mst-round" }
+func (p *mstRound) Category() ace.Category { return ace.CategoryII }
+func (p *mstRound) Deps() ace.DepKind      { return ace.DepSelf }
+func (p *mstRound) Setup(f *graph.Fragment, _ ace.Query) {
+	p.f = f
+}
+
+func (p *mstRound) InitValue(f *graph.Fragment, local uint32, _ ace.Query) (MSTVal, bool) {
+	g := f.Global(local)
+	v := MSTVal{Comp: p.comp[g], Edge: MSTEdge{W: math.Inf(1)}}
+	if !f.IsOwned(local) {
+		return v, false
+	}
+	// Local candidate: the lightest incident edge leaving the component.
+	adj, ws := f.OutNeighbors(local), f.OutWeights(local)
+	for i, lu := range adj {
+		u := f.Global(lu)
+		if p.comp[u] == v.Comp {
+			continue
+		}
+		e := canonEdge(g, u, ws[i])
+		if LessMSTEdge(e, v.Edge) {
+			v.Edge = e
+		}
+	}
+	return v, true
+}
+
+func (p *mstRound) Update(ctx *ace.Ctx[MSTVal], local uint32) {
+	v := ctx.Get(local)
+	if math.IsInf(v.Edge.W, 1) {
+		return
+	}
+	// Push the candidate to same-component neighbors so the whole
+	// component converges to one minimum.
+	for _, lu := range p.f.OutNeighbors(local) {
+		if ctx.Get(lu).Comp == v.Comp {
+			ctx.Send(lu, v)
+		}
+	}
+}
+
+func (p *mstRound) Aggregate(cur, in MSTVal) (MSTVal, bool) {
+	if in.Comp == cur.Comp && LessMSTEdge(in.Edge, cur.Edge) {
+		cur.Edge = in.Edge
+		return cur, true
+	}
+	return cur, false
+}
+
+func (p *mstRound) Equal(a, b MSTVal) bool { return a == b }
+func (p *mstRound) Delta(a, b MSTVal) float64 {
+	if a == b {
+		return 0
+	}
+	return 1
+}
+func (p *mstRound) Size(MSTVal) int                                  { return 24 }
+func (p *mstRound) Output(ctx *ace.Ctx[MSTVal], local uint32) MSTVal { return ctx.Get(local) }
+
+// NewMSTRound builds the factory for one Borůvka round's ACE program over
+// the current component labeling (read-only during the round).
+func NewMSTRound(comp []graph.VID) ace.Factory[MSTVal] {
+	return func() ace.Program[MSTVal] { return &mstRound{comp: comp} }
+}

@@ -1,0 +1,81 @@
+package algorithms
+
+import (
+	"sort"
+	"testing"
+
+	"argan/internal/graph"
+)
+
+// kruskal is an independent MSF reference for cross-checking Borůvka.
+func kruskal(g *graph.Graph) float64 {
+	type e struct {
+		u, v graph.VID
+		w    float64
+	}
+	var edges []e
+	for v := 0; v < g.NumVertices(); v++ {
+		adj, ws := g.OutNeighbors(graph.VID(v)), g.OutWeights(graph.VID(v))
+		for i, u := range adj {
+			if u > graph.VID(v) {
+				edges = append(edges, e{graph.VID(v), u, ws[i]})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w < edges[j].w
+		}
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	parent := make([]graph.VID, g.NumVertices())
+	for i := range parent {
+		parent[i] = graph.VID(i)
+	}
+	var find func(graph.VID) graph.VID
+	find = func(v graph.VID) graph.VID {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	total := 0.0
+	for _, ed := range edges {
+		if find(ed.u) != find(ed.v) {
+			parent[find(ed.u)] = find(ed.v)
+			total += ed.w
+		}
+	}
+	return total
+}
+
+func mstGraph(seed int64) *graph.Graph {
+	return graph.Uniform(graph.GenConfig{N: 200, M: 800, Directed: false, Seed: seed, MaxW: 50})
+}
+
+func TestSeqMSTMatchesKruskal(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := mstGraph(seed)
+		_, totalB := SeqMST(g)
+		totalK := kruskal(g)
+		if diff := totalB - totalK; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("seed %d: Borůvka %v != Kruskal %v", seed, totalB, totalK)
+		}
+	}
+}
+
+func TestSeqMSTForestShape(t *testing.T) {
+	// Two disconnected triangles: the forest has 4 edges.
+	b := graph.NewBuilder(6, false)
+	b.AddWeighted(0, 1, 1).AddWeighted(1, 2, 2).AddWeighted(2, 0, 3)
+	b.AddWeighted(3, 4, 1).AddWeighted(4, 5, 2).AddWeighted(5, 3, 3)
+	g := b.MustBuild()
+	edges, total := SeqMST(g)
+	if len(edges) != 4 || total != 6 {
+		t.Fatalf("forest edges %v total %v", edges, total)
+	}
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"argan/internal/graph"
+)
+
+func tinyOptions(buf *bytes.Buffer) Options {
+	o := Quick(buf)
+	o.Scale = 0.05
+	o.Workers = []int{4, 8}
+	return o
+}
+
+// TestAllExperimentsRun executes every table/figure driver at a tiny scale
+// and checks each produces its headline rows.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(tinyOptions(&buf)); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if len(out) < 40 {
+				t.Fatalf("suspiciously short output:\n%s", out)
+			}
+			if !strings.Contains(out, "==") {
+				t.Fatalf("missing header:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("want unknown-experiment error")
+	}
+	if len(All()) != 18 {
+		t.Fatalf("experiment count = %d, want 18 (Table I, Fig 4a-c, Fig 5, Fig 6a-l, ablation)", len(All()))
+	}
+}
+
+func TestFig4bCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Workers = []int{8}
+	if err := Fig4b(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "correlation coefficient") {
+		t.Fatalf("missing correlation line:\n%s", out)
+	}
+}
+
+func TestFig5MarksNA(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig5(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "NA") {
+		t.Fatalf("fig5 must mark the oscillating Color runs NA:\n%s", out)
+	}
+	if !strings.Contains(out, "Argan") || !strings.Contains(out, "Maiter") {
+		t.Fatalf("fig5 missing systems:\n%s", out)
+	}
+}
+
+func TestFig6SweepSummaries(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := ByID("fig6a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"avg speedup of Argan", "Grape+", "self-speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig6a output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPickSourceDeterministicAndReaches(t *testing.T) {
+	g, err := graph.LoadDataset("LJ", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := pickSource(g), pickSource(g)
+	if a != b {
+		t.Fatalf("source not deterministic: %d vs %d", a, b)
+	}
+	if int(a) >= g.NumVertices() {
+		t.Fatalf("source out of range: %d", a)
+	}
+}
+
+func TestQueryFor(t *testing.T) {
+	g, err := graph.LoadDataset("DP", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q0 := queryFor("sssp", g, 0)
+	q1 := queryFor("sssp", g, 1)
+	if q0.Source == q1.Source {
+		t.Fatal("repetitions must vary the source")
+	}
+	if queryFor("pr", g, 0).Eps <= 0 {
+		t.Fatal("pr query needs eps")
+	}
+	if queryFor("sim", g, 0).Pattern == nil {
+		t.Fatal("sim query needs a pattern")
+	}
+}

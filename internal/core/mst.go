@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"argan/internal/ace"
+	"argan/internal/algorithms"
+	"argan/internal/gap"
+	"argan/internal/graph"
+)
+
+// MST computes the minimum spanning forest with parallel Borůvka: one ACE
+// query per round over the fragments (the component-minimum fixpoint of
+// algorithms.NewMSTRound), with hooking and re-labeling performed at the
+// coordinator — the GlobalEval half of §II-A. It returns the forest edges
+// (sorted by endpoints), the total weight and the number of Borůvka rounds.
+func MST(g *graph.Graph, frags []*graph.Fragment, cfg gap.Config) ([]algorithms.MSTEdge, float64, int, error) {
+	n := g.NumVertices()
+	comp := make([]graph.VID, n)
+	for i := range comp {
+		comp[i] = graph.VID(i)
+	}
+	var out []algorithms.MSTEdge
+	total := 0.0
+	rounds := 0
+	for {
+		rounds++
+		res, err := gap.RunSim(frags, algorithms.NewMSTRound(comp), ace.Query{}, cfg)
+		if err != nil {
+			return nil, 0, rounds, err
+		}
+		// GlobalEval: collect each component's agreed minimum edge.
+		best := map[graph.VID]algorithms.MSTEdge{}
+		for v := 0; v < n; v++ {
+			val := res.Values[v]
+			if math.IsInf(val.Edge.W, 1) {
+				continue
+			}
+			if b, ok := best[val.Comp]; !ok || algorithms.LessMSTEdge(val.Edge, b) {
+				best[val.Comp] = val.Edge
+			}
+		}
+		if len(best) == 0 {
+			break
+		}
+		// Hook the selected edges with a union-find, then relabel every
+		// vertex to its new component representative.
+		parent := make(map[graph.VID]graph.VID)
+		var find func(graph.VID) graph.VID
+		find = func(c graph.VID) graph.VID {
+			p, ok := parent[c]
+			if !ok || p == c {
+				return c
+			}
+			r := find(p)
+			parent[c] = r
+			return r
+		}
+		added := false
+		comps := make([]graph.VID, 0, len(best))
+		for c := range best {
+			comps = append(comps, c)
+		}
+		sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
+		for _, c := range comps {
+			e := best[c]
+			a, b := find(comp[e.U]), find(comp[e.V])
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			parent[b] = a
+			out = append(out, e)
+			total += e.W
+			added = true
+		}
+		if !added {
+			break
+		}
+		for v := range comp {
+			comp[v] = find(comp[v])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out, total, rounds, nil
+}

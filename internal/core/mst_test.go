@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"argan/internal/algorithms"
+	"argan/internal/graph"
+)
+
+func TestParallelMSTMatchesSequential(t *testing.T) {
+	g := graph.Uniform(graph.GenConfig{N: 200, M: 800, Directed: false, Seed: 7, MaxW: 50})
+	want, wantTotal := algorithms.SeqMST(g)
+	for _, workers := range []int{1, 3, 6} {
+		env := Env{Workers: workers}
+		frags, err := env.Fragments(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotTotal, rounds, err := MST(g, frags, env.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds < 2 {
+			t.Fatalf("suspiciously few Borůvka rounds: %d", rounds)
+		}
+		if diff := gotTotal - wantTotal; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("n=%d: total %v, want %v", workers, gotTotal, wantTotal)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d edges, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: edge %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

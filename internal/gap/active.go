@@ -1,0 +1,127 @@
+package gap
+
+import "container/heap"
+
+// activeSet is the local active set H_{A,i}: the owned vertices whose update
+// functions must run. It is a FIFO queue by default; when a priority
+// function is supplied (parallelized Dijkstra), it becomes a lazy-deletion
+// min-heap popping the smallest priority first.
+type activeSet struct {
+	inQ  []bool
+	size int
+
+	// FIFO representation.
+	fifo []uint32
+	head int
+
+	// Heap representation (prio != nil).
+	prio  func(local uint32) float64
+	items prioHeap
+}
+
+func newActiveSet(numOwned int, prio func(uint32) float64) *activeSet {
+	return &activeSet{inQ: make([]bool, numOwned), prio: prio}
+}
+
+// Push activates a vertex. Re-activating a queued vertex is a no-op for the
+// FIFO, and a lazy re-insert with the (possibly better) current priority for
+// the heap.
+func (a *activeSet) Push(local uint32) {
+	if a.prio == nil {
+		if a.inQ[local] {
+			return
+		}
+		a.inQ[local] = true
+		a.size++
+		a.fifo = append(a.fifo, local)
+		return
+	}
+	p := a.prio(local)
+	if a.inQ[local] {
+		// Lazy duplicate: the earlier entry will be skipped if this one
+		// (with the better priority) pops first.
+		heap.Push(&a.items, prioItem{p, local})
+		return
+	}
+	a.inQ[local] = true
+	a.size++
+	heap.Push(&a.items, prioItem{p, local})
+}
+
+// Empty reports whether H is empty.
+func (a *activeSet) Empty() bool { return a.size == 0 }
+
+// Len returns |H|.
+func (a *activeSet) Len() int { return a.size }
+
+// Peek returns the vertex that Pop would return.
+func (a *activeSet) Peek() uint32 {
+	if a.prio == nil {
+		for a.head < len(a.fifo) && !a.inQ[a.fifo[a.head]] {
+			a.head++
+		}
+		return a.fifo[a.head]
+	}
+	a.skim()
+	return a.items[0].local
+}
+
+// Pop removes and returns the next vertex.
+func (a *activeSet) Pop() uint32 {
+	var v uint32
+	if a.prio == nil {
+		v = a.Peek()
+		a.head++
+		if a.head > 1024 && a.head*2 > len(a.fifo) {
+			a.fifo = append(a.fifo[:0], a.fifo[a.head:]...)
+			a.head = 0
+		}
+	} else {
+		a.skim()
+		v = heap.Pop(&a.items).(prioItem).local
+	}
+	a.inQ[v] = false
+	a.size--
+	return v
+}
+
+// skim drops stale lazy duplicates from the heap top.
+func (a *activeSet) skim() {
+	for len(a.items) > 0 && !a.inQ[a.items[0].local] {
+		heap.Pop(&a.items)
+	}
+}
+
+// Drain moves all queued vertices out, leaving H empty; used by the
+// superstep modes to freeze the per-round work list.
+func (a *activeSet) Drain() []uint32 {
+	out := make([]uint32, 0, a.size)
+	for !a.Empty() {
+		out = append(out, a.Pop())
+	}
+	return out
+}
+
+type prioItem struct {
+	p     float64
+	local uint32
+}
+
+type prioHeap []prioItem
+
+func (h prioHeap) Len() int { return len(h) }
+func (h prioHeap) Less(i, j int) bool {
+	if h[i].p != h[j].p {
+		return h[i].p < h[j].p
+	}
+	return h[i].local < h[j].local
+}
+func (h prioHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap) Push(x any)   { *h = append(*h, x.(prioItem)) }
+func (h *prioHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,78 @@
+package gap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestActiveSetFIFO(t *testing.T) {
+	a := newActiveSet(8, nil)
+	if !a.Empty() || a.Len() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	a.Push(3)
+	a.Push(1)
+	a.Push(3) // duplicate ignored
+	if a.Len() != 2 || a.Peek() != 3 {
+		t.Fatalf("len=%d peek=%d", a.Len(), a.Peek())
+	}
+	got := a.Drain()
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Fatalf("drain = %v", got)
+	}
+	if !a.Empty() {
+		t.Fatal("not empty after drain")
+	}
+}
+
+func TestActiveSetPriority(t *testing.T) {
+	prio := []float64{9, 2, 7, 1}
+	a := newActiveSet(4, func(l uint32) float64 { return prio[l] })
+	for i := 3; i >= 0; i-- {
+		a.Push(uint32(i))
+	}
+	// Re-push with an improved priority: lazy duplicate, best pops first.
+	prio[0] = 0
+	a.Push(0)
+	want := []uint32{0, 3, 1, 2}
+	for _, w := range want {
+		if got := a.Pop(); got != w {
+			t.Fatalf("pop = %d, want %d", got, w)
+		}
+	}
+	if !a.Empty() {
+		t.Fatal("should be empty")
+	}
+}
+
+// Property: every pushed vertex pops exactly once per activation epoch,
+// regardless of duplicate pushes and priority changes.
+func TestActiveSetPopOnce(t *testing.T) {
+	f := func(pushes []uint8, usePrio bool) bool {
+		prio := make([]float64, 32)
+		var pf func(uint32) float64
+		if usePrio {
+			pf = func(l uint32) float64 { return prio[l] }
+		}
+		a := newActiveSet(32, pf)
+		inSet := map[uint32]bool{}
+		for _, p := range pushes {
+			v := uint32(p % 32)
+			prio[v] = float64(p)
+			a.Push(v)
+			inSet[v] = true
+		}
+		popped := map[uint32]bool{}
+		for !a.Empty() {
+			v := a.Pop()
+			if popped[v] {
+				return false // double pop
+			}
+			popped[v] = true
+		}
+		return len(popped) == len(inSet)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

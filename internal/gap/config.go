@@ -1,0 +1,228 @@
+// Package gap implements the paper's GAP (adaptive-Grained Asynchronous
+// Parallel) runtime: workers executing ACE programs with accumulative
+// in-message buffers B⁺, per-peer out-buffers B⁻_j, message-passing
+// indicators ξ driven by rules R1–R3, per-worker granularity bounds η_i
+// tuned by the adapt package, and a coordinator P₀ for status sharing,
+// barriers and termination. Two drivers execute the same model: a
+// deterministic virtual-time simulator (RunSim) used by the experiments,
+// and a goroutine-based live driver (RunLive) exercising the code under
+// real concurrency.
+package gap
+
+import (
+	"math"
+
+	"argan/internal/adapt"
+	"argan/internal/netsim"
+)
+
+// Mode selects the parallel model. BSP, AP and AAP are the special cases of
+// GAP described in §II-B; they are provided as first-class modes so the
+// paper's baselines (Grape, Grape⁺, Grape*, GraphLab, Maiter, PowerSwitch)
+// can be expressed as engine configurations.
+type Mode int
+
+const (
+	// ModeGAP: rules R1–R3 with adaptive η (Argan).
+	ModeGAP Mode = iota
+	// ModeBSP: graph-centric bulk-synchronous (Grape): local fixpoint per
+	// superstep, global barrier, messages exchanged between supersteps.
+	ModeBSP
+	// ModeBSPVC: vertex-centric bulk-synchronous (Pregel / GraphLab_sync):
+	// each active vertex updates once per superstep.
+	ModeBSPVC
+	// ModeAPGC: graph-centric asynchronous (Grape*): ingest at round start,
+	// forward at round end, no barriers, ξ fixed false.
+	ModeAPGC
+	// ModeAPVC: vertex-centric asynchronous (GraphLab_async / Maiter): ξ
+	// fixed true, one update per LocalEval.
+	ModeAPVC
+	// ModeAAP: adaptive asynchronous (Grape⁺): graph-centric rounds whose
+	// start is postponed by an adaptive delay sketch to absorb in-flight
+	// messages and cut staleness.
+	ModeAAP
+	// ModePowerSwitch: starts bulk-synchronous vertex-centric and switches
+	// to asynchronous execution when the barrier-wait fraction exceeds a
+	// threshold (Xie et al.'s sync-or-async heuristic, simplified).
+	ModePowerSwitch
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeGAP:
+		return "GAP"
+	case ModeBSP:
+		return "BSP"
+	case ModeBSPVC:
+		return "BSP-VC"
+	case ModeAPGC:
+		return "AP-GC"
+	case ModeAPVC:
+		return "AP-VC"
+	case ModeAAP:
+		return "AAP"
+	case ModePowerSwitch:
+		return "PowerSwitch"
+	}
+	return "?"
+}
+
+// Config parameterizes one engine run.
+type Config struct {
+	// Mode is the parallel model.
+	Mode Mode
+	// Adapt selects the granularity-adjustment policy (ModeGAP only).
+	Adapt adapt.Policy
+	// K is the GAwD discretization parameter (paper default 4).
+	K int
+	// Eta0 is the initial granularity bound η_i in cost units. +Inf gives
+	// FG⁺ (fully coarse), 0 gives FG⁻ (fully fine). Default 64.
+	Eta0 float64
+	// Net is the simulated interconnect; nil uses the default cost model.
+	Net *netsim.Network
+	// StatusDelay is the virtual latency before a worker-status change
+	// becomes visible to peers (Σ synchronization). Default: the network's
+	// per-batch latency α.
+	StatusDelay float64
+	// SlowFactor optionally slows individual workers' computation
+	// (straggler injection); nil means 1.0 everywhere.
+	SlowFactor []float64
+	// Hetero adds time-varying execution noise: during each window of
+	// HeteroWindow cost units, worker i's computation is slowed by a
+	// deterministic pseudo-random factor in [1, 1+Hetero]. This models the
+	// OS/network jitter of a real multi-tenant cluster, which synchronous
+	// models amplify (every superstep waits for the currently slowest
+	// worker) and asynchronous models absorb. 0 disables.
+	Hetero       float64
+	HeteroWindow float64
+	// MaxUpdatesPerVertex caps total updates at cap·|V| to detect
+	// non-convergent executions (Color under synchronous models). Default
+	// 400.
+	MaxUpdatesPerVertex int
+	// SwitchThreshold is the barrier-wait fraction above which
+	// ModePowerSwitch flips to asynchronous execution. Default 0.35.
+	SwitchThreshold float64
+	// VCOverhead multiplies update costs under the vertex-centric
+	// disciplines (BSP-VC, AP-VC, PowerSwitch), modeling the per-vertex
+	// program-invocation overhead those systems pay compared to a
+	// graph-centric batch loop. Default 1.5.
+	VCOverhead float64
+	// CollectTruth, when set, provides the true fixpoint values (indexed by
+	// global vertex id) so the tuner can record real-staleness samples T_w*
+	// next to its estimates (Fig. 4b).
+	CollectTruth bool
+	// DisableR1/R2/R3 switch off individual indicator rules (ModeGAP only);
+	// used by the rule-ablation study.
+	DisableR1, DisableR2, DisableR3 bool
+	// TunerOverrides tweaks the adaptation overhead model; zero fields keep
+	// defaults.
+	TunerClockCost, TunerRecordCost, TunerCandidateCost float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Eta0 == 0 && c.Mode == ModeGAP && c.Adapt != adapt.PolicyFixed {
+		c.Eta0 = 1024
+	}
+	if c.K <= 0 {
+		c.K = 4
+	}
+	if c.Net == nil {
+		c.Net = netsim.NewNetwork(netsim.DefaultCostModel(), 1)
+	}
+	if c.StatusDelay == 0 {
+		c.StatusDelay = c.Net.Model.Alpha
+	}
+	if c.MaxUpdatesPerVertex <= 0 {
+		c.MaxUpdatesPerVertex = 400
+	}
+	if c.SwitchThreshold == 0 {
+		c.SwitchThreshold = 0.35
+	}
+	if c.VCOverhead == 0 {
+		c.VCOverhead = 1.5
+	}
+	if c.HeteroWindow <= 0 {
+		// Longer than a typical superstep: a slow worker stays slow across
+		// whole supersteps, which is what makes real-world stragglers hurt
+		// synchronous models (every barrier waits for the current max).
+		c.HeteroWindow = 16384
+	}
+	switch c.Mode {
+	case ModeBSPVC, ModeAPVC, ModePowerSwitch:
+	default:
+		c.VCOverhead = 1
+	}
+	return c
+}
+
+// WorkerMetrics aggregates one worker's accounting.
+type WorkerMetrics struct {
+	Busy      float64 // virtual time spent in update functions
+	Tw        float64 // measured stale computation (category-aware)
+	Tc        float64 // h_in/h_out handler cost
+	Ta        float64 // granularity-adjustment overhead
+	Rounds    int64   // LocalEval invocations
+	Updates   int64   // f_xv invocations
+	Flushes   int64   // batches sent
+	MsgsSent  int64
+	BytesSent int64
+	FinalEta  float64
+}
+
+// Metrics summarizes a run.
+type Metrics struct {
+	// RespTime is the virtual response time of the query (the paper's
+	// y-axis everywhere).
+	RespTime float64
+	// Converged is false when the update cap was hit (e.g. oscillating
+	// synchronous Color) — reported as "NA" in Fig. 5.
+	Converged bool
+	// Mode echoes the executed mode (PowerSwitch may report its final mode
+	// via Switched).
+	Mode     Mode
+	Switched bool // PowerSwitch switched to async
+
+	Workers []WorkerMetrics
+
+	// Aggregates over workers.
+	TotalBusy, TotalTw, TotalTc, TotalTa float64
+	Rounds, Updates, MsgsSent, BytesSent int64
+	Supersteps                           int64
+
+	// Phi is the overall computation effectiveness (Σbusy − ΣTw)/(Σbusy + ΣTc).
+	Phi float64
+
+	// TwSamples are the (estimated, real) staleness pairs from the tuner
+	// when Config.CollectTruth was set.
+	TwSamples []adapt.TwSample
+	// EtaHistory concatenates the per-worker granularity trajectories.
+	EtaHistory [][]float64
+}
+
+func (m *Metrics) finalize() {
+	for _, w := range m.Workers {
+		m.TotalBusy += w.Busy
+		m.TotalTw += w.Tw
+		m.TotalTc += w.Tc
+		m.TotalTa += w.Ta
+		m.Rounds += w.Rounds
+		m.Updates += w.Updates
+		m.MsgsSent += w.MsgsSent
+		m.BytesSent += w.BytesSent
+	}
+	if den := m.TotalBusy + m.TotalTc; den > 0 {
+		m.Phi = (m.TotalBusy - m.TotalTw) / den
+	}
+	if math.IsNaN(m.Phi) {
+		m.Phi = 0
+	}
+}
+
+// AvgTw returns the mean per-worker staleness cost.
+func (m *Metrics) AvgTw() float64 { return m.TotalTw / float64(len(m.Workers)) }
+
+// AvgTc returns the mean per-worker communication handler cost.
+func (m *Metrics) AvgTc() float64 { return m.TotalTc / float64(len(m.Workers)) }
+
+// AvgTa returns the mean per-worker adjustment overhead.
+func (m *Metrics) AvgTa() float64 { return m.TotalTa / float64(len(m.Workers)) }

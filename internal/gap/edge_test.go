@@ -1,0 +1,221 @@
+package gap
+
+import (
+	"math"
+	"testing"
+
+	"argan/internal/ace"
+	"argan/internal/adapt"
+	"argan/internal/algorithms"
+	"argan/internal/graph"
+	"argan/internal/netsim"
+	"argan/internal/partition"
+)
+
+func TestEmptyActiveGraph(t *testing.T) {
+	// No vertex is initially active when the SSSP source has no out-edges
+	// reachable... use a source that is isolated from everything else.
+	g := graph.NewBuilder(5, true).AddEdge(1, 2).AddEdge(2, 3).MustBuild()
+	res, err := RunSim(frags(t, g, 2), algorithms.NewSSSP(), ace.Query{Source: 4}, Config{Mode: ModeGAP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[4] != 0 {
+		t.Fatalf("source dist = %v", res.Values[4])
+	}
+	for _, v := range []graph.VID{0, 1, 2, 3} {
+		if !math.IsInf(res.Values[v], 1) {
+			t.Fatalf("dist[%d] = %v, want +Inf", v, res.Values[v])
+		}
+	}
+}
+
+func TestNoEdgesGraph(t *testing.T) {
+	g := graph.NewBuilder(8, true).MustBuild()
+	for _, mode := range []Mode{ModeGAP, ModeBSP, ModeAPVC} {
+		res, err := RunSim(frags(t, g, 3), algorithms.NewWCC(), ace.Query{}, Config{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range res.Values {
+			if res.Values[v] != graph.VID(v) {
+				t.Fatalf("%v: isolated vertex %d labeled %d", mode, v, res.Values[v])
+			}
+		}
+	}
+}
+
+func TestMoreWorkersThanVertices(t *testing.T) {
+	g := graph.Chain(5, true)
+	fs, err := partition.Partition(g, partition.Hash{}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSim(fs, algorithms.NewBFS(), ace.Query{Source: 0}, Config{Mode: ModeGAP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if res.Values[v] != int32(v) {
+			t.Fatalf("bfs[%d] = %d", v, res.Values[v])
+		}
+	}
+}
+
+func TestSkewedPartitionCorrectness(t *testing.T) {
+	g := graph.PowerLaw(graph.GenConfig{N: 300, M: 1800, Directed: true, Seed: 71, MaxW: 8})
+	want := algorithms.SeqSSSP(g, 0)
+	fs, err := partition.Partition(g, partition.Skewed{Base: partition.Hash{}, Extra: 0.6}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSim(fs, algorithms.NewSSSP(), ace.Query{Source: 0}, Config{Mode: ModeGAP, Adapt: adapt.PolicyGAwD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range want {
+		if res.Values[v] != d {
+			t.Fatalf("dist[%d] = %v, want %v", v, res.Values[v], d)
+		}
+	}
+}
+
+func TestSlowLinksCorrectness(t *testing.T) {
+	g := graph.PowerLaw(graph.GenConfig{N: 200, M: 1200, Directed: true, Seed: 72, MaxW: 8})
+	want := algorithms.SeqSSSP(g, 0)
+	net := netsim.NewNetwork(netsim.DefaultCostModel(), 5)
+	net.SetLinkFactor(0, 1, 20)
+	net.SetLinkFactor(2, 3, 20)
+	net.Jitter = 0.2
+	res, err := RunSim(frags(t, g, 4), algorithms.NewSSSP(), ace.Query{Source: 0}, Config{Mode: ModeGAP, Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range want {
+		if res.Values[v] != d {
+			t.Fatalf("dist[%d] = %v, want %v", v, res.Values[v], d)
+		}
+	}
+}
+
+func TestHeteroDeterminism(t *testing.T) {
+	g := graph.PowerLaw(graph.GenConfig{N: 300, M: 1800, Directed: true, Seed: 73, MaxW: 8})
+	run := func() Metrics {
+		res, err := RunSim(frags(t, g, 4), algorithms.NewSSSP(), ace.Query{Source: 0},
+			Config{Mode: ModeGAP, Adapt: adapt.PolicyGAwD, Hetero: 1.5, HeteroWindow: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics
+	}
+	a, b := run(), run()
+	if a.RespTime != b.RespTime || a.Updates != b.Updates {
+		t.Fatal("hetero noise must be deterministic")
+	}
+	// And it must actually slow things down.
+	noNoise, err := RunSim(frags(t, g, 4), algorithms.NewSSSP(), ace.Query{Source: 0},
+		Config{Mode: ModeGAP, Adapt: adapt.PolicyGAwD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalBusy <= noNoise.Metrics.TotalBusy {
+		t.Fatal("hetero noise should inflate busy time")
+	}
+}
+
+func TestDuplicateDeliveryIdempotent(t *testing.T) {
+	// Min-aggregation is idempotent: feeding every batch twice must not
+	// change the fixpoint. Simulated by a wrapper program whose Aggregate
+	// sees duplicates through re-running the whole query on the same psi.
+	g := graph.PowerLaw(graph.GenConfig{N: 150, M: 900, Directed: true, Seed: 74, MaxW: 6})
+	want := algorithms.SeqSSSP(g, 0)
+	// Jittered network reorders deliveries across links; results must hold.
+	net := netsim.NewNetwork(netsim.DefaultCostModel(), 11)
+	net.Jitter = 0.9
+	res, err := RunSim(frags(t, g, 5), algorithms.NewSSSP(), ace.Query{Source: 0}, Config{Mode: ModeGAP, Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range want {
+		if res.Values[v] != d {
+			t.Fatalf("dist[%d] = %v, want %v", v, res.Values[v], d)
+		}
+	}
+}
+
+func TestPowerSwitchSwitchesOnSkew(t *testing.T) {
+	g := graph.PowerLaw(graph.GenConfig{N: 2000, M: 24000, Directed: true, Seed: 75, MaxW: 50})
+	fs, err := partition.Partition(g, partition.Skewed{Base: partition.Hash{}, Extra: 0.5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := []float64{6, 1, 1, 1, 1, 1, 1, 1}
+	res, err := RunSim(fs, algorithms.NewSSSP(), ace.Query{Source: 0},
+		Config{Mode: ModePowerSwitch, SlowFactor: slow, SwitchThreshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Metrics.Switched {
+		t.Log("PowerSwitch did not switch under this skew (acceptable, heuristic)")
+	}
+	want := algorithms.SeqSSSP(g, 0)
+	for v, d := range want {
+		if res.Values[v] != d {
+			t.Fatalf("dist[%d] = %v, want %v", v, res.Values[v], d)
+		}
+	}
+}
+
+func TestEtaHistoryRecorded(t *testing.T) {
+	g := graph.PowerLaw(graph.GenConfig{N: 2000, M: 24000, Directed: true, Seed: 76, MaxW: 50})
+	res, err := RunSim(frags(t, g, 4), algorithms.NewSSSP(), ace.Query{Source: 0},
+		Config{Mode: ModeGAP, Adapt: adapt.PolicyGAwD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Metrics.EtaHistory) != 4 {
+		t.Fatalf("want 4 eta trajectories, got %d", len(res.Metrics.EtaHistory))
+	}
+	any := false
+	for _, h := range res.Metrics.EtaHistory {
+		if len(h) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("no granularity adjustments recorded")
+	}
+}
+
+func TestBellmanFordHasNoPriority(t *testing.T) {
+	// The embedded-and-shadowed Priority method must disable Dijkstra
+	// ordering for Bellman-Ford.
+	var p any = algorithms.NewBellmanFord()()
+	if _, ok := p.(ace.Prioritizer[float64]); ok {
+		t.Fatal("BellmanFord must not implement Prioritizer")
+	}
+	var d any = algorithms.NewSSSP()()
+	if _, ok := d.(ace.Prioritizer[float64]); !ok {
+		t.Fatal("SSSP must implement Prioritizer")
+	}
+}
+
+func TestModeStringsAndAverages(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ModeGAP: "GAP", ModeBSP: "BSP", ModeBSPVC: "BSP-VC", ModeAPGC: "AP-GC",
+		ModeAPVC: "AP-VC", ModeAAP: "AAP", ModePowerSwitch: "PowerSwitch", Mode(99): "?",
+	} {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+	g := graph.Chain(20, true)
+	res, err := RunSim(frags(t, g, 2), algorithms.NewBFS(), ace.Query{Source: 0}, Config{Mode: ModeGAP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.AvgTw() != m.TotalTw/2 || m.AvgTc() != m.TotalTc/2 || m.AvgTa() != m.TotalTa/2 {
+		t.Fatal("per-worker averages wrong")
+	}
+}

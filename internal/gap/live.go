@@ -1,0 +1,372 @@
+package gap
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"argan/internal/ace"
+	"argan/internal/graph"
+)
+
+// LiveConfig parameterizes the goroutine-based driver. The live driver
+// executes the same ACE programs as the simulator under real concurrency:
+// one goroutine per worker, channels as the interconnect, and a coordinator
+// performing distributed termination detection from idle states and
+// sent/received message counts.
+type LiveConfig struct {
+	// Mode must be an asynchronous discipline (ModeGAP, ModeAPGC or
+	// ModeAPVC); the barrier disciplines are only meaningful under the
+	// virtual-time driver.
+	Mode Mode
+	// CheckEvery is the number of update functions between indicator
+	// checks (ξ⁺/ξ⁻ evaluation); it is the live analogue of the
+	// granularity bound η. Default 256; ModeAPVC forces 1.
+	CheckEvery int
+	// ChannelCap is the per-worker mailbox capacity (default 1024).
+	ChannelCap int
+}
+
+func (c LiveConfig) withDefaults() (LiveConfig, error) {
+	switch c.Mode {
+	case ModeGAP, ModeAPGC, ModeAPVC:
+	default:
+		return c, fmt.Errorf("gap: live driver supports GAP/AP modes, not %v", c.Mode)
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 256
+	}
+	if c.Mode == ModeAPVC {
+		c.CheckEvery = 1
+	}
+	if c.ChannelCap <= 0 {
+		c.ChannelCap = 1024
+	}
+	return c, nil
+}
+
+// LiveMetrics summarizes a live run.
+type LiveMetrics struct {
+	WallTime time.Duration
+	Updates  int64
+	MsgsSent int64
+	Batches  int64
+	Rounds   int64
+}
+
+type liveBatch[V any] struct {
+	msgs []ace.Message[V]
+}
+
+// liveCoord detects global quiescence: every worker idle and every sent
+// message received.
+type liveCoord struct {
+	mu     sync.Mutex
+	idle   []bool
+	nIdle  int
+	sent   int64
+	recv   int64
+	done   chan struct{}
+	closed bool
+}
+
+func (c *liveCoord) report(id int, idle bool, sentDelta, recvDelta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.idle[id] != idle {
+		c.idle[id] = idle
+		if idle {
+			c.nIdle++
+		} else {
+			c.nIdle--
+		}
+	}
+	c.sent += sentDelta
+	c.recv += recvDelta
+	if !c.closed && c.nIdle == len(c.idle) && c.sent == c.recv {
+		c.closed = true
+		close(c.done)
+	}
+}
+
+// RunLive executes the program over the fragments with one goroutine per
+// worker, returning the global result. Results are identical to the
+// sequential fixpoint for programs with order-insensitive (monotone)
+// aggregation.
+func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query, cfg LiveConfig) (*Result[V], *LiveMetrics, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(frags) == 0 {
+		return nil, nil, fmt.Errorf("gap: no fragments")
+	}
+	n := len(frags)
+	chans := make([]chan liveBatch[V], n)
+	for i := range chans {
+		chans[i] = make(chan liveBatch[V], cfg.ChannelCap)
+	}
+	coord := &liveCoord{idle: make([]bool, n), done: make(chan struct{})}
+
+	type outAcc struct {
+		msgs  []ace.Message[V]
+		index map[graph.VID]int
+	}
+
+	var wg sync.WaitGroup
+	workers := make([]*liveWorker[V], n)
+	var updates, msgsSent, batches, rounds atomic.Int64
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		w := &liveWorker[V]{id: i, frag: frags[i], prog: factory()}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := w.frag
+			prog := w.prog
+			prog.Setup(f, q)
+			psi := make([]V, f.NumLocal())
+			w.psi = psi
+			var prio func(uint32) float64
+			if p, ok := any(prog).(ace.Prioritizer[V]); ok {
+				prio = func(l uint32) float64 { return p.Priority(psi[l]) }
+			}
+			active := newActiveSet(f.NumOwned(), prio)
+			deps := prog.Deps()
+
+			out := make([]outAcc, n)
+			for j := range out {
+				out[j] = outAcc{index: map[graph.VID]int{}}
+			}
+			var localSent, localRecv int64
+
+			enqueue := func(peer int, g graph.VID, val V) {
+				o := &out[peer]
+				if k, ok := o.index[g]; ok {
+					agg, _ := prog.Aggregate(o.msgs[k].Val, val)
+					o.msgs[k].Val = agg
+				} else {
+					o.index[g] = len(o.msgs)
+					o.msgs = append(o.msgs, ace.Message[V]{V: g, Val: val})
+				}
+			}
+			activateDeps := func(lv uint32) {
+				push := func(us []uint32) {
+					for _, u := range us {
+						if f.IsOwned(u) {
+							active.Push(u)
+						}
+					}
+				}
+				switch deps {
+				case ace.DepOut:
+					push(f.InNeighbors(lv))
+				case ace.DepBoth:
+					push(f.InNeighbors(lv))
+					push(f.OutNeighbors(lv))
+				default:
+					push(f.OutNeighbors(lv))
+				}
+			}
+			ctx := ace.NewCtx(f, psi,
+				func(l uint32, v V) { // Set
+					old := psi[l]
+					psi[l] = v
+					if prog.Equal(old, v) || deps == ace.DepSelf {
+						return
+					}
+					g := f.Global(l)
+					switch deps {
+					case ace.DepOut:
+						for _, r := range f.ReplicasIn(l) {
+							enqueue(int(r), g, v)
+						}
+					case ace.DepBoth:
+						for _, r := range f.ReplicasOut(l) {
+							enqueue(int(r), g, v)
+						}
+						for _, r := range f.ReplicasIn(l) {
+							dup := false
+							for _, r2 := range f.ReplicasOut(l) {
+								if r2 == r {
+									dup = true
+									break
+								}
+							}
+							if !dup {
+								enqueue(int(r), g, v)
+							}
+						}
+					default:
+						for _, r := range f.ReplicasOut(l) {
+							enqueue(int(r), g, v)
+						}
+					}
+					activateDeps(l)
+				},
+				func(l uint32, d V) { // Send
+					if f.IsOwned(l) {
+						nv, ch := prog.Aggregate(psi[l], d)
+						if ch {
+							psi[l] = nv
+							active.Push(l)
+						}
+						return
+					}
+					g := f.Global(l)
+					enqueue(f.OwnerOf(g), g, d)
+				},
+				func(l uint32) {
+					if f.IsOwned(l) {
+						active.Push(l)
+					}
+				},
+			)
+			for l := uint32(0); int(l) < f.NumLocal(); l++ {
+				v, act := prog.InitValue(f, l, q)
+				psi[l] = v
+				if act && f.IsOwned(l) {
+					active.Push(l)
+				}
+			}
+			if is, ok := any(prog).(ace.InitialSyncer); ok && is.InitialSync() {
+				for l := uint32(0); int(l) < f.NumOwned(); l++ {
+					g := f.Global(l)
+					for _, r := range f.ReplicasOut(l) {
+						enqueue(int(r), g, psi[l])
+					}
+					if f.Directed() && deps != ace.DepIn && deps != ace.DepSelf {
+						for _, r := range f.ReplicasIn(l) {
+							enqueue(int(r), g, psi[l])
+						}
+					}
+				}
+			}
+
+			ingestBatch := func(b liveBatch[V]) {
+				localRecv += int64(len(b.msgs))
+				for _, m := range b.msgs {
+					lv, ok := f.Local(m.V)
+					if !ok {
+						continue
+					}
+					nv, ch := prog.Aggregate(psi[lv], m.Val)
+					if !ch {
+						continue
+					}
+					psi[lv] = nv
+					if deps == ace.DepSelf {
+						if f.IsOwned(lv) {
+							active.Push(lv)
+						}
+					} else {
+						activateDeps(lv)
+					}
+				}
+			}
+			drain := func() int {
+				got := 0
+				for {
+					select {
+					case b := <-chans[w.id]:
+						ingestBatch(b)
+						got++
+					default:
+						return got
+					}
+				}
+			}
+			drainFn := drain
+			flushAll := func() {
+				for j := range out {
+					if j == w.id || len(out[j].msgs) == 0 {
+						continue
+					}
+					batch := liveBatch[V]{msgs: out[j].msgs}
+					localSent += int64(len(batch.msgs))
+					msgsSent.Add(int64(len(batch.msgs)))
+					batches.Add(1)
+					out[j] = outAcc{index: map[graph.VID]int{}}
+					for {
+						select {
+						case chans[j] <- batch:
+						case <-coord.done:
+							return
+						default:
+							// Peer mailbox full: keep draining our own so
+							// the cluster cannot deadlock on mutual sends.
+							if drainFn() == 0 {
+								runtime.Gosched()
+							}
+							continue
+						}
+						break
+					}
+				}
+			}
+
+			for {
+				// One LocalEval round: ingest, iterate with periodic
+				// indicator checks, flush.
+				drain()
+				rounds.Add(1)
+				steps := 0
+				for !active.Empty() {
+					v := active.Pop()
+					prog.Update(ctx, v)
+					updates.Add(1)
+					steps++
+					if steps%cfg.CheckEvery == 0 {
+						// ξ⁺/ξ⁻ between steps: pick up fresh messages and
+						// push accumulated ones.
+						if drain() == 0 && cfg.Mode != ModeAPGC {
+							flushAll()
+						}
+					}
+				}
+				flushAll()
+				// Idle transition: report and block for more input.
+				coord.report(w.id, true, localSent, localRecv)
+				localSent, localRecv = 0, 0
+				select {
+				case b := <-chans[w.id]:
+					coord.report(w.id, false, 0, 0)
+					ingestBatch(b)
+				case <-coord.done:
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := &Result[V]{Values: make([]V, frags[0].GlobalVertices())}
+	for _, w := range workers {
+		ctx := ace.NewCtx(w.frag, w.psi, nil, nil, nil)
+		for l := uint32(0); int(l) < w.frag.NumOwned(); l++ {
+			res.Values[w.frag.Global(l)] = w.prog.Output(ctx, l)
+		}
+	}
+	res.Metrics.Converged = true
+	res.Metrics.Mode = cfg.Mode
+	m := &LiveMetrics{
+		WallTime: wall,
+		Updates:  updates.Load(),
+		MsgsSent: msgsSent.Load(),
+		Batches:  batches.Load(),
+		Rounds:   rounds.Load(),
+	}
+	return res, m, nil
+}
+
+type liveWorker[V any] struct {
+	id   int
+	frag *graph.Fragment
+	prog ace.Program[V]
+	psi  []V
+}

@@ -1,0 +1,282 @@
+package gap
+
+import (
+	"argan/internal/ace"
+	"argan/internal/graph"
+)
+
+// liveState is the per-worker state shared by the live drivers (async and
+// BSP): status variables, active set, per-peer out-accumulators and the ACE
+// context wiring. It contains no synchronization — each instance is owned
+// by exactly one goroutine at a time.
+type liveState[V any] struct {
+	id   int
+	frag *graph.Fragment
+	prog ace.Program[V]
+	deps ace.DepKind
+
+	psi    []V
+	active *activeSet
+	ctx    *ace.Ctx[V]
+
+	out []liveOutAcc[V]
+}
+
+type liveOutAcc[V any] struct {
+	msgs  []ace.Message[V]
+	index map[graph.VID]int
+}
+
+func newLiveState[V any](id int, f *graph.Fragment, prog ace.Program[V], q ace.Query) *liveState[V] {
+	st := &liveState[V]{id: id, frag: f, prog: prog, deps: prog.Deps()}
+	prog.Setup(f, q)
+	st.psi = make([]V, f.NumLocal())
+	var prio func(uint32) float64
+	if p, ok := any(prog).(ace.Prioritizer[V]); ok {
+		prio = func(l uint32) float64 { return p.Priority(st.psi[l]) }
+	}
+	st.active = newActiveSet(f.NumOwned(), prio)
+	st.out = make([]liveOutAcc[V], f.NumWorkers())
+	for j := range st.out {
+		st.out[j] = liveOutAcc[V]{index: map[graph.VID]int{}}
+	}
+	st.ctx = ace.NewCtx(f, st.psi, st.ctxSet, st.ctxSend, st.ctxActivate)
+	for l := uint32(0); int(l) < f.NumLocal(); l++ {
+		v, act := prog.InitValue(f, l, q)
+		st.psi[l] = v
+		if act && f.IsOwned(l) {
+			st.active.Push(l)
+		}
+	}
+	if is, ok := any(prog).(ace.InitialSyncer); ok && is.InitialSync() {
+		for l := uint32(0); int(l) < f.NumOwned(); l++ {
+			g := f.Global(l)
+			for _, r := range f.ReplicasOut(l) {
+				st.enqueue(int(r), g, st.psi[l])
+			}
+			if f.Directed() && st.deps != ace.DepIn && st.deps != ace.DepSelf {
+				for _, r := range f.ReplicasIn(l) {
+					dup := false
+					for _, r2 := range f.ReplicasOut(l) {
+						if r2 == r {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						st.enqueue(int(r), g, st.psi[l])
+					}
+				}
+			}
+		}
+	}
+	return st
+}
+
+func (st *liveState[V]) enqueue(peer int, g graph.VID, val V) {
+	o := &st.out[peer]
+	if k, ok := o.index[g]; ok {
+		agg, _ := st.prog.Aggregate(o.msgs[k].Val, val)
+		o.msgs[k].Val = agg
+		return
+	}
+	o.index[g] = len(o.msgs)
+	o.msgs = append(o.msgs, ace.Message[V]{V: g, Val: val})
+}
+
+func (st *liveState[V]) activateDeps(lv uint32) {
+	push := func(us []uint32) {
+		for _, u := range us {
+			if st.frag.IsOwned(u) {
+				st.active.Push(u)
+			}
+		}
+	}
+	switch st.deps {
+	case ace.DepOut:
+		push(st.frag.InNeighbors(lv))
+	case ace.DepBoth:
+		push(st.frag.InNeighbors(lv))
+		push(st.frag.OutNeighbors(lv))
+	default:
+		push(st.frag.OutNeighbors(lv))
+	}
+}
+
+func (st *liveState[V]) ctxSet(l uint32, v V) {
+	old := st.psi[l]
+	st.psi[l] = v
+	if st.prog.Equal(old, v) || st.deps == ace.DepSelf {
+		return
+	}
+	g := st.frag.Global(l)
+	switch st.deps {
+	case ace.DepOut:
+		for _, r := range st.frag.ReplicasIn(l) {
+			st.enqueue(int(r), g, v)
+		}
+	case ace.DepBoth:
+		for _, r := range st.frag.ReplicasOut(l) {
+			st.enqueue(int(r), g, v)
+		}
+		for _, r := range st.frag.ReplicasIn(l) {
+			dup := false
+			for _, r2 := range st.frag.ReplicasOut(l) {
+				if r2 == r {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				st.enqueue(int(r), g, v)
+			}
+		}
+	default:
+		for _, r := range st.frag.ReplicasOut(l) {
+			st.enqueue(int(r), g, v)
+		}
+	}
+	st.activateDeps(l)
+}
+
+func (st *liveState[V]) ctxSend(l uint32, d V) {
+	if st.frag.IsOwned(l) {
+		nv, ch := st.prog.Aggregate(st.psi[l], d)
+		if ch {
+			st.psi[l] = nv
+			st.active.Push(l)
+		}
+		return
+	}
+	g := st.frag.Global(l)
+	st.enqueue(st.frag.OwnerOf(g), g, d)
+}
+
+func (st *liveState[V]) ctxActivate(l uint32) {
+	if st.frag.IsOwned(l) {
+		st.active.Push(l)
+	}
+}
+
+// ingest applies one batch to Ψ (h_in) and re-activates dependents.
+func (st *liveState[V]) ingest(msgs []ace.Message[V]) {
+	for _, m := range msgs {
+		lv, ok := st.frag.Local(m.V)
+		if !ok {
+			continue
+		}
+		nv, ch := st.prog.Aggregate(st.psi[lv], m.Val)
+		if !ch {
+			continue
+		}
+		st.psi[lv] = nv
+		if st.deps == ace.DepSelf {
+			if st.frag.IsOwned(lv) {
+				st.active.Push(lv)
+			}
+		} else {
+			st.activateDeps(lv)
+		}
+	}
+}
+
+// takeOut removes and returns the accumulated batch for the peer.
+func (st *liveState[V]) takeOut(peer int) []ace.Message[V] {
+	o := &st.out[peer]
+	if len(o.msgs) == 0 {
+		return nil
+	}
+	msgs := o.msgs
+	st.out[peer] = liveOutAcc[V]{index: map[graph.VID]int{}}
+	return msgs
+}
+
+// outputs extracts the owned results.
+func (st *liveState[V]) outputs(into []V) {
+	for l := uint32(0); int(l) < st.frag.NumOwned(); l++ {
+		into[st.frag.Global(l)] = st.prog.Output(st.ctx, l)
+	}
+}
+
+// RunLiveBSP executes the program under a real-concurrency bulk-synchronous
+// driver: per superstep every worker runs its local fixpoint in its own
+// goroutine, a sync.WaitGroup barrier closes the superstep, and the batches
+// are exchanged before the next one starts — Grape's execution model on
+// goroutines.
+func RunLiveBSP[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query, maxSupersteps int) (*Result[V], *LiveMetrics, error) {
+	if len(frags) == 0 {
+		return nil, nil, errNoFragments
+	}
+	if maxSupersteps <= 0 {
+		maxSupersteps = 1 << 20
+	}
+	n := len(frags)
+	states := make([]*liveState[V], n)
+	for i := range states {
+		states[i] = newLiveState(i, frags[i], factory(), q)
+	}
+	inbox := make([][][]ace.Message[V], n) // inbox[worker] = batches
+	m := &LiveMetrics{}
+	start := nowFn()
+
+	for step := 0; step < maxSupersteps; step++ {
+		m.Rounds++
+		var wg waitGroup
+		updates := make([]int64, n)
+		for i := range states {
+			st := states[i]
+			batches := inbox[i]
+			inbox[i] = nil
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for _, b := range batches {
+					st.ingest(b)
+				}
+				for !st.active.Empty() {
+					v := st.active.Pop()
+					st.prog.Update(st.ctx, v)
+					updates[i]++
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i := range updates {
+			m.Updates += updates[i]
+		}
+		// Exchange at the barrier.
+		any := false
+		for i, st := range states {
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				if msgs := st.takeOut(j); msgs != nil {
+					inbox[j] = append(inbox[j], msgs)
+					m.MsgsSent += int64(len(msgs))
+					m.Batches++
+					any = true
+				}
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	m.WallTime = sinceFn(start)
+
+	res := &Result[V]{Values: make([]V, frags[0].GlobalVertices())}
+	for _, st := range states {
+		st.outputs(res.Values)
+	}
+	res.Metrics.Converged = true
+	res.Metrics.Mode = ModeBSP
+	res.Metrics.Supersteps = m.Rounds
+	return res, m, nil
+}
+
+// Indirections shared with live.go (kept tiny so tests can stub time).
+var (
+	nowFn   = timeNow
+	sinceFn = timeSince
+)

@@ -1,0 +1,112 @@
+package gap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"argan/internal/ace"
+	"argan/internal/adapt"
+	"argan/internal/algorithms"
+	"argan/internal/graph"
+	"argan/internal/partition"
+)
+
+// Property: for random graphs, partitions, worker counts, network seeds and
+// modes, the engine's SSSP equals the sequential reference — the §IV
+// correctness property as a quick.Check invariant.
+func TestPropertySSSPAlwaysSequential(t *testing.T) {
+	modes := []Mode{ModeGAP, ModeBSP, ModeBSPVC, ModeAPGC, ModeAPVC, ModeAAP}
+	parts := []partition.Partitioner{partition.Hash{}, partition.Range{}, partition.Greedy{Seed: 3}}
+	f := func(seed int64, nRaw, modeRaw, partRaw uint8, adaptive bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.PowerLaw(graph.GenConfig{
+			N: 80 + r.Intn(200), M: 600 + r.Intn(1200),
+			Directed: seed%2 == 0, Seed: seed, MaxW: float64(1 + r.Intn(30)),
+		})
+		n := int(nRaw%7) + 1
+		mode := modes[int(modeRaw)%len(modes)]
+		fs, err := partition.Partition(g, parts[int(partRaw)%len(parts)], n)
+		if err != nil {
+			return false
+		}
+		cfg := Config{Mode: mode}
+		if adaptive && mode == ModeGAP {
+			cfg.Adapt = adapt.PolicyGAwD
+		}
+		src := graph.VID(r.Intn(g.NumVertices()))
+		res, err := RunSim(fs, algorithms.NewSSSP(), ace.Query{Source: src}, cfg)
+		if err != nil || !res.Metrics.Converged {
+			return false
+		}
+		for v, d := range algorithms.SeqSSSP(g, src) {
+			if res.Values[v] != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WCC is schedule-independent across modes and noise settings.
+func TestPropertyWCCAlwaysSequential(t *testing.T) {
+	f := func(seed int64, nRaw uint8, hetero bool) bool {
+		g := graph.Uniform(graph.GenConfig{N: 120, M: 200, Directed: seed%2 == 0, Seed: seed})
+		n := int(nRaw%5) + 1
+		fs, err := partition.Partition(g, partition.Hash{}, n)
+		if err != nil {
+			return false
+		}
+		cfg := Config{Mode: ModeGAP, Adapt: adapt.PolicyGAwD}
+		if hetero {
+			cfg.Hetero = 1.5
+			cfg.HeteroWindow = 256
+		}
+		res, err := RunSim(fs, algorithms.NewWCC(), ace.Query{}, cfg)
+		if err != nil {
+			return false
+		}
+		for v, c := range algorithms.SeqWCC(g) {
+			if res.Values[v] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the live driver agrees with the simulator's fixpoint for the
+// monotone programs under arbitrary worker counts.
+func TestPropertyLiveMatchesSim(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		g := graph.PowerLaw(graph.GenConfig{N: 150, M: 900, Directed: true, Seed: seed, MaxW: 9})
+		n := int(nRaw%6) + 1
+		fs, err := partition.Partition(g, partition.Hash{}, n)
+		if err != nil {
+			return false
+		}
+		sim, err := RunSim(fs, algorithms.NewSSSP(), ace.Query{Source: 0}, Config{Mode: ModeGAP})
+		if err != nil {
+			return false
+		}
+		live, _, err := RunLive(fs, algorithms.NewSSSP(), ace.Query{Source: 0}, LiveConfig{Mode: ModeGAP})
+		if err != nil {
+			return false
+		}
+		for v := range sim.Values {
+			if sim.Values[v] != live.Values[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,1040 @@
+package gap
+
+import (
+	"fmt"
+	"math"
+
+	"argan/internal/ace"
+	"argan/internal/adapt"
+	"argan/internal/graph"
+	"argan/internal/vtime"
+)
+
+// Result carries the answer of a run plus its metrics.
+type Result[V any] struct {
+	// Values holds the per-vertex outputs indexed by global vertex id.
+	Values []V
+	// Metrics is the accounting used by the experiments.
+	Metrics Metrics
+}
+
+// RunSim executes the program over the fragments under the deterministic
+// virtual-time driver and returns the global result.
+func RunSim[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query, cfg Config) (*Result[V], error) {
+	return RunSimTruth(frags, factory, q, cfg, nil)
+}
+
+// RunSimTruth is RunSim with an optional ground-truth output vector (indexed
+// by global id) enabling real-staleness sampling (Fig. 4b).
+func RunSimTruth[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query, cfg Config, truth []V) (*Result[V], error) {
+	if len(frags) == 0 {
+		return nil, fmt.Errorf("gap: no fragments")
+	}
+	cfg = cfg.withDefaults()
+	s := &sim[V]{
+		cfg:         cfg,
+		mode:        cfg.Mode,
+		sched:       &vtime.Scheduler{},
+		idleV:       make([]bool, len(frags)),
+		maxUpd:      int64(cfg.MaxUpdatesPerVertex) * int64(frags[0].GlobalVertices()),
+		lastArrival: map[[2]int]float64{},
+	}
+	if s.mode == ModePowerSwitch {
+		s.barrier = true
+	}
+	if s.mode == ModeBSP || s.mode == ModeBSPVC {
+		s.barrier = true
+	}
+	s.coord = &coordinator[V]{s: s, expected: len(frags)}
+
+	for i, f := range frags {
+		w := newSimWorker(s, i, f, factory(), q, truth)
+		s.workers = append(s.workers, w)
+	}
+	// Initial activation: workers with non-empty H start computing at t=0;
+	// the rest begin idle (and, under a barrier, arrive immediately).
+	for _, w := range s.workers {
+		if w.active.Empty() && !w.hasPendingOut() {
+			w.idle = true
+			s.idleV[w.id] = true
+			s.idleCount++
+			if s.barrier {
+				w.arrived = true
+				s.coord.arrive(w, 0)
+			}
+		} else {
+			if s.effMode() == ModeBSPVC {
+				w.needFreeze = true
+			}
+			w.scheduleResumeAt(0)
+		}
+	}
+	s.sched.Run(func() bool { return s.aborted })
+	if s.aborted && s.sched.Now() > s.end {
+		s.end = s.sched.Now()
+	}
+
+	res := &Result[V]{Values: make([]V, frags[0].GlobalVertices())}
+	m := &res.Metrics
+	m.Mode = cfg.Mode
+	m.Converged = !s.aborted
+	m.Switched = s.switched
+	m.RespTime = s.end
+	m.Supersteps = s.coord.supersteps
+	for _, w := range s.workers {
+		w.finish()
+		m.Workers = append(m.Workers, w.metrics)
+		if w.tuner != nil {
+			m.TwSamples = append(m.TwSamples, w.tuner.Samples()...)
+			m.EtaHistory = append(m.EtaHistory, w.tuner.EtaHistory())
+		}
+		for l := uint32(0); int(l) < w.frag.NumOwned(); l++ {
+			res.Values[w.frag.Global(l)] = w.prog.Output(w.ctx, l)
+		}
+	}
+	m.finalize()
+	return res, nil
+}
+
+// sim is the shared state of one virtual-time run.
+type sim[V any] struct {
+	cfg     Config
+	mode    Mode // current mode (PowerSwitch may flip it)
+	barrier bool // superstep discipline active
+	sched   *vtime.Scheduler
+	workers []*simWorker[V]
+	coord   *coordinator[V]
+
+	// Worker-status view (Σ): what rules R1/R2 read. Updated with
+	// StatusDelay virtual latency.
+	idleV     []bool
+	idleCount int
+	statusVer int
+
+	totalUpd int64
+	maxUpd   int64
+	aborted  bool
+	switched bool
+	end      float64
+
+	// lastArrival enforces per-link FIFO delivery (messages on one link
+	// never overtake each other), which replace-style aggregators such as
+	// Color rely on.
+	lastArrival map[[2]int]float64
+}
+
+// ship schedules the delivery of a batch over the link from→to, respecting
+// per-link FIFO ordering, and returns the arrival time.
+func (s *sim[V]) ship(from, to int, batch []ace.Message[V], bytes int, sentAt float64) float64 {
+	at := sentAt + s.cfg.Net.Latency(from, to, bytes)
+	if prev, ok := s.lastArrival[[2]int{from, to}]; ok && at < prev {
+		at = prev
+	}
+	s.lastArrival[[2]int{from, to}] = at
+	target := s.workers[to]
+	s.sched.At(at, prioDeliver, func() { target.deliver(batch, at) })
+	return at
+}
+
+// setStatus publishes a worker's status change after the configured delay.
+func (s *sim[V]) setStatus(id int, idle bool, at float64) {
+	apply := func() {
+		if s.idleV[id] == idle {
+			return
+		}
+		s.idleV[id] = idle
+		if idle {
+			s.idleCount++
+		} else {
+			s.idleCount--
+		}
+		s.statusVer++
+	}
+	if s.cfg.StatusDelay <= 0 {
+		apply()
+		return
+	}
+	s.sched.At(at+s.cfg.StatusDelay, 0, apply)
+}
+
+// allOthersIdle implements the premise of rule R2 for worker i.
+func (s *sim[V]) allOthersIdle(i int) bool {
+	n := s.idleCount
+	if s.idleV[i] {
+		n--
+	}
+	return n == len(s.workers)-1
+}
+
+const (
+	prioDeliver = 0
+	prioResume  = 1
+)
+
+// outPeer is one B⁻_{i,j}: messages aggregated per target vertex.
+type outPeer[V any] struct {
+	msgs  []ace.Message[V]
+	index map[graph.VID]int
+	bytes int
+}
+
+func (o *outPeer[V]) reset() {
+	o.msgs = o.msgs[:0]
+	o.bytes = 0
+	for k := range o.index {
+		delete(o.index, k)
+	}
+}
+
+type simWorker[V any] struct {
+	s    *sim[V]
+	id   int
+	frag *graph.Fragment
+	prog ace.Program[V]
+	q    ace.Query
+	deps ace.DepKind
+	cat  ace.Category
+
+	psi    []V
+	ctx    *ace.Ctx[V]
+	active *activeSet
+
+	// B⁺: accumulated incoming messages.
+	inBuf     []ace.Message[V]
+	inFirst   float64 // arrival time of the oldest pending message; -1 if none
+	inLast    float64 // arrival time of the newest pending message
+	inBatches int
+
+	// B⁻_j per peer.
+	out     []outPeer[V]
+	touched []int // peers that received messages during the current update
+	touchfl []bool
+
+	eta   float64
+	tuner *adapt.Tuner[V]
+	truth []V // global truth outputs, optional
+	slow  float64
+
+	now             float64
+	idle            bool
+	resumeScheduled bool
+	arrived         bool // barrier: arrived this superstep
+
+	// Superstep work list for the VC disciplines.
+	roundList  []uint32
+	roundPos   int
+	inStep     bool // processing a frozen superstep list
+	needFreeze bool // freeze the initial active set on first run
+
+	// AAP delay sketch.
+	aapDelay      float64
+	aapStallUntil float64
+	roundBase     float64 // stale2 at round start
+	roundBusy0    float64
+
+	// R1 rate limit: earliest time another R1-triggered flush may go to
+	// each peer (one batch-latency apart), so straggler wake-ups don't
+	// degenerate into per-update message spray.
+	r1Next []float64
+
+	lastStatusVer int
+
+	// Staleness bookkeeping.
+	vcost  []float64 // Category II streak costs
+	stale2 float64
+	sumC   []float64 // Category III accumulators
+	cumD   []float64
+	sumCxD []float64
+
+	metrics WorkerMetrics
+}
+
+func newSimWorker[V any](s *sim[V], id int, f *graph.Fragment, prog ace.Program[V], q ace.Query, truth []V) *simWorker[V] {
+	w := &simWorker[V]{
+		s: s, id: id, frag: f, prog: prog, q: q,
+		deps: prog.Deps(), cat: prog.Category(),
+		inFirst: -1,
+		out:     make([]outPeer[V], f.NumWorkers()),
+		touchfl: make([]bool, f.NumWorkers()),
+		r1Next:  make([]float64, f.NumWorkers()),
+		eta:     s.cfg.Eta0,
+		slow:    1,
+		truth:   truth,
+	}
+	if s.cfg.SlowFactor != nil && id < len(s.cfg.SlowFactor) && s.cfg.SlowFactor[id] > 0 {
+		w.slow = s.cfg.SlowFactor[id]
+	}
+	for j := range w.out {
+		w.out[j].index = map[graph.VID]int{}
+	}
+
+	prog.Setup(f, q)
+	w.psi = make([]V, f.NumLocal())
+	var prio func(uint32) float64
+	if p, ok := any(prog).(ace.Prioritizer[V]); ok {
+		prio = func(l uint32) float64 { return p.Priority(w.psi[l]) }
+	}
+	w.active = newActiveSet(f.NumOwned(), prio)
+	w.ctx = ace.NewCtx(f, w.psi, w.ctxSet, w.ctxSend, w.ctxActivate)
+	for l := uint32(0); int(l) < f.NumLocal(); l++ {
+		v, act := prog.InitValue(f, l, q)
+		w.psi[l] = v
+		if act && f.IsOwned(l) {
+			w.active.Push(l)
+		}
+	}
+	switch w.cat {
+	case ace.CategoryII:
+		w.vcost = make([]float64, f.NumOwned())
+	case ace.CategoryIII:
+		w.sumC = make([]float64, f.NumOwned())
+		w.cumD = make([]float64, f.NumOwned())
+		w.sumCxD = make([]float64, f.NumOwned())
+	}
+	// AAP keeps streak accounting as its staleness proxy regardless of
+	// category.
+	if s.cfg.Mode == ModeAAP && w.vcost == nil {
+		w.vcost = make([]float64, f.NumOwned())
+	}
+	if s.cfg.Mode == ModeAAP {
+		w.aapDelay = 2 * s.cfg.Net.Model.Alpha
+	}
+
+	if is, ok := any(prog).(ace.InitialSyncer); ok && is.InitialSync() {
+		for l := uint32(0); int(l) < f.NumOwned(); l++ {
+			g := f.Global(l)
+			for _, r := range f.ReplicasOut(l) {
+				w.enqueueOut(int(r), g, w.psi[l])
+			}
+			if f.Directed() && w.deps != ace.DepIn && w.deps != ace.DepSelf {
+				for _, r := range f.ReplicasIn(l) {
+					if !w.sentTo(f.ReplicasOut(l), r) {
+						w.enqueueOut(int(r), g, w.psi[l])
+					}
+				}
+			}
+		}
+		for j := range w.touchfl {
+			w.touchfl[j] = false
+		}
+		w.touched = w.touched[:0]
+	}
+
+	if s.cfg.Mode == ModeGAP && s.cfg.Adapt != adapt.PolicyFixed {
+		tcfg := adapt.DefaultConfig(w.cat, func(b int) float64 { return s.cfg.Net.Model.TB(b) })
+		tcfg.Policy = s.cfg.Adapt
+		tcfg.K = s.cfg.K
+		if s.cfg.TunerClockCost > 0 {
+			tcfg.ClockCost = s.cfg.TunerClockCost
+		}
+		if s.cfg.TunerRecordCost > 0 {
+			tcfg.RecordCost = s.cfg.TunerRecordCost
+		}
+		if s.cfg.TunerCandidateCost > 0 {
+			tcfg.CandidateCost = s.cfg.TunerCandidateCost
+		}
+		w.tuner = adapt.NewTuner[V](tcfg, prog.Equal, prog.Delta, f.NumWorkers()-1)
+	}
+	return w
+}
+
+// --- ctx callbacks -------------------------------------------------------
+
+// noteChange records that the observable value of an owned vertex changed:
+// the cost streak accumulated under the previous value was stale work
+// (Category II accounting; the streak is also the AAP delay sketch's
+// staleness signal).
+func (w *simWorker[V]) noteChange(local uint32) {
+	if w.vcost != nil && w.frag.IsOwned(local) {
+		w.stale2 += w.vcost[local]
+		w.vcost[local] = 0
+	}
+}
+
+func (w *simWorker[V]) ctxSet(local uint32, val V) {
+	old := w.psi[local]
+	w.psi[local] = val
+	if w.prog.Equal(old, val) {
+		return
+	}
+	if w.deps != ace.DepSelf {
+		// For pull programs the status variable is the observable value.
+		w.noteChange(local)
+	}
+	if w.deps == ace.DepSelf {
+		// Push-style programs propagate explicitly via Send; Set only
+		// stores the local state.
+		return
+	}
+	g := w.frag.Global(local)
+	switch w.deps {
+	case ace.DepOut:
+		for _, r := range w.frag.ReplicasIn(local) {
+			w.enqueueOut(int(r), g, val)
+		}
+	case ace.DepBoth:
+		for _, r := range w.frag.ReplicasOut(local) {
+			w.enqueueOut(int(r), g, val)
+		}
+		for _, r := range w.frag.ReplicasIn(local) {
+			if !w.sentTo(w.frag.ReplicasOut(local), r) {
+				w.enqueueOut(int(r), g, val)
+			}
+		}
+	default:
+		for _, r := range w.frag.ReplicasOut(local) {
+			w.enqueueOut(int(r), g, val)
+		}
+	}
+	w.activateDependents(local)
+}
+
+// sentTo reports whether worker r appears in the sorted replica list.
+func (w *simWorker[V]) sentTo(reps []uint16, r uint16) bool {
+	for _, x := range reps {
+		if x == r {
+			return true
+		}
+		if x > r {
+			return false
+		}
+	}
+	return false
+}
+
+func (w *simWorker[V]) activateDependents(local uint32) {
+	switch w.deps {
+	case ace.DepOut:
+		for _, u := range w.frag.InNeighbors(local) {
+			if w.frag.IsOwned(u) {
+				w.active.Push(u)
+			}
+		}
+	case ace.DepBoth:
+		for _, u := range w.frag.InNeighbors(local) {
+			if w.frag.IsOwned(u) {
+				w.active.Push(u)
+			}
+		}
+		for _, u := range w.frag.OutNeighbors(local) {
+			if w.frag.IsOwned(u) {
+				w.active.Push(u)
+			}
+		}
+	default:
+		for _, u := range w.frag.OutNeighbors(local) {
+			if w.frag.IsOwned(u) {
+				w.active.Push(u)
+			}
+		}
+	}
+}
+
+func (w *simWorker[V]) ctxSend(local uint32, d V) {
+	if w.frag.IsOwned(local) {
+		nv, ch := w.prog.Aggregate(w.psi[local], d)
+		if ch {
+			w.psi[local] = nv
+			if w.cat == ace.CategoryII {
+				w.noteChange(local)
+			}
+			w.active.Push(local)
+		}
+		return
+	}
+	g := w.frag.Global(local)
+	w.enqueueOut(w.frag.OwnerOf(g), g, d)
+}
+
+func (w *simWorker[V]) ctxActivate(local uint32) {
+	if w.frag.IsOwned(local) {
+		w.active.Push(local)
+	}
+}
+
+func (w *simWorker[V]) enqueueOut(peer int, g graph.VID, val V) {
+	o := &w.out[peer]
+	oldBytes := o.bytes
+	if i, ok := o.index[g]; ok {
+		agg, _ := w.prog.Aggregate(o.msgs[i].Val, val)
+		o.bytes += w.prog.Size(agg) - w.prog.Size(o.msgs[i].Val)
+		o.msgs[i].Val = agg
+	} else {
+		o.index[g] = len(o.msgs)
+		o.msgs = append(o.msgs, ace.Message[V]{V: g, Val: val})
+		o.bytes += 4 + w.prog.Size(val)
+	}
+	if d := o.bytes - oldBytes; d > 0 && w.tuner != nil {
+		w.tuner.RecordBytes(peer, w.now, d)
+	}
+	if !w.touchfl[peer] {
+		w.touchfl[peer] = true
+		w.touched = append(w.touched, peer)
+	}
+}
+
+// --- driver events -------------------------------------------------------
+
+func (w *simWorker[V]) scheduleResumeAt(t float64) {
+	if w.resumeScheduled {
+		return
+	}
+	w.resumeScheduled = true
+	w.s.sched.At(t, prioResume, func() {
+		w.resumeScheduled = false
+		w.run(w.s.sched.Now())
+	})
+}
+
+// deliver is the arrival of a batch M_{j,i} into B⁺_i.
+func (w *simWorker[V]) deliver(batch []ace.Message[V], at float64) {
+	w.inBuf = append(w.inBuf, batch...)
+	w.inBatches++
+	if w.inFirst < 0 {
+		w.inFirst = at
+	}
+	w.inLast = at
+	if w.idle {
+		w.idle = false
+		w.s.setStatus(w.id, false, at)
+		if w.s.barrier {
+			// Superstep modes wait for the coordinator's start signal.
+			return
+		}
+		w.scheduleResumeAt(at)
+	}
+}
+
+func (w *simWorker[V]) goIdle(t float64) {
+	w.idle = true
+	w.s.setStatus(w.id, true, t)
+	if t > w.s.end {
+		w.s.end = t
+	}
+	if w.s.barrier && !w.arrived {
+		w.arrived = true
+		w.s.coord.arrive(w, t)
+	}
+}
+
+// --- h_in / h_out --------------------------------------------------------
+
+// hin ingests B⁺ (g_aggr into Ψ, dependents re-activated) charging the
+// receiver-side handler cost. newRound marks the start of a LocalEval.
+func (w *simWorker[V]) hin(newRound bool) {
+	c := w.s.cfg.Net.Model.RecvCost(w.inBatches, len(w.inBuf)) * w.slow
+	w.now += c
+	w.metrics.Tc += c
+	for _, m := range w.inBuf {
+		lv, ok := w.frag.Local(m.V)
+		if !ok {
+			continue
+		}
+		nv, ch := w.prog.Aggregate(w.psi[lv], m.Val)
+		if !ch {
+			continue
+		}
+		w.psi[lv] = nv
+		if w.deps == ace.DepSelf {
+			if w.frag.IsOwned(lv) {
+				if w.cat == ace.CategoryII {
+					w.noteChange(lv)
+				}
+				w.active.Push(lv)
+			}
+		} else {
+			w.activateDependents(lv)
+		}
+	}
+	w.inBuf = w.inBuf[:0]
+	w.inBatches = 0
+	w.inFirst = -1
+	w.metrics.Rounds++
+	if newRound {
+		w.roundBase = w.stale2
+		w.roundBusy0 = w.metrics.Busy
+	}
+}
+
+// flush sends B⁻_{i,j} as one batch M_{i,j} (h_out), charging the
+// sender-side cost and scheduling the delivery.
+func (w *simWorker[V]) flush(peer int) {
+	o := &w.out[peer]
+	if len(o.msgs) == 0 {
+		return
+	}
+	c := w.s.cfg.Net.Model.SendCost(len(o.msgs)) * w.slow
+	w.now += c
+	w.metrics.Tc += c
+	w.metrics.Flushes++
+	w.metrics.MsgsSent += int64(len(o.msgs))
+	w.metrics.BytesSent += int64(o.bytes)
+
+	batch := make([]ace.Message[V], len(o.msgs))
+	copy(batch, o.msgs)
+	bytes := o.bytes
+	o.reset()
+
+	if w.s.barrier {
+		w.s.coord.hold(w.id, peer, batch, bytes)
+		return
+	}
+	w.s.ship(w.id, peer, batch, bytes, w.now)
+}
+
+func (w *simWorker[V]) hasPendingOut() bool {
+	for j := range w.out {
+		if len(w.out[j].msgs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *simWorker[V]) flushAll() {
+	for j := range w.out {
+		if j != w.id {
+			w.flush(j)
+		}
+	}
+}
+
+// --- the main loop (Algorithm 1 under the selected mode) -----------------
+
+func (w *simWorker[V]) run(start float64) {
+	if w.s.aborted {
+		return
+	}
+	w.now = start
+	for {
+		// Yield to any event scheduled before our cursor so causality holds.
+		if t, ok := w.s.sched.PeekTime(); ok && t < w.now {
+			w.scheduleResumeAt(w.now)
+			return
+		}
+		if w.s.aborted {
+			return
+		}
+		if w.tuner != nil && w.tuner.Due(w.now) {
+			w.adjustEta()
+		}
+		if w.needFreeze {
+			w.needFreeze = false
+			w.freezeRound()
+		}
+
+		mode := w.s.effMode()
+		// Rule R3 / ξ-always-true: mid-round forward + ingest.
+		if w.r3Due(mode) {
+			w.flushAll()
+			if len(w.inBuf) > 0 {
+				w.hin(false)
+			}
+			continue
+		}
+		// Rule R2: last busy worker ingests pending messages immediately.
+		if mode == ModeGAP && !w.s.cfg.DisableR2 && len(w.inBuf) > 0 && w.s.allOthersIdle(w.id) {
+			w.hin(false)
+			continue
+		}
+		// Rule R1: forward to idle peers (GAP only).
+		if mode == ModeGAP && !w.s.cfg.DisableR1 {
+			w.applyR1()
+		}
+
+		if w.nextWorkEmpty() {
+			// f_term(D_i) holds: end of LocalEval.
+			w.endRound(mode)
+			if len(w.inBuf) > 0 {
+				// A new round can start right away — except under AAP's
+				// delay sketch: when recent rounds were stale, stall before
+				// ingesting so in-flight corrections land first (bounded
+				// staleness). No stall when every peer is already idle: no
+				// further messages can arrive.
+				if mode == ModeAAP && w.aapDelay > 0.5 && !w.s.allOthersIdle(w.id) {
+					ready := math.Max(w.now, w.inLast) + w.aapDelay
+					if w.aapStallUntil < w.now {
+						// Start (or extend) one stall window per round gap.
+						w.aapStallUntil = ready
+					}
+					if w.now < w.aapStallUntil {
+						w.scheduleResumeAt(w.aapStallUntil)
+						return
+					}
+				}
+				if w.s.barrier {
+					// Superstep modes only restart on the coordinator's
+					// signal; buffered messages wait for it.
+					w.goIdle(w.now)
+					return
+				}
+				w.startRound(mode)
+				continue
+			}
+			w.goIdle(w.now)
+			return
+		}
+
+		v := w.nextWork()
+		c := ace.UpdateCost(w.prog, w.frag, v) * w.slow * w.s.cfg.VCOverhead * w.jitter()
+		w.runUpdate(v, c)
+
+		if mode == ModeAPVC || (mode == ModeGAP && w.eta == 0) {
+			// ξ⁺ and ξ⁻ constantly true (AP-VC, and FG⁻'s η = 0): flush and
+			// ingest between every pair of update functions.
+			w.flushAll()
+			if len(w.inBuf) > 0 {
+				w.hin(false)
+			}
+		}
+	}
+}
+
+// effMode resolves ModePowerSwitch to the discipline it is currently
+// executing (synchronous vertex-centric before the switch, asynchronous
+// vertex-centric after).
+func (s *sim[V]) effMode() Mode {
+	if s.mode != ModePowerSwitch {
+		return s.mode
+	}
+	if s.barrier {
+		return ModeBSPVC
+	}
+	return ModeAPVC
+}
+
+// jitter returns the current execution-noise factor for this worker: a
+// deterministic pseudo-random slowdown in [1, 1+Hetero] per time window.
+func (w *simWorker[V]) jitter() float64 {
+	a := w.s.cfg.Hetero
+	if a <= 0 {
+		return 1
+	}
+	win := uint64(w.now / w.s.cfg.HeteroWindow)
+	x := win*0x9E3779B97F4A7C15 + uint64(w.id)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	u := float64(x>>11) / float64(1<<53)
+	return 1 + a*u
+}
+
+// r3Due evaluates rule R3 (or its fixed-granularity analogues).
+func (w *simWorker[V]) r3Due(mode Mode) bool {
+	if mode != ModeGAP || w.s.cfg.DisableR3 {
+		return false
+	}
+	if w.inFirst < 0 || math.IsInf(w.eta, 1) {
+		return false
+	}
+	return w.now-w.inFirst >= w.eta
+}
+
+func (w *simWorker[V]) applyR1() {
+	r1Flush := func(j int) {
+		// Wake an idle peer only with a batch worth shipping, at most one
+		// per latency window, so straggler mitigation does not degenerate
+		// into message spray.
+		if len(w.out[j].msgs) < 4 || !w.s.idleV[j] || w.now < w.r1Next[j] {
+			return
+		}
+		w.r1Next[j] = w.now + w.s.cfg.Net.Model.Alpha
+		w.flush(j)
+	}
+	if w.s.statusVer != w.lastStatusVer {
+		w.lastStatusVer = w.s.statusVer
+		for j := range w.out {
+			if j != w.id {
+				r1Flush(j)
+			}
+		}
+		return
+	}
+	// Only peers touched by the last update need rechecking.
+	for _, j := range w.touched {
+		w.touchfl[j] = false
+		r1Flush(j)
+	}
+	w.touched = w.touched[:0]
+}
+
+// nextWorkEmpty reports whether the current LocalEval has no more work: the
+// frozen superstep list for VC-synchronous modes, H otherwise.
+func (w *simWorker[V]) nextWorkEmpty() bool {
+	if w.inStep {
+		return w.roundPos >= len(w.roundList)
+	}
+	return w.active.Empty()
+}
+
+func (w *simWorker[V]) nextWork() uint32 {
+	if w.inStep {
+		v := w.roundList[w.roundPos]
+		w.roundPos++
+		return v
+	}
+	return w.active.Pop()
+}
+
+// startRound begins a LocalEval: h_in, and for vertex-centric synchronous
+// disciplines a frozen copy of H.
+func (w *simWorker[V]) startRound(mode Mode) {
+	w.hin(true)
+	if mode == ModeBSPVC {
+		w.freezeRound()
+	}
+}
+
+func (w *simWorker[V]) freezeRound() {
+	w.roundList = w.roundList[:0]
+	for !w.active.Empty() {
+		w.roundList = append(w.roundList, w.active.Pop())
+	}
+	w.roundPos = 0
+	w.inStep = true
+}
+
+// endRound finishes a LocalEval: h_out flushes every non-empty buffer.
+func (w *simWorker[V]) endRound(mode Mode) {
+	w.inStep = false
+	w.flushAll()
+	if mode == ModeAAP {
+		w.adjustAAPDelay()
+	}
+}
+
+func (w *simWorker[V]) adjustAAPDelay() {
+	roundBusy := w.metrics.Busy - w.roundBusy0
+	if roundBusy <= 0 {
+		return
+	}
+	frac := (w.stale2 - w.roundBase) / roundBusy
+	maxDelay := 50 * w.s.cfg.Net.Model.Alpha
+	switch {
+	case frac > 0.15:
+		w.aapDelay = math.Min(w.aapDelay*2+1, maxDelay)
+	case frac < 0.05:
+		w.aapDelay *= 0.6
+	}
+}
+
+func (w *simWorker[V]) runUpdate(v uint32, c float64) {
+	// Start a tuner cycle lazily with the first update after the previous
+	// cycle closed.
+	if w.tuner != nil && !w.tuner.CycleOpen() {
+		w.tuner.Begin(w.now, w.eta)
+	}
+	before := w.prog.Output(w.ctx, v)
+	w.prog.Update(w.ctx, v)
+	after := w.prog.Output(w.ctx, v)
+	d := w.prog.Delta(before, after)
+	changed := !w.prog.Equal(before, after)
+
+	if w.vcost != nil {
+		if changed {
+			w.stale2 += w.vcost[v]
+			w.vcost[v] = c
+		} else {
+			w.vcost[v] += c
+		}
+	}
+	if w.sumC != nil {
+		w.sumC[v] += c
+		w.cumD[v] += d
+		w.sumCxD[v] += c * w.cumD[v]
+	}
+	if w.tuner != nil {
+		oh := w.tuner.Record(v, w.now, c, after, d)
+		if oh > 0 {
+			w.now += oh
+			w.metrics.Ta += oh
+		}
+	}
+	w.metrics.Busy += c
+	w.metrics.Updates++
+	w.now += c
+	w.s.totalUpd++
+	if w.s.totalUpd > w.s.maxUpd {
+		w.s.aborted = true
+	}
+}
+
+func (w *simWorker[V]) adjustEta() {
+	cur := func(l uint32) V { return w.prog.Output(w.ctx, l) }
+	var truthFn func(uint32) V
+	if w.truth != nil {
+		truthFn = func(l uint32) V { return w.truth[w.frag.Global(l)] }
+	}
+	newEta, oh := w.tuner.Adjust(cur, truthFn)
+	w.eta = newEta
+	w.now += oh
+	w.metrics.Ta += oh
+	w.tuner.Begin(w.now, w.eta)
+}
+
+// finish closes the books after the run.
+func (w *simWorker[V]) finish() {
+	w.metrics.FinalEta = w.eta
+	switch w.cat {
+	case ace.CategoryII:
+		w.metrics.Tw = w.stale2
+	case ace.CategoryIII:
+		var tw float64
+		for l := range w.sumC {
+			if w.cumD[l] > 0 {
+				tw += w.sumC[l] - w.sumCxD[l]/w.cumD[l]
+			}
+		}
+		w.metrics.Tw = tw
+	}
+}
+
+// coordinator is P₀ for the superstep disciplines: it holds flushed batches
+// until every worker arrives, then releases them, counts supersteps, and
+// implements the PowerSwitch heuristic.
+type coordinator[V any] struct {
+	s        *sim[V]
+	expected int
+
+	arrivals   int
+	stepStart  float64
+	sumArrive  float64
+	held       []heldBatch[V]
+	supersteps int64
+	waitHits   int
+	firstVol   int // message volume of the first superstep
+}
+
+type heldBatch[V any] struct {
+	from, to int
+	msgs     []ace.Message[V]
+	bytes    int
+}
+
+func (c *coordinator[V]) hold(from, to int, msgs []ace.Message[V], bytes int) {
+	c.held = append(c.held, heldBatch[V]{from, to, msgs, bytes})
+}
+
+func (c *coordinator[V]) arrive(w *simWorker[V], t float64) {
+	c.arrivals++
+	c.sumArrive += t
+	if c.arrivals < c.expected {
+		return
+	}
+	// Barrier reached at time t (the latest arrival). A global barrier on n
+	// workers costs a logarithmic round of small control messages.
+	t += c.s.cfg.Net.Model.Alpha * math.Log2(float64(c.expected)+1)
+	c.supersteps++
+	c.maybeSwitch(t)
+	batches := c.held
+	c.held = nil
+	c.arrivals = 0
+	c.sumArrive = 0
+
+	// A worker participates in the next superstep when it receives messages
+	// or still holds local active work (BSP-VC carries next-superstep
+	// activations in H).
+	localWork := false
+	for _, w := range c.s.workers {
+		if !w.active.Empty() {
+			localWork = true
+			break
+		}
+	}
+	if len(batches) == 0 && !localWork {
+		return // global fixpoint: nothing to release, the run drains
+	}
+	if !c.s.barrier {
+		// Just switched to async: release batches as ordinary traffic and
+		// restart workers with leftover local work.
+		c.release(batches, t)
+		for _, wkr := range c.s.workers {
+			if !wkr.active.Empty() && wkr.idle {
+				wkr.idle = false
+				c.s.setStatus(wkr.id, false, t)
+				wkr.scheduleResumeAt(t)
+			}
+		}
+		return
+	}
+	// Release per target: deliveries, then one start signal per receiving
+	// worker at its last arrival.
+	lastAt := map[int]float64{}
+	for _, b := range batches {
+		at := c.s.ship(b.from, b.to, b.msgs, b.bytes, t)
+		if at > lastAt[b.to] {
+			lastAt[b.to] = at
+		}
+	}
+	for to := range c.s.workers {
+		wkr := c.s.workers[to]
+		at, ok := lastAt[to]
+		if !ok {
+			if wkr.active.Empty() {
+				// Nothing to do this superstep: arrive immediately.
+				wkr.arrived = true
+				c.arrivals++
+				c.sumArrive += t
+				continue
+			}
+			at = t
+		}
+		c.s.sched.At(at, prioResume, func() {
+			if wkr.idle {
+				wkr.idle = false
+				c.s.setStatus(wkr.id, false, c.s.sched.Now())
+			}
+			wkr.arrived = false
+			wkr.startRound(c.s.effMode())
+			wkr.run(c.s.sched.Now())
+		})
+	}
+	c.stepStart = t
+}
+
+func (c *coordinator[V]) release(batches []heldBatch[V], t float64) {
+	for _, b := range batches {
+		c.s.ship(b.from, b.to, b.msgs, b.bytes, t)
+	}
+}
+
+// maybeSwitch implements the PowerSwitch sync→async trigger (Xie et al.,
+// simplified): switch when workers spend a large fraction of the superstep
+// waiting at the barrier (skewed load) AND the superstep has gone sparse
+// (message volume well below the initial supersteps'). Dense supersteps —
+// including the constant-volume oscillation of synchronous Color — keep the
+// predicted synchronous throughput high, so PowerSwitch stays synchronous
+// and inherits the non-convergence, as the paper reports in Fig. 5.
+func (c *coordinator[V]) maybeSwitch(t float64) {
+	if c.s.mode != ModePowerSwitch || !c.s.barrier {
+		return
+	}
+	vol := 0
+	for _, b := range c.held {
+		vol += len(b.msgs)
+	}
+	if c.supersteps == 1 || vol > c.firstVol {
+		c.firstVol = vol
+	}
+	if c.supersteps < 2 {
+		return
+	}
+	stepLen := t - c.stepStart
+	if stepLen <= 0 {
+		return
+	}
+	avgArrive := c.sumArrive / float64(c.expected)
+	waitFrac := (t - avgArrive) / stepLen
+	sparse := vol < c.firstVol/3
+	if waitFrac > c.s.cfg.SwitchThreshold && sparse {
+		c.waitHits++
+	} else {
+		c.waitHits = 0
+	}
+	if c.waitHits >= 2 {
+		c.s.barrier = false
+		c.s.switched = true
+	}
+}

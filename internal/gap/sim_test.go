@@ -1,0 +1,249 @@
+package gap
+
+import (
+	"math"
+	"testing"
+
+	"argan/internal/ace"
+	"argan/internal/adapt"
+	"argan/internal/algorithms"
+	"argan/internal/graph"
+	"argan/internal/partition"
+)
+
+var allModes = []Mode{ModeGAP, ModeBSP, ModeBSPVC, ModeAPGC, ModeAPVC, ModeAAP}
+
+func frags(t testing.TB, g *graph.Graph, n int) []*graph.Fragment {
+	t.Helper()
+	fs, err := partition.Partition(g, partition.Hash{}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func testGraph(directed bool, seed int64) *graph.Graph {
+	return graph.PowerLaw(graph.GenConfig{N: 400, M: 2400, Directed: directed, Seed: seed, MaxW: 20})
+}
+
+func TestSSSPAllModesMatchSequential(t *testing.T) {
+	g := testGraph(true, 1)
+	want := algorithms.SeqSSSP(g, 0)
+	for _, mode := range allModes {
+		for _, n := range []int{1, 3, 8} {
+			res, err := RunSim(frags(t, g, n), algorithms.NewSSSP(), ace.Query{Source: 0}, Config{Mode: mode, Adapt: adapt.PolicyGAwD})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Metrics.Converged {
+				t.Fatalf("%v n=%d did not converge", mode, n)
+			}
+			for v, d := range want {
+				if res.Values[v] != d {
+					t.Fatalf("%v n=%d: dist[%d] = %v, want %v", mode, n, v, res.Values[v], d)
+				}
+			}
+			if res.Metrics.RespTime <= 0 {
+				t.Fatalf("%v n=%d: zero response time", mode, n)
+			}
+		}
+	}
+}
+
+func TestBellmanFordMatchesSequential(t *testing.T) {
+	g := testGraph(true, 2)
+	want := algorithms.SeqBellmanFord(g, 0)
+	res, err := RunSim(frags(t, g, 4), algorithms.NewBellmanFord(), ace.Query{Source: 0}, Config{Mode: ModeGAP, Adapt: adapt.PolicyGAwD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range want {
+		if res.Values[v] != d {
+			t.Fatalf("dist[%d] = %v, want %v", v, res.Values[v], d)
+		}
+	}
+}
+
+func TestBFSAllModes(t *testing.T) {
+	g := testGraph(true, 3)
+	want := algorithms.SeqBFS(g, 1)
+	for _, mode := range allModes {
+		res, err := RunSim(frags(t, g, 4), algorithms.NewBFS(), ace.Query{Source: 1}, Config{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, d := range want {
+			got := res.Values[v]
+			if d < 0 {
+				if got != math.MaxInt32 {
+					t.Fatalf("%v: bfs[%d] = %d, want unreachable", mode, v, got)
+				}
+			} else if got != d {
+				t.Fatalf("%v: bfs[%d] = %d, want %d", mode, v, got, d)
+			}
+		}
+	}
+}
+
+func TestWCCAllModes(t *testing.T) {
+	g := testGraph(true, 4)
+	want := algorithms.SeqWCC(g)
+	for _, mode := range allModes {
+		res, err := RunSim(frags(t, g, 5), algorithms.NewWCC(), ace.Query{}, Config{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, c := range want {
+			if res.Values[v] != c {
+				t.Fatalf("%v: wcc[%d] = %d, want %d", mode, v, res.Values[v], c)
+			}
+		}
+	}
+}
+
+func TestColorMatchesSequentialAsyncModes(t *testing.T) {
+	g := testGraph(true, 5)
+	want := algorithms.SeqColor(g)
+	// The id-priority coloring fixpoint is schedule-independent, so every
+	// mode (including synchronous ones) must match the sequential greedy.
+	for _, mode := range allModes {
+		res, err := RunSim(frags(t, g, 4), algorithms.NewColor(), ace.Query{}, Config{Mode: mode, Adapt: adapt.PolicyGAwD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Metrics.Converged {
+			t.Fatalf("%v: did not converge", mode)
+		}
+		for v, c := range want {
+			if res.Values[v] != c {
+				t.Fatalf("%v: color[%d] = %d, want %d", mode, v, res.Values[v], c)
+			}
+		}
+	}
+}
+
+func TestNaiveColorOscillatesUnderSync(t *testing.T) {
+	g := graph.Uniform(graph.GenConfig{N: 100, M: 400, Directed: false, Seed: 6})
+	res, err := RunSim(frags(t, g, 4), algorithms.NewNaiveColor(), ace.Query{},
+		Config{Mode: ModeBSPVC, MaxUpdatesPerVertex: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Converged {
+		t.Fatal("naive synchronous coloring should oscillate (NA in Fig. 5)")
+	}
+}
+
+func TestPageRankMatchesSequential(t *testing.T) {
+	g := testGraph(true, 7)
+	want := algorithms.SeqPageRank(g, 1e-4)
+	for _, mode := range allModes {
+		res, err := RunSim(frags(t, g, 4), algorithms.NewPageRank(), ace.Query{Eps: 1e-4}, Config{Mode: mode, Adapt: adapt.PolicyGAwD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Metrics.Converged {
+			t.Fatalf("%v: did not converge", mode)
+		}
+		for v, r := range want {
+			if math.Abs(res.Values[v]-r) > 0.02*(r+1) {
+				t.Fatalf("%v: pr[%d] = %v, want ~%v", mode, v, res.Values[v], r)
+			}
+		}
+	}
+}
+
+func TestCoreMatchesPeeling(t *testing.T) {
+	g := graph.PowerLaw(graph.GenConfig{N: 300, M: 2400, Directed: false, Seed: 8})
+	want := algorithms.SeqCore(g)
+	for _, mode := range allModes {
+		res, err := RunSim(frags(t, g, 4), algorithms.NewCore(), ace.Query{}, Config{Mode: mode, Adapt: adapt.PolicyGAwD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, c := range want {
+			if res.Values[v] != c {
+				t.Fatalf("%v: core[%d] = %d, want %d", mode, v, res.Values[v], c)
+			}
+		}
+	}
+}
+
+func TestSimMatchesSequential(t *testing.T) {
+	g := graph.KnowledgeBase(graph.GenConfig{N: 300, M: 1500, Seed: 9, Labels: 6})
+	pat := algorithms.RandomPattern(g, 4, 5, 42)
+	want := algorithms.SeqSim(g, pat)
+	for _, mode := range allModes {
+		res, err := RunSim(frags(t, g, 4), algorithms.NewSim(), ace.Query{Pattern: pat}, Config{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, m := range want {
+			if res.Values[v] != m {
+				t.Fatalf("%v: sim[%d] = %b, want %b", mode, v, res.Values[v], m)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := testGraph(true, 10)
+	run := func() *Result[float64] {
+		res, err := RunSim(frags(t, g, 6), algorithms.NewSSSP(), ace.Query{Source: 0}, Config{Mode: ModeGAP, Adapt: adapt.PolicyGAwD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Metrics.RespTime != b.Metrics.RespTime || a.Metrics.Updates != b.Metrics.Updates ||
+		a.Metrics.MsgsSent != b.Metrics.MsgsSent {
+		t.Fatalf("nondeterministic run: %+v vs %+v",
+			[3]any{a.Metrics.RespTime, a.Metrics.Updates, a.Metrics.MsgsSent},
+			[3]any{b.Metrics.RespTime, b.Metrics.Updates, b.Metrics.MsgsSent})
+	}
+}
+
+func TestMetricsSanity(t *testing.T) {
+	g := testGraph(true, 11)
+	res, err := RunSim(frags(t, g, 4), algorithms.NewSSSP(), ace.Query{Source: 0}, Config{Mode: ModeGAP, Adapt: adapt.PolicyGAwD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.TotalBusy <= 0 || m.Updates <= 0 || m.Rounds <= 0 {
+		t.Fatalf("empty metrics: %+v", m)
+	}
+	if m.TotalTw < 0 || m.TotalTw > m.TotalBusy {
+		t.Fatalf("Tw out of range: %v of busy %v", m.TotalTw, m.TotalBusy)
+	}
+	if m.Phi < -1 || m.Phi > 1 {
+		t.Fatalf("phi out of range: %v", m.Phi)
+	}
+	if len(m.Workers) != 4 {
+		t.Fatalf("want 4 worker metrics, got %d", len(m.Workers))
+	}
+}
+
+func TestSingleWorker(t *testing.T) {
+	g := testGraph(true, 12)
+	want := algorithms.SeqSSSP(g, 0)
+	res, err := RunSim(frags(t, g, 1), algorithms.NewSSSP(), ace.Query{Source: 0}, Config{Mode: ModeGAP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range want {
+		if res.Values[v] != d {
+			t.Fatalf("dist[%d] = %v, want %v", v, res.Values[v], d)
+		}
+	}
+	if res.Metrics.MsgsSent != 0 {
+		t.Fatalf("single worker sent %d messages", res.Metrics.MsgsSent)
+	}
+}
+
+func TestEmptyFragsError(t *testing.T) {
+	if _, err := RunSim(nil, algorithms.NewSSSP(), ace.Query{}, Config{}); err == nil {
+		t.Fatal("want error for no fragments")
+	}
+}

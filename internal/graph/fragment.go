@@ -1,0 +1,356 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fragment is the part of a partitioned graph held by one worker, following
+// the paper's vertex-partitioning convention (§II-A): fragment F_i contains
+// (1) the owned vertices V'_i, (2) every edge adjacent to V'_i, and (3) the
+// ghost vertices induced by those edges.
+//
+// Vertices are addressed by dense *local indices*: owned vertices occupy
+// [0, NumOwned) and ghosts occupy [NumOwned, NumLocal), each group sorted by
+// global id. Adjacency is stored in CSR form over local indices:
+//
+//   - the out-adjacency of an owned vertex is complete; the out-adjacency of
+//     a ghost contains only arcs into owned vertices;
+//   - symmetrically for the in-adjacency.
+//
+// Replica routing: for an owned border vertex v, ReplicasOut(v) lists the
+// workers that hold v as a ghost because v has an out-edge into their owned
+// set (they need v's value when update functions read in-neighbors), and
+// ReplicasIn(v) the workers reached through v's in-edges.
+type Fragment struct {
+	worker     int
+	numWorkers int
+	directed   bool
+
+	numOwned int
+	locals   []VID          // local -> global
+	index    map[VID]uint32 // global -> local
+	owner    []uint16       // global -> owning worker (shared, read-only)
+
+	outIndex []int64
+	outTo    []uint32 // local indices
+	outW     []float64
+	inIndex  []int64
+	inTo     []uint32
+	inW      []float64
+
+	labels []int32 // per local vertex; nil when unlabeled
+
+	repOutIdx []int32
+	repOut    []uint16
+	repInIdx  []int32
+	repIn     []uint16
+
+	globalN     int
+	globalEdges int
+}
+
+// Worker returns the id of the worker owning this fragment (0-based).
+func (f *Fragment) Worker() int { return f.worker }
+
+// NumWorkers returns the number of fragments the graph was split into.
+func (f *Fragment) NumWorkers() int { return f.numWorkers }
+
+// Directed reports whether the underlying graph is directed.
+func (f *Fragment) Directed() bool { return f.directed }
+
+// NumOwned returns |V'_i|.
+func (f *Fragment) NumOwned() int { return f.numOwned }
+
+// NumLocal returns the number of local vertices including ghosts.
+func (f *Fragment) NumLocal() int { return len(f.locals) }
+
+// NumGhosts returns the number of ghost vertices.
+func (f *Fragment) NumGhosts() int { return len(f.locals) - f.numOwned }
+
+// NumArcs returns the number of arcs stored in the fragment's out-CSR.
+func (f *Fragment) NumArcs() int { return len(f.outTo) }
+
+// GlobalVertices returns |V| of the whole graph.
+func (f *Fragment) GlobalVertices() int { return f.globalN }
+
+// GlobalArcs returns the arc count of the whole graph.
+func (f *Fragment) GlobalArcs() int { return f.globalEdges }
+
+// IsOwned reports whether the local index denotes an owned vertex.
+func (f *Fragment) IsOwned(local uint32) bool { return int(local) < f.numOwned }
+
+// Global maps a local index to its global vertex id.
+func (f *Fragment) Global(local uint32) VID { return f.locals[local] }
+
+// Local maps a global id to the local index, if the vertex is present.
+func (f *Fragment) Local(v VID) (uint32, bool) {
+	l, ok := f.index[v]
+	return l, ok
+}
+
+// OwnerOf returns the worker owning global vertex v.
+func (f *Fragment) OwnerOf(v VID) int { return int(f.owner[v]) }
+
+// Label returns the label of the local vertex (0 when unlabeled).
+func (f *Fragment) Label(local uint32) int32 {
+	if f.labels == nil {
+		return 0
+	}
+	return f.labels[local]
+}
+
+// OutDegree returns the stored out-degree of the local vertex.
+func (f *Fragment) OutDegree(local uint32) int {
+	return int(f.outIndex[local+1] - f.outIndex[local])
+}
+
+// InDegree returns the stored in-degree of the local vertex.
+func (f *Fragment) InDegree(local uint32) int {
+	return int(f.inIndex[local+1] - f.inIndex[local])
+}
+
+// OutNeighbors returns the out-adjacency (local indices) of the local vertex.
+// The slice aliases internal storage.
+func (f *Fragment) OutNeighbors(local uint32) []uint32 {
+	return f.outTo[f.outIndex[local]:f.outIndex[local+1]]
+}
+
+// OutWeights returns weights parallel to OutNeighbors.
+func (f *Fragment) OutWeights(local uint32) []float64 {
+	return f.outW[f.outIndex[local]:f.outIndex[local+1]]
+}
+
+// InNeighbors returns the in-adjacency (local indices) of the local vertex.
+func (f *Fragment) InNeighbors(local uint32) []uint32 {
+	return f.inTo[f.inIndex[local]:f.inIndex[local+1]]
+}
+
+// InWeights returns weights parallel to InNeighbors.
+func (f *Fragment) InWeights(local uint32) []float64 {
+	return f.inW[f.inIndex[local]:f.inIndex[local+1]]
+}
+
+// ReplicasOut lists the workers holding the owned vertex as a ghost via its
+// out-edges. Empty for interior vertices.
+func (f *Fragment) ReplicasOut(local uint32) []uint16 {
+	return f.repOut[f.repOutIdx[local]:f.repOutIdx[local+1]]
+}
+
+// ReplicasIn lists the workers holding the owned vertex as a ghost via its
+// in-edges.
+func (f *Fragment) ReplicasIn(local uint32) []uint16 {
+	return f.repIn[f.repInIdx[local]:f.repInIdx[local+1]]
+}
+
+// TrueOutDegree returns the out-degree of an owned vertex in the full graph
+// (equal to OutDegree for owned vertices by construction).
+func (f *Fragment) TrueOutDegree(local uint32) int { return f.OutDegree(local) }
+
+func (f *Fragment) String() string {
+	return fmt.Sprintf("fragment{worker=%d owned=%d ghosts=%d arcs=%d}",
+		f.worker, f.numOwned, f.NumGhosts(), len(f.outTo))
+}
+
+// BuildFragments splits g into numWorkers fragments according to the owner
+// assignment (owner[v] = worker id for every global vertex). It validates the
+// assignment and returns one fragment per worker.
+func BuildFragments(g *Graph, owner []uint16, numWorkers int) ([]*Fragment, error) {
+	if len(owner) != g.n {
+		return nil, fmt.Errorf("graph: owner assignment has %d entries, want %d", len(owner), g.n)
+	}
+	for v, o := range owner {
+		if int(o) >= numWorkers {
+			return nil, fmt.Errorf("graph: vertex %d assigned to worker %d >= %d", v, o, numWorkers)
+		}
+	}
+	frags := make([]*Fragment, numWorkers)
+	for i := range frags {
+		frags[i] = buildFragment(g, owner, numWorkers, i)
+	}
+	return frags, nil
+}
+
+func buildFragment(g *Graph, owner []uint16, numWorkers, worker int) *Fragment {
+	w := uint16(worker)
+	// Collect owned vertices and the ghosts induced by their edges.
+	var owned []VID
+	ghostSet := map[VID]struct{}{}
+	for v := 0; v < g.n; v++ {
+		if owner[v] != w {
+			continue
+		}
+		owned = append(owned, VID(v))
+		for _, u := range g.OutNeighbors(VID(v)) {
+			if owner[u] != w {
+				ghostSet[u] = struct{}{}
+			}
+		}
+		for _, u := range g.InNeighbors(VID(v)) {
+			if owner[u] != w {
+				ghostSet[u] = struct{}{}
+			}
+		}
+	}
+	ghosts := make([]VID, 0, len(ghostSet))
+	for u := range ghostSet {
+		ghosts = append(ghosts, u)
+	}
+	sort.Slice(ghosts, func(i, j int) bool { return ghosts[i] < ghosts[j] })
+
+	f := &Fragment{
+		worker:      worker,
+		numWorkers:  numWorkers,
+		directed:    g.directed,
+		numOwned:    len(owned),
+		locals:      append(append([]VID{}, owned...), ghosts...),
+		index:       make(map[VID]uint32, len(owned)+len(ghosts)),
+		owner:       owner,
+		globalN:     g.n,
+		globalEdges: len(g.outTo),
+	}
+	for l, v := range f.locals {
+		f.index[v] = uint32(l)
+	}
+	if g.labels != nil {
+		f.labels = make([]int32, len(f.locals))
+		for l, v := range f.locals {
+			f.labels[l] = g.labels[v]
+		}
+	}
+
+	// Localized arcs of E_i: every arc with at least one owned endpoint.
+	var arcs []localArc
+	seen := map[[2]VID]struct{}{}
+	addArcsOf := func(v VID) {
+		lv := f.index[v]
+		for i, u := range g.OutNeighbors(v) {
+			if owner[v] != w && owner[u] != w {
+				continue
+			}
+			lu, ok := f.index[u]
+			if !ok {
+				continue // neighbor of a ghost outside this fragment
+			}
+			key := [2]VID{v, u}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			arcs = append(arcs, localArc{lv, lu, g.OutWeights(v)[i]})
+		}
+	}
+	for _, v := range f.locals {
+		addArcsOf(v)
+	}
+	// For undirected graphs the Graph CSR already stores both directions, so
+	// the arc set above is symmetric where both endpoints are local.
+
+	nl := len(f.locals)
+	f.outIndex, f.outTo, f.outW = buildLocalCSR(nl, arcs, false)
+	f.inIndex, f.inTo, f.inW = buildLocalCSR(nl, arcs, true)
+
+	// Replica routing tables for owned vertices.
+	f.repOutIdx, f.repOut = buildReplicas(f, g, owned, w, true)
+	if g.directed {
+		f.repInIdx, f.repIn = buildReplicas(f, g, owned, w, false)
+	} else {
+		f.repInIdx, f.repIn = f.repOutIdx, f.repOut
+	}
+	return f
+}
+
+type localArc struct {
+	src, dst uint32
+	w        float64
+}
+
+func buildLocalCSR(n int, arcs []localArc, reverse bool) ([]int64, []uint32, []float64) {
+	index := make([]int64, n+1)
+	for _, a := range arcs {
+		k := a.src
+		if reverse {
+			k = a.dst
+		}
+		index[k+1]++
+	}
+	for i := 0; i < n; i++ {
+		index[i+1] += index[i]
+	}
+	to := make([]uint32, len(arcs))
+	ws := make([]float64, len(arcs))
+	cursor := make([]int64, n)
+	for _, a := range arcs {
+		k, other := a.src, a.dst
+		if reverse {
+			k, other = a.dst, a.src
+		}
+		p := index[k] + cursor[k]
+		cursor[k]++
+		to[p] = other
+		ws[p] = a.w
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := index[v], index[v+1]
+		sortLocalAdj(to[lo:hi], ws[lo:hi])
+	}
+	return index, to, ws
+}
+
+func sortLocalAdj(to []uint32, w []float64) {
+	sort.Sort(&localAdjSorter{to, w})
+}
+
+type localAdjSorter struct {
+	to []uint32
+	w  []float64
+}
+
+func (s *localAdjSorter) Len() int { return len(s.to) }
+func (s *localAdjSorter) Swap(i, j int) {
+	s.to[i], s.to[j] = s.to[j], s.to[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+func (s *localAdjSorter) Less(i, j int) bool {
+	if s.to[i] != s.to[j] {
+		return s.to[i] < s.to[j]
+	}
+	return s.w[i] < s.w[j]
+}
+
+// buildReplicas computes, for each owned vertex, the sorted set of remote
+// workers owning its out-neighbors (outDir) or in-neighbors (!outDir).
+func buildReplicas(f *Fragment, g *Graph, owned []VID, w uint16, outDir bool) ([]int32, []uint16) {
+	idx := make([]int32, len(f.locals)+1)
+	var flat []uint16
+	var set [256]bool // numWorkers <= 256 in this repo
+	for l, v := range owned {
+		var nbrs []VID
+		if outDir {
+			nbrs = g.OutNeighbors(v)
+		} else {
+			nbrs = g.InNeighbors(v)
+		}
+		var touched []uint16
+		for _, u := range nbrs {
+			o := g.ownerOf(u, f.owner)
+			if o != w && !set[o] {
+				set[o] = true
+				touched = append(touched, o)
+			}
+		}
+		sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+		flat = append(flat, touched...)
+		for _, o := range touched {
+			set[o] = false
+		}
+		idx[l+1] = int32(len(flat))
+	}
+	// Ghost entries keep empty ranges.
+	for l := len(owned); l < len(f.locals); l++ {
+		idx[l+1] = idx[l]
+	}
+	return idx, flat
+}
+
+func (g *Graph) ownerOf(v VID, owner []uint16) uint16 { return owner[v] }

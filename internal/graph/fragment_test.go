@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func hashOwner(n, workers int) []uint16 {
+	owner := make([]uint16, n)
+	for v := range owner {
+		x := uint32(v) * 2654435761
+		x ^= x >> 16
+		owner[v] = uint16(x % uint32(workers))
+	}
+	return owner
+}
+
+func TestBuildFragmentsBasic(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3, plus 3 -> 0. Two workers by parity.
+	g := NewBuilder(4, true).AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 3).AddEdge(3, 0).MustBuild()
+	owner := []uint16{0, 1, 0, 1}
+	frags, err := BuildFragments(g, owner, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := frags[0]
+	if f0.NumOwned() != 2 || f0.NumGhosts() != 2 {
+		t.Fatalf("f0: %v", f0)
+	}
+	// Every vertex is a ghost on the other fragment here (cycle).
+	l0, ok := f0.Local(0)
+	if !ok || !f0.IsOwned(l0) || f0.Global(l0) != 0 {
+		t.Fatalf("local mapping broken")
+	}
+	l1, ok := f0.Local(1)
+	if !ok || f0.IsOwned(l1) {
+		t.Fatal("vertex 1 should be a ghost on worker 0")
+	}
+	// Out-adjacency of owned vertex 0 must contain local index of 1.
+	found := false
+	for _, u := range f0.OutNeighbors(l0) {
+		if f0.Global(u) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing arc 0->1 in fragment 0")
+	}
+	// Vertex 0 has out-neighbor 1 owned by worker 1 => replicated there.
+	reps := f0.ReplicasOut(l0)
+	if len(reps) != 1 || reps[0] != 1 {
+		t.Fatalf("replicasOut(0) = %v", reps)
+	}
+	// Vertex 0 has in-neighbor 3 owned by worker 1.
+	repsIn := f0.ReplicasIn(l0)
+	if len(repsIn) != 1 || repsIn[0] != 1 {
+		t.Fatalf("replicasIn(0) = %v", repsIn)
+	}
+}
+
+func TestBuildFragmentsErrors(t *testing.T) {
+	g := Chain(4, true)
+	if _, err := BuildFragments(g, []uint16{0, 0}, 2); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := BuildFragments(g, []uint16{0, 0, 0, 9}, 2); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+// Fragment invariants, checked over random graphs and partitions:
+//  1. owned sets are disjoint and cover V;
+//  2. every arc of G appears in the out-CSR of the owner of its source (and
+//     total owned-source arcs equals |E|);
+//  3. ghosts are exactly the vertices adjacent to owned vertices;
+//  4. replica lists are consistent: w in ReplicasOut(v) iff v is present on
+//     w's fragment with an arc v->u, owner(u)=w.
+func TestFragmentInvariants(t *testing.T) {
+	check := func(seed int64, workers int, directed bool) bool {
+		g := PowerLaw(GenConfig{N: 120, M: 600, Directed: directed, Seed: seed, MaxW: 4})
+		owner := hashOwner(g.NumVertices(), workers)
+		frags, err := BuildFragments(g, owner, workers)
+		if err != nil {
+			return false
+		}
+		// (1) cover
+		seen := make([]int, g.NumVertices())
+		for _, f := range frags {
+			for l := uint32(0); int(l) < f.NumOwned(); l++ {
+				seen[f.Global(l)]++
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		// (2) arcs with owned source
+		totalOwnedArcs := 0
+		for _, f := range frags {
+			for l := uint32(0); int(l) < f.NumOwned(); l++ {
+				v := f.Global(l)
+				if f.OutDegree(l) != g.OutDegree(v) {
+					return false
+				}
+				totalOwnedArcs += f.OutDegree(l)
+				// every global out-neighbor must be present locally
+				for _, lu := range f.OutNeighbors(l) {
+					u := f.Global(lu)
+					if !g.HasEdge(v, u) {
+						return false
+					}
+				}
+			}
+		}
+		if totalOwnedArcs != g.NumEdges() {
+			return false
+		}
+		// (3) ghosts adjacency
+		for _, f := range frags {
+			for l := uint32(f.NumOwned()); int(l) < f.NumLocal(); l++ {
+				if f.IsOwned(l) {
+					return false
+				}
+				deg := f.OutDegree(l) + f.InDegree(l)
+				if deg == 0 {
+					return false // ghost with no local edge should not exist
+				}
+			}
+		}
+		// (4) replica consistency
+		for _, f := range frags {
+			for l := uint32(0); int(l) < f.NumOwned(); l++ {
+				v := f.Global(l)
+				want := map[uint16]bool{}
+				for _, u := range g.OutNeighbors(v) {
+					if owner[u] != uint16(f.Worker()) {
+						want[owner[u]] = true
+					}
+				}
+				reps := f.ReplicasOut(l)
+				if len(reps) != len(want) {
+					return false
+				}
+				for _, r := range reps {
+					if !want[r] {
+						return false
+					}
+					// and v must be present on r's fragment
+					if _, ok := frags[r].Local(v); !ok {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(func(s int64, w uint8, d bool) bool {
+		return check(s, int(w%7)+1, d)
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentLabelsAndWeights(t *testing.T) {
+	g := KnowledgeBase(GenConfig{N: 80, M: 320, Seed: 3, Labels: 6, MaxW: 10})
+	owner := hashOwner(g.NumVertices(), 3)
+	frags, err := BuildFragments(g, owner, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frags {
+		for l := uint32(0); int(l) < f.NumLocal(); l++ {
+			if f.Label(l) != g.Label(f.Global(l)) {
+				t.Fatalf("label mismatch at %d", f.Global(l))
+			}
+		}
+		for l := uint32(0); int(l) < f.NumOwned(); l++ {
+			v := f.Global(l)
+			gotW := f.OutWeights(l)
+			wantW := g.OutWeights(v)
+			if len(gotW) != len(wantW) {
+				t.Fatalf("weights len mismatch at %d", v)
+			}
+		}
+	}
+}
+
+func TestFragmentSingleWorker(t *testing.T) {
+	g := Chain(10, true)
+	frags, err := BuildFragments(g, make([]uint16, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := frags[0]
+	if f.NumGhosts() != 0 || f.NumOwned() != 10 || f.NumArcs() != 9 {
+		t.Fatalf("single worker fragment wrong: %v", f)
+	}
+	l5, _ := f.Local(5)
+	if len(f.ReplicasOut(l5)) != 0 {
+		t.Fatal("no replicas expected with 1 worker")
+	}
+}

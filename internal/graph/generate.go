@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GenConfig controls the synthetic generators. All generators are
+// deterministic given Seed.
+type GenConfig struct {
+	N        int     // number of vertices
+	M        int     // target number of edges (pre-symmetrization)
+	Directed bool    // directed graph?
+	Alpha    float64 // power-law exponent for PowerLaw (paper uses 2.5)
+	Seed     int64   // RNG seed
+	MaxW     float64 // if > 0, random edge weights drawn uniformly from (0, MaxW]
+	Labels   int     // if > 0, assign each vertex a random label in [0, Labels)
+}
+
+func (c GenConfig) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+func (c GenConfig) finish(b *Builder, r *rand.Rand) *Graph {
+	if c.Labels > 0 {
+		for v := 0; v < c.N; v++ {
+			b.SetLabel(VID(v), int32(r.Intn(c.Labels)))
+		}
+	}
+	return b.SetDedup(true).MustBuild()
+}
+
+func (c GenConfig) weight(r *rand.Rand) float64 {
+	if c.MaxW <= 0 {
+		return 1
+	}
+	return 1 + (c.MaxW-1)*r.Float64()
+}
+
+// PowerLaw generates a Chung–Lu style random graph whose expected degree
+// sequence follows a power law with exponent Alpha. This mirrors the
+// "built-in power-law graph generator of GraphLab (α = 2.5)" the paper uses
+// for its synthetic datasets.
+func PowerLaw(c GenConfig) *Graph {
+	if c.Alpha == 0 {
+		c.Alpha = 2.5
+	}
+	r := c.rng()
+	// Expected degree weights w_i ∝ (i+1)^(-1/(alpha-1)) produce a degree
+	// distribution with exponent alpha.
+	exp := -1.0 / (c.Alpha - 1)
+	w := make([]float64, c.N)
+	cum := make([]float64, c.N+1)
+	for i := 0; i < c.N; i++ {
+		w[i] = math.Pow(float64(i+1), exp)
+		cum[i+1] = cum[i] + w[i]
+	}
+	total := cum[c.N]
+	sample := func() VID {
+		x := r.Float64() * total
+		lo, hi := 0, c.N
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return VID(lo)
+	}
+	b := NewBuilder(c.N, c.Directed)
+	for len(b.edges) < c.M {
+		u, v := sample(), sample()
+		if u == v {
+			continue
+		}
+		b.AddWeighted(u, v, c.weight(r))
+	}
+	return c.finish(b, r)
+}
+
+// Uniform generates an Erdős–Rényi style G(n,m) graph.
+func Uniform(c GenConfig) *Graph {
+	r := c.rng()
+	b := NewBuilder(c.N, c.Directed)
+	for len(b.edges) < c.M {
+		u := VID(r.Intn(c.N))
+		v := VID(r.Intn(c.N))
+		if u == v {
+			continue
+		}
+		b.AddWeighted(u, v, c.weight(r))
+	}
+	return c.finish(b, r)
+}
+
+// RMAT generates a Kronecker-style R-MAT graph with the standard
+// (0.57, 0.19, 0.19, 0.05) partition probabilities, producing the heavy
+// community skew typical of social networks (TW/FS stand-ins).
+func RMAT(c GenConfig) *Graph {
+	r := c.rng()
+	levels := 0
+	for (1 << levels) < c.N {
+		levels++
+	}
+	n := 1 << levels
+	if c.N < n {
+		c.N = n
+	}
+	const a, b2, c2 = 0.57, 0.19, 0.19
+	b := NewBuilder(c.N, c.Directed)
+	for len(b.edges) < c.M {
+		var u, v int
+		for l := 0; l < levels; l++ {
+			p := r.Float64()
+			switch {
+			case p < a:
+			case p < a+b2:
+				v |= 1 << l
+			case p < a+b2+c2:
+				u |= 1 << l
+			default:
+				u |= 1 << l
+				v |= 1 << l
+			}
+		}
+		if u == v {
+			continue
+		}
+		b.AddWeighted(VID(u), VID(v), c.weight(r))
+	}
+	return c.finish(b, r)
+}
+
+// Grid generates a rows×cols 4-neighbor lattice: a road-network-like graph
+// with large diameter and uniform low degree. Weights are randomized when
+// MaxW > 0, mimicking road segment lengths.
+func Grid(rows, cols int, c GenConfig) *Graph {
+	r := c.rng()
+	c.N = rows * cols
+	b := NewBuilder(c.N, c.Directed)
+	id := func(i, j int) VID { return VID(i*cols + j) }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				b.AddWeighted(id(i, j), id(i, j+1), c.weight(r))
+				if c.Directed {
+					b.AddWeighted(id(i, j+1), id(i, j), c.weight(r))
+				}
+			}
+			if i+1 < rows {
+				b.AddWeighted(id(i, j), id(i+1, j), c.weight(r))
+				if c.Directed {
+					b.AddWeighted(id(i+1, j), id(i, j), c.weight(r))
+				}
+			}
+		}
+	}
+	return c.finish(b, r)
+}
+
+// Chain generates a simple weighted path v0 -> v1 -> ... -> v(n-1); useful in
+// tests that need a graph with maximal diameter.
+func Chain(n int, directed bool) *Graph {
+	b := NewBuilder(n, directed)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(VID(i), VID(i+1))
+	}
+	return b.MustBuild()
+}
+
+// Star generates a hub-and-spokes graph (vertex 0 is the hub): the extreme
+// skew case for partition-balance tests.
+func Star(n int, directed bool) *Graph {
+	b := NewBuilder(n, directed)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, VID(i))
+	}
+	return b.MustBuild()
+}
+
+// KnowledgeBase generates a labeled, directed DBpedia-like graph: a sparse
+// power-law directed graph whose vertices carry labels from a skewed label
+// distribution (a few very common types, a long tail), as needed by graph
+// simulation queries.
+func KnowledgeBase(c GenConfig) *Graph {
+	if c.Labels <= 0 {
+		c.Labels = 16
+	}
+	c.Directed = true
+	r := c.rng()
+	g := PowerLaw(GenConfig{N: c.N, M: c.M, Directed: true, Alpha: 2.5, Seed: c.Seed, MaxW: c.MaxW})
+	b := NewBuilder(c.N, true)
+	b.edges = make([]Edge, 0, g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for i, u := range g.OutNeighbors(VID(v)) {
+			b.AddWeighted(VID(v), u, g.OutWeights(VID(v))[i])
+		}
+	}
+	// Skewed labels: label l drawn with probability ∝ 1/(l+1).
+	var cum []float64
+	total := 0.0
+	for l := 0; l < c.Labels; l++ {
+		total += 1 / float64(l+1)
+		cum = append(cum, total)
+	}
+	for v := 0; v < c.N; v++ {
+		x := r.Float64() * total
+		l := 0
+		for l < len(cum)-1 && cum[l] < x {
+			l++
+		}
+		b.SetLabel(VID(v), int32(l))
+	}
+	return b.SetDedup(true).MustBuild()
+}

@@ -1,0 +1,331 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderDirected(t *testing.T) {
+	g := NewBuilder(4, true).
+		AddWeighted(0, 1, 2).
+		AddWeighted(0, 2, 3).
+		AddWeighted(2, 1, 1).
+		AddWeighted(3, 0, 5).
+		MustBuild()
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got %v", g)
+	}
+	if !g.Directed() {
+		t.Fatal("want directed")
+	}
+	if got := g.OutNeighbors(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("out(0) = %v", got)
+	}
+	if got := g.InNeighbors(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("in(1) = %v", got)
+	}
+	if w := g.OutWeights(3); len(w) != 1 || w[0] != 5 {
+		t.Fatalf("w(3) = %v", w)
+	}
+	if g.OutDegree(1) != 0 || g.InDegree(0) != 1 {
+		t.Fatalf("degrees wrong: out(1)=%d in(0)=%d", g.OutDegree(1), g.InDegree(0))
+	}
+	if !g.HasEdge(0, 2) || g.HasEdge(2, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestBuilderUndirected(t *testing.T) {
+	g := NewBuilder(3, false).AddEdge(0, 1).AddEdge(1, 2).MustBuild()
+	if g.NumEdges() != 4 {
+		t.Fatalf("undirected arcs = %d, want 4", g.NumEdges())
+	}
+	for v := VID(0); v < 3; v++ {
+		if g.OutDegree(v) != g.InDegree(v) {
+			t.Fatalf("v%d: out %d != in %d", v, g.OutDegree(v), g.InDegree(v))
+		}
+	}
+	if !g.HasEdge(1, 0) || !g.HasEdge(2, 1) {
+		t.Fatal("missing reverse arcs")
+	}
+}
+
+func TestBuilderRangeError(t *testing.T) {
+	if _, err := NewBuilder(2, true).AddEdge(0, 5).Build(); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+}
+
+func TestBuilderSelfLoopUndirected(t *testing.T) {
+	g := NewBuilder(2, false).AddEdge(0, 0).AddEdge(0, 1).MustBuild()
+	// The self-loop is stored once, the edge twice.
+	if g.NumEdges() != 3 {
+		t.Fatalf("arcs = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestDedup(t *testing.T) {
+	g := NewBuilder(2, true).
+		AddWeighted(0, 1, 5).
+		AddWeighted(0, 1, 2).
+		AddWeighted(0, 1, 9).
+		SetDedup(true).
+		MustBuild()
+	if g.NumEdges() != 1 {
+		t.Fatalf("arcs = %d, want 1", g.NumEdges())
+	}
+	if g.OutWeights(0)[0] != 2 {
+		t.Fatalf("kept weight %v, want smallest (2)", g.OutWeights(0)[0])
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := NewBuilder(3, true).AddEdge(0, 1).SetLabel(1, 42).MustBuild()
+	if !g.Labeled() || g.Label(1) != 42 || g.Label(0) != 0 {
+		t.Fatalf("labels wrong: %v %d", g.Labeled(), g.Label(1))
+	}
+	g2 := NewBuilder(3, true).AddEdge(0, 1).MustBuild()
+	if g2.Labeled() || g2.Label(1) != 0 {
+		t.Fatal("unlabeled graph should report zero labels")
+	}
+}
+
+// Property: for any edge set, sum of out-degrees == number of arcs and the
+// in-adjacency is exactly the transpose of the out-adjacency.
+func TestCSRTransposeProperty(t *testing.T) {
+	f := func(raw []uint16, directed bool) bool {
+		const n = 17
+		b := NewBuilder(n, directed)
+		for i := 0; i+1 < len(raw); i += 2 {
+			b.AddEdge(VID(raw[i]%n), VID(raw[i+1]%n))
+		}
+		g := b.MustBuild()
+		sumOut, sumIn := 0, 0
+		for v := VID(0); v < n; v++ {
+			sumOut += g.OutDegree(v)
+			sumIn += g.InDegree(v)
+		}
+		if sumOut != g.NumEdges() || sumIn != g.NumEdges() {
+			return false
+		}
+		// Transpose check: u in out(v) <=> v in in(u), with multiplicity.
+		type pair struct{ a, b VID }
+		fw := map[pair]int{}
+		bw := map[pair]int{}
+		for v := VID(0); v < n; v++ {
+			for _, u := range g.OutNeighbors(v) {
+				fw[pair{v, u}]++
+			}
+			for _, u := range g.InNeighbors(v) {
+				bw[pair{u, v}]++
+			}
+		}
+		if len(fw) != len(bw) {
+			return false
+		}
+		for k, c := range fw {
+			if bw[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"powerlaw", PowerLaw(GenConfig{N: 500, M: 2000, Directed: true, Alpha: 2.5, Seed: 1, MaxW: 10})},
+		{"uniform", Uniform(GenConfig{N: 500, M: 1500, Directed: false, Seed: 2})},
+		{"rmat", RMAT(GenConfig{N: 512, M: 2000, Directed: true, Seed: 3})},
+		{"grid", Grid(10, 20, GenConfig{Seed: 4, MaxW: 5})},
+		{"kb", KnowledgeBase(GenConfig{N: 300, M: 1200, Seed: 5, Labels: 8})},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := c.g
+			if g.NumVertices() == 0 || g.NumEdges() == 0 {
+				t.Fatalf("empty graph: %v", g)
+			}
+			for v := 0; v < g.NumVertices(); v++ {
+				for i, u := range g.OutNeighbors(VID(v)) {
+					if int(u) >= g.NumVertices() {
+						t.Fatalf("edge target out of range: %d", u)
+					}
+					if w := g.OutWeights(VID(v))[i]; w <= 0 || math.IsNaN(w) {
+						t.Fatalf("bad weight %v", w)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := PowerLaw(GenConfig{N: 200, M: 900, Directed: true, Seed: 9, MaxW: 10})
+	b := PowerLaw(GenConfig{N: 200, M: 900, Directed: true, Seed: 9, MaxW: 10})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		av, bv := a.OutNeighbors(VID(v)), b.OutNeighbors(VID(v))
+		if len(av) != len(bv) {
+			t.Fatalf("degree of %d differs", v)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("adjacency of %d differs", v)
+			}
+		}
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	g := PowerLaw(GenConfig{N: 2000, M: 20000, Directed: false, Alpha: 2.5, Seed: 11})
+	degs := make([]int, g.NumVertices())
+	for v := range degs {
+		degs[v] = g.OutDegree(VID(v))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	// The hottest vertex should carry far more than its fair share.
+	fair := float64(g.NumEdges()) / float64(g.NumVertices())
+	if float64(degs[0]) < 5*fair {
+		t.Fatalf("max degree %d not skewed vs fair share %.1f", degs[0], fair)
+	}
+}
+
+func TestChainStar(t *testing.T) {
+	c := Chain(5, true)
+	if c.NumEdges() != 4 || c.OutDegree(4) != 0 || c.InDegree(0) != 0 {
+		t.Fatalf("chain wrong: %v", c)
+	}
+	s := Star(6, false)
+	if s.OutDegree(0) != 5 {
+		t.Fatalf("star hub degree = %d", s.OutDegree(0))
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := KnowledgeBase(GenConfig{N: 120, M: 500, Seed: 6, Labels: 5, MaxW: 9})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphEqual(t, g, g2)
+}
+
+func TestEdgeListRoundTripUndirected(t *testing.T) {
+	g := Uniform(GenConfig{N: 60, M: 150, Directed: false, Seed: 7, MaxW: 3})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphEqual(t, g, g2)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := KnowledgeBase(GenConfig{N: 150, M: 600, Seed: 8, Labels: 6, MaxW: 4})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphEqual(t, g, g2)
+}
+
+func TestReadPlainEdgeList(t *testing.T) {
+	src := "0 1\n1 2 3.5\n\n2 0\n"
+	g, err := ReadEdgeList(bytes.NewBufferString(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 || !g.Directed() {
+		t.Fatalf("got %v", g)
+	}
+	if g.OutWeights(1)[0] != 3.5 {
+		t.Fatalf("weight = %v", g.OutWeights(1)[0])
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, src := range []string{"0\n", "a b\n", "0 1 x\n", "l 1\n"} {
+		if _, err := ReadEdgeList(bytes.NewBufferString(src)); err == nil {
+			t.Fatalf("want error for %q", src)
+		}
+	}
+}
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewBuffer([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})); err == nil {
+		t.Fatal("want bad-magic error")
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	for _, name := range DatasetNames() {
+		g, err := LoadDataset(name, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, _ := DatasetInfo(name)
+		if g.Directed() != info.Directed {
+			t.Fatalf("%s: directedness mismatch", name)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: empty", name)
+		}
+		// Memoized: second load returns identical pointer.
+		g2, _ := LoadDataset(name, 0.02)
+		if g2 != g {
+			t.Fatalf("%s: dataset cache miss", name)
+		}
+	}
+	if _, err := LoadDataset("NOPE", 1); err == nil {
+		t.Fatal("want unknown dataset error")
+	}
+	if g := MustDataset("DP", 0.02); !g.Labeled() {
+		t.Fatal("DP stand-in must be labeled")
+	}
+}
+
+func assertGraphEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() ||
+		a.Directed() != b.Directed() || a.Labeled() != b.Labeled() {
+		t.Fatalf("shape differs: %v vs %v", a, b)
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if a.Label(VID(v)) != b.Label(VID(v)) {
+			t.Fatalf("label of %d differs", v)
+		}
+		an, bn := a.OutNeighbors(VID(v)), b.OutNeighbors(VID(v))
+		if len(an) != len(bn) {
+			t.Fatalf("degree of %d differs: %d vs %d", v, len(an), len(bn))
+		}
+		aw, bw := a.OutWeights(VID(v)), b.OutWeights(VID(v))
+		for i := range an {
+			if an[i] != bn[i] || math.Abs(aw[i]-bw[i]) > 1e-9 {
+				t.Fatalf("adjacency of %d differs at %d: (%d,%g) vs (%d,%g)", v, i, an[i], aw[i], bn[i], bw[i])
+			}
+		}
+	}
+}

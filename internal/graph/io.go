@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as a text edge list. The header line is
+//
+//	# argan directed=<bool> n=<int> labeled=<bool>
+//
+// followed by optional "l <vid> <label>" lines and one "src dst weight" line
+// per arc (undirected edges are written once, with src <= dst).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# argan directed=%v n=%d labeled=%v\n", g.directed, g.n, g.labels != nil)
+	if g.labels != nil {
+		for v, l := range g.labels {
+			if l != 0 {
+				fmt.Fprintf(bw, "l %d %d\n", v, l)
+			}
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		adj, ws := g.OutNeighbors(VID(v)), g.OutWeights(VID(v))
+		for i, u := range adj {
+			if !g.directed && u < VID(v) {
+				continue // written from the smaller endpoint
+			}
+			fmt.Fprintf(bw, "%d %d %g\n", v, u, ws[i])
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Plain edge lists
+// without the header are also accepted: lines of "src dst [weight]" build a
+// directed graph with n = max id + 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	directed := true
+	n := -1
+	var edges []Edge
+	type labelAssign struct {
+		v VID
+		l int32
+	}
+	var labels []labelAssign
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			for _, f := range strings.Fields(line[1:]) {
+				if v, ok := strings.CutPrefix(f, "directed="); ok {
+					directed = v == "true"
+				}
+				if v, ok := strings.CutPrefix(f, "n="); ok {
+					x, err := strconv.Atoi(v)
+					if err != nil {
+						return nil, fmt.Errorf("graph: line %d: bad n: %v", lineNo, err)
+					}
+					n = x
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "l" {
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: bad label line", lineNo)
+			}
+			v, err1 := strconv.ParseUint(fields[1], 10, 32)
+			l, err2 := strconv.ParseInt(fields[2], 10, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad label line", lineNo)
+			}
+			labels = append(labels, labelAssign{VID(v), int32(l)})
+			continue
+		}
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("graph: line %d: expected 'src dst [w]'", lineNo)
+		}
+		src, err1 := strconv.ParseUint(fields[0], 10, 32)
+		dst, err2 := strconv.ParseUint(fields[1], 10, 32)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex id", lineNo)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			var err error
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %v", lineNo, err)
+			}
+		}
+		edges = append(edges, Edge{VID(src), VID(dst), w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		max := -1
+		for _, e := range edges {
+			if int(e.Src) > max {
+				max = int(e.Src)
+			}
+			if int(e.Dst) > max {
+				max = int(e.Dst)
+			}
+		}
+		n = max + 1
+	}
+	b := NewBuilder(n, directed)
+	b.edges = edges
+	for _, a := range labels {
+		if int(a.v) < n {
+			b.SetLabel(a.v, a.l)
+		}
+	}
+	return b.Build()
+}
+
+const binMagic = uint32(0x41524732) // "ARG2"
+
+// WriteBinary writes a compact binary encoding (little-endian), much faster
+// to reload than the text form for large graphs.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	flags := uint32(0)
+	if g.directed {
+		flags |= 1
+	}
+	if g.labels != nil {
+		flags |= 2
+	}
+	hdr := []uint32{binMagic, flags, uint32(g.n), uint32(len(g.outTo))}
+	for _, x := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, x); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outIndex); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outTo); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outW); err != nil {
+		return err
+	}
+	if g.labels != nil {
+		if err := binary.Write(bw, binary.LittleEndian, g.labels); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the format written by WriteBinary, reconstructing the
+// reverse adjacency.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, err
+		}
+	}
+	if hdr[0] != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	g := &Graph{n: int(hdr[2]), directed: hdr[1]&1 != 0}
+	m := int(hdr[3])
+	g.outIndex = make([]int64, g.n+1)
+	g.outTo = make([]VID, m)
+	g.outW = make([]float64, m)
+	if err := binary.Read(br, binary.LittleEndian, g.outIndex); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.outTo); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.outW); err != nil {
+		return nil, err
+	}
+	if hdr[1]&2 != 0 {
+		g.labels = make([]int32, g.n)
+		if err := binary.Read(br, binary.LittleEndian, g.labels); err != nil {
+			return nil, err
+		}
+	}
+	if g.directed {
+		arcs := make([]Edge, 0, m)
+		for v := 0; v < g.n; v++ {
+			for i := g.outIndex[v]; i < g.outIndex[v+1]; i++ {
+				arcs = append(arcs, Edge{VID(v), g.outTo[i], g.outW[i]})
+			}
+		}
+		g.inIndex, g.inTo, g.inW = buildCSR(g.n, arcs, true)
+	} else {
+		g.inIndex, g.inTo, g.inW = g.outIndex, g.outTo, g.outW
+	}
+	return g, nil
+}

@@ -1,0 +1,62 @@
+package graph
+
+import "sort"
+
+// RelabelByDegree returns an isomorphic copy of g whose vertex ids are
+// assigned in descending total-degree order (ties by original id), plus the
+// mapping perm with perm[old] = new. Running the id-priority greedy
+// coloring on the relabeled graph is exactly the Welsh–Powell algorithm the
+// paper parallelizes (process highest-degree vertices first).
+func RelabelByDegree(g *Graph) (*Graph, []VID) {
+	n := g.NumVertices()
+	order := make([]VID, n)
+	for i := range order {
+		order[i] = VID(i)
+	}
+	deg := func(v VID) int {
+		d := g.OutDegree(v)
+		if g.Directed() {
+			d += g.InDegree(v)
+		}
+		return d
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := deg(order[i]), deg(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	perm := make([]VID, n)
+	for newID, old := range order {
+		perm[old] = VID(newID)
+	}
+	b := NewBuilder(n, g.Directed())
+	for v := 0; v < n; v++ {
+		adj, ws := g.OutNeighbors(VID(v)), g.OutWeights(VID(v))
+		for i, u := range adj {
+			if !g.Directed() && perm[u] < perm[v] {
+				continue // undirected edges once
+			}
+			b.AddWeighted(perm[v], u2(perm, u), ws[i])
+		}
+	}
+	if g.Labeled() {
+		for v := 0; v < n; v++ {
+			b.SetLabel(perm[v], g.Label(VID(v)))
+		}
+	}
+	return b.MustBuild(), perm
+}
+
+func u2(perm []VID, u VID) VID { return perm[u] }
+
+// ApplyPermutation maps a per-vertex result computed on the relabeled graph
+// back to the original ids: out[old] = values[perm[old]].
+func ApplyPermutation[T any](values []T, perm []VID) []T {
+	out := make([]T, len(values))
+	for old, newID := range perm {
+		out[old] = values[newID]
+	}
+	return out
+}

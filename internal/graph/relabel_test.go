@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRelabelByDegreeOrder(t *testing.T) {
+	g := PowerLaw(GenConfig{N: 300, M: 1800, Directed: true, Seed: 81, MaxW: 5, Labels: 4})
+	rg, perm := RelabelByDegree(g)
+	if rg.NumVertices() != g.NumVertices() || rg.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %v vs %v", rg, g)
+	}
+	deg := func(gr *Graph, v VID) int { return gr.OutDegree(v) + gr.InDegree(v) }
+	for v := 1; v < rg.NumVertices(); v++ {
+		if deg(rg, VID(v-1)) < deg(rg, VID(v)) {
+			t.Fatalf("degrees not descending at %d: %d < %d", v, deg(rg, VID(v-1)), deg(rg, VID(v)))
+		}
+	}
+	// Isomorphism: every original edge exists under the permutation, with
+	// labels carried over.
+	for v := 0; v < g.NumVertices(); v++ {
+		if rg.Label(perm[v]) != g.Label(VID(v)) {
+			t.Fatalf("label of %d lost", v)
+		}
+		for _, u := range g.OutNeighbors(VID(v)) {
+			if !rg.HasEdge(perm[v], perm[u]) {
+				t.Fatalf("edge (%d,%d) missing after relabel", v, u)
+			}
+		}
+	}
+}
+
+func TestRelabelUndirectedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := Uniform(GenConfig{N: 60, M: 150, Directed: false, Seed: seed, MaxW: 3})
+		rg, perm := RelabelByDegree(g)
+		if rg.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if rg.OutDegree(perm[v]) != g.OutDegree(VID(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyPermutation(t *testing.T) {
+	vals := []string{"a", "b", "c"}
+	perm := []VID{2, 0, 1} // old 0 -> new 2, etc.
+	out := ApplyPermutation(vals, perm)
+	if out[0] != "c" || out[1] != "a" || out[2] != "b" {
+		t.Fatalf("got %v", out)
+	}
+}

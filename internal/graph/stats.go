@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// Stats summarizes the structural properties that matter for granularity
+// behaviour: size, density, degree skew and an estimate of the power-law
+// tail exponent. The dataset stand-ins are validated against these (the
+// substitution argument of DESIGN.md rests on preserving skew and
+// diameter shape, not on absolute size).
+type Stats struct {
+	Vertices  int
+	Arcs      int
+	AvgDegree float64
+	MaxDegree int
+	// DegreeP99 is the 99th-percentile out-degree.
+	DegreeP99 int
+	// Skew is MaxDegree / AvgDegree — the straggler potential of hash
+	// partitioning.
+	Skew float64
+	// PowerLawAlpha is the Hill estimator of the degree-tail exponent over
+	// the top 10% of degrees (meaningful only for heavy-tailed graphs).
+	PowerLawAlpha float64
+	// GiantComponentFrac is the fraction of vertices in the largest weakly
+	// connected component.
+	GiantComponentFrac float64
+}
+
+// ComputeStats measures g.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumVertices()
+	st := Stats{Vertices: n, Arcs: g.NumEdges()}
+	if n == 0 {
+		return st
+	}
+	degs := make([]int, n)
+	for v := 0; v < n; v++ {
+		degs[v] = g.OutDegree(VID(v))
+		if degs[v] > st.MaxDegree {
+			st.MaxDegree = degs[v]
+		}
+	}
+	st.AvgDegree = float64(g.NumEdges()) / float64(n)
+	sort.Ints(degs)
+	st.DegreeP99 = degs[n-1-n/100]
+	if st.AvgDegree > 0 {
+		st.Skew = float64(st.MaxDegree) / st.AvgDegree
+	}
+	st.PowerLawAlpha = hillAlpha(degs)
+	st.GiantComponentFrac = giantFrac(g)
+	return st
+}
+
+// hillAlpha estimates the tail exponent α of a power-law degree
+// distribution P(d) ∝ d^-α with the Hill estimator over the top decile.
+func hillAlpha(sortedDegs []int) float64 {
+	n := len(sortedDegs)
+	k := n / 10
+	if k < 10 {
+		k = min(n, 10)
+	}
+	if k < 2 {
+		return 0
+	}
+	xmin := float64(sortedDegs[n-k])
+	if xmin < 1 {
+		xmin = 1
+	}
+	sum := 0.0
+	cnt := 0
+	for _, d := range sortedDegs[n-k:] {
+		if float64(d) <= xmin {
+			continue
+		}
+		sum += math.Log(float64(d) / xmin)
+		cnt++
+	}
+	if cnt == 0 || sum == 0 {
+		return 0
+	}
+	return 1 + float64(cnt)/sum
+}
+
+func giantFrac(g *Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []VID
+	best := 0
+	next := int32(0)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		size := 0
+		stack = append(stack[:0], VID(s))
+		comp[s] = next
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			expand := func(us []VID) {
+				for _, u := range us {
+					if comp[u] < 0 {
+						comp[u] = next
+						stack = append(stack, u)
+					}
+				}
+			}
+			expand(g.OutNeighbors(v))
+			if g.Directed() {
+				expand(g.InNeighbors(v))
+			}
+		}
+		if size > best {
+			best = size
+		}
+		next++
+	}
+	return float64(best) / float64(n)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

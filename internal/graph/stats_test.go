@@ -1,0 +1,68 @@
+package graph
+
+import "testing"
+
+func TestComputeStatsBasics(t *testing.T) {
+	g := Chain(10, true)
+	st := ComputeStats(g)
+	if st.Vertices != 10 || st.Arcs != 9 || st.MaxDegree != 1 {
+		t.Fatalf("%+v", st)
+	}
+	if st.GiantComponentFrac != 1 {
+		t.Fatalf("chain is one weak component: %v", st.GiantComponentFrac)
+	}
+	if s := ComputeStats(NewBuilder(0, true).MustBuild()); s.Vertices != 0 {
+		t.Fatalf("empty graph stats: %+v", s)
+	}
+}
+
+func TestComputeStatsSkew(t *testing.T) {
+	star := Star(1000, false)
+	st := ComputeStats(star)
+	if st.MaxDegree != 999 || st.Skew < 400 {
+		t.Fatalf("star skew missing: %+v", st)
+	}
+	uni := Uniform(GenConfig{N: 2000, M: 10000, Directed: true, Seed: 1})
+	if ComputeStats(uni).Skew > 10 {
+		t.Fatalf("uniform graph should have low skew: %+v", ComputeStats(uni))
+	}
+}
+
+// The dataset stand-ins must preserve the structural properties the
+// substitution argument relies on: heavy-tailed degrees for the social
+// graphs and a dominant weak giant component (the paper requires SSSP
+// sources reaching >90% of vertices).
+func TestDatasetStandInsAreFaithful(t *testing.T) {
+	for _, name := range []string{"LJ", "TW", "FS", "HW", "UK"} {
+		g := MustDataset(name, 0.05)
+		st := ComputeStats(g)
+		minSkew := 15.0
+		if name == "HW" {
+			minSkew = 8 // dense collaboration network: milder hub skew
+		}
+		if st.Skew < minSkew {
+			t.Fatalf("%s: degree skew too low for a social/web graph: %+v", name, st)
+		}
+		if st.GiantComponentFrac < 0.6 {
+			t.Fatalf("%s: giant component too small: %+v", name, st)
+		}
+		if st.PowerLawAlpha < 1.2 || st.PowerLawAlpha > 5 {
+			t.Fatalf("%s: implausible tail exponent %v", name, st.PowerLawAlpha)
+		}
+	}
+	// DP is sparse and fragmented by construction; only check labeling.
+	dp := MustDataset("DP", 0.05)
+	if !dp.Labeled() {
+		t.Fatal("DP must be labeled")
+	}
+}
+
+func TestPowerLawAlphaRecovered(t *testing.T) {
+	// The Chung-Lu generator targets alpha = 2.5; the Hill estimate over
+	// the tail should land in a band around it.
+	g := PowerLaw(GenConfig{N: 20000, M: 280000, Directed: true, Seed: 5, Alpha: 2.5})
+	st := ComputeStats(g)
+	if st.PowerLawAlpha < 1.6 || st.PowerLawAlpha > 3.8 {
+		t.Fatalf("tail exponent estimate %v too far from 2.5", st.PowerLawAlpha)
+	}
+}

@@ -1,0 +1,149 @@
+// Package netsim models the cluster interconnect. The GAP runtime only
+// needs an end-to-end point-to-point cost function T_B(bytes) (Eq. 2 of the
+// paper); this package provides the affine model used by the simulator, a
+// Netgauge-style offline profiler that recovers the model's coefficients
+// from measurements, and per-link heterogeneity/failure knobs for the
+// robustness experiments.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CostModel is the hardware-dependent function T_B mapping a message batch
+// to its end-to-end transfer cost, plus the per-message handler overheads
+// charged to h_in/h_out.
+type CostModel struct {
+	// Alpha is the fixed per-batch latency (cost units).
+	Alpha float64
+	// Beta is the per-byte transfer cost (cost units / byte).
+	Beta float64
+	// Gamma is the per-message handler cost charged at both endpoints
+	// (serialization on send, aggregation on receive).
+	Gamma float64
+	// BatchCPU is the fixed per-batch CPU overhead charged at each endpoint
+	// (syscall/flush cost); it is what makes overly fine-grained
+	// communication expensive beyond pure latency.
+	BatchCPU float64
+}
+
+// DefaultCostModel mirrors a commodity cluster NIC relative to a 1-unit
+// edge scan, rescaled to the repository's ~100× reduced dataset stand-ins
+// so the computation/communication balance of the paper's testbed is
+// preserved: a batch costs 20 edge-scan units of wire latency plus 0.01
+// units/byte, each message costs 0.5 units of handler work, and each batch
+// 4 units of fixed CPU at either endpoint.
+func DefaultCostModel() CostModel {
+	return CostModel{Alpha: 6, Beta: 0.01, Gamma: 0.5, BatchCPU: 10}
+}
+
+// TB returns T_B(bytes): the transfer cost of one batch.
+func (m CostModel) TB(bytes int) float64 {
+	if bytes <= 0 {
+		return m.Alpha
+	}
+	return m.Alpha + m.Beta*float64(bytes)
+}
+
+// SendCost returns the cost charged to the sender's h_out for a batch of
+// msgs messages.
+func (m CostModel) SendCost(msgs int) float64 { return m.BatchCPU + m.Gamma*float64(msgs) }
+
+// RecvCost returns the cost charged to the receiver's h_in for batches
+// batches carrying msgs messages in total.
+func (m CostModel) RecvCost(batches, msgs int) float64 {
+	return m.BatchCPU*float64(batches) + m.Gamma*float64(msgs)
+}
+
+func (m CostModel) String() string {
+	return fmt.Sprintf("T_B(b)=%.3g+%.3g*b, gamma=%.3g", m.Alpha, m.Beta, m.Gamma)
+}
+
+// Network adds per-link behaviour on top of a CostModel: heterogeneous link
+// speeds (stragglers at the network level) and optional jitter, all
+// deterministic under Seed.
+type Network struct {
+	Model CostModel
+	// SlowLinks maps "i->j" links to latency multipliers (>1 is slower).
+	slow map[[2]int]float64
+	// Jitter adds up to Jitter*latency of deterministic pseudo-random delay.
+	Jitter float64
+	rng    *rand.Rand
+}
+
+// NewNetwork builds a homogeneous network over the model.
+func NewNetwork(model CostModel, seed int64) *Network {
+	return &Network{Model: model, slow: map[[2]int]float64{}, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetLinkFactor makes the i->j link factor-times slower than the base model.
+func (n *Network) SetLinkFactor(i, j int, factor float64) { n.slow[[2]int{i, j}] = factor }
+
+// Latency returns the delivery delay for a batch of the given size on link
+// i->j.
+func (n *Network) Latency(i, j, bytes int) float64 {
+	l := n.Model.TB(bytes)
+	if f, ok := n.slow[[2]int{i, j}]; ok {
+		l *= f
+	}
+	if n.Jitter > 0 {
+		l *= 1 + n.Jitter*n.rng.Float64()
+	}
+	return l
+}
+
+// Sample is one profiler observation: batch size and measured cost.
+type Sample struct {
+	Bytes int
+	Cost  float64
+}
+
+// Profile measures the transport the way Netgauge does: it sends batches of
+// exponentially growing sizes over the link i->j and records the observed
+// end-to-end costs.
+func (n *Network) Profile(i, j int, maxBytes int) []Sample {
+	var out []Sample
+	for b := 1; b <= maxBytes; b *= 2 {
+		// Three repetitions per size, as a real harness would, to smooth jitter.
+		for rep := 0; rep < 3; rep++ {
+			out = append(out, Sample{Bytes: b, Cost: n.Latency(i, j, b)})
+		}
+	}
+	return out
+}
+
+// Fit recovers an affine CostModel (alpha, beta) from profiler samples by
+// least squares. Gamma is not observable from transfer timings and is kept
+// from the prior model.
+func Fit(samples []Sample, gamma float64) (CostModel, error) {
+	if len(samples) < 2 {
+		return CostModel{}, fmt.Errorf("netsim: need at least 2 samples, got %d", len(samples))
+	}
+	var sx, sy, sxx, sxy float64
+	for _, s := range samples {
+		x := float64(s.Bytes)
+		sx += x
+		sy += s.Cost
+		sxx += x * x
+		sxy += x * s.Cost
+	}
+	k := float64(len(samples))
+	den := k*sxx - sx*sx
+	if den == 0 {
+		return CostModel{}, fmt.Errorf("netsim: degenerate samples")
+	}
+	beta := (k*sxy - sx*sy) / den
+	alpha := (sy - beta*sx) / k
+	if math.IsNaN(alpha) || math.IsNaN(beta) {
+		return CostModel{}, fmt.Errorf("netsim: fit produced NaN")
+	}
+	return CostModel{Alpha: alpha, Beta: beta, Gamma: gamma}, nil
+}
+
+// ProfileAndFit runs the full Netgauge-equivalent workflow: profile the
+// 0->1 link and fit the affine model.
+func (n *Network) ProfileAndFit(maxBytes int) (CostModel, error) {
+	return Fit(n.Profile(0, 1, maxBytes), n.Model.Gamma)
+}

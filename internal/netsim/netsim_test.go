@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCostModelTB(t *testing.T) {
+	m := CostModel{Alpha: 10, Beta: 0.5, Gamma: 2}
+	if m.TB(0) != 10 || m.TB(-3) != 10 {
+		t.Fatalf("TB(0)=%v", m.TB(0))
+	}
+	if m.TB(100) != 60 {
+		t.Fatalf("TB(100)=%v", m.TB(100))
+	}
+	if m.SendCost(5) != 10 || m.RecvCost(1, 3) != 6 {
+		t.Fatal("handler costs wrong")
+	}
+	mb := CostModel{Gamma: 2, BatchCPU: 7}
+	if mb.SendCost(5) != 17 || mb.RecvCost(2, 3) != 20 {
+		t.Fatal("batch CPU costs wrong")
+	}
+	if m.String() == "" || DefaultCostModel().TB(1) <= 0 {
+		t.Fatal("stringer/default wrong")
+	}
+}
+
+func TestNetworkLinkFactor(t *testing.T) {
+	n := NewNetwork(CostModel{Alpha: 10, Beta: 1}, 1)
+	base := n.Latency(0, 1, 100)
+	n.SetLinkFactor(0, 1, 3)
+	if got := n.Latency(0, 1, 100); math.Abs(got-3*base) > 1e-9 {
+		t.Fatalf("slow link latency %v, want %v", got, 3*base)
+	}
+	// Other links unaffected.
+	if got := n.Latency(1, 0, 100); math.Abs(got-base) > 1e-9 {
+		t.Fatalf("reverse link changed: %v", got)
+	}
+}
+
+func TestNetworkJitterDeterministic(t *testing.T) {
+	a := NewNetwork(CostModel{Alpha: 5, Beta: 0.1}, 42)
+	b := NewNetwork(CostModel{Alpha: 5, Beta: 0.1}, 42)
+	a.Jitter, b.Jitter = 0.3, 0.3
+	for i := 0; i < 20; i++ {
+		if a.Latency(0, 1, i*10) != b.Latency(0, 1, i*10) {
+			t.Fatal("jitter not deterministic under same seed")
+		}
+	}
+}
+
+func TestProfileAndFitRecoversModel(t *testing.T) {
+	truth := CostModel{Alpha: 200, Beta: 0.05, Gamma: 1}
+	n := NewNetwork(truth, 7)
+	fit, err := n.ProfileAndFit(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-truth.Alpha) > 1e-6 || math.Abs(fit.Beta-truth.Beta) > 1e-9 {
+		t.Fatalf("fit %+v, want %+v", fit, truth)
+	}
+	if fit.Gamma != truth.Gamma {
+		t.Fatal("gamma must be carried over")
+	}
+}
+
+func TestProfileAndFitWithJitter(t *testing.T) {
+	truth := CostModel{Alpha: 100, Beta: 0.2, Gamma: 1}
+	n := NewNetwork(truth, 9)
+	n.Jitter = 0.1
+	fit, err := n.ProfileAndFit(1 << 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 10% jitter the fit should land within ~15% of the true beta.
+	if fit.Beta < truth.Beta*0.85 || fit.Beta > truth.Beta*1.25 {
+		t.Fatalf("beta fit %v too far from %v", fit.Beta, truth.Beta)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 1); err == nil {
+		t.Fatal("want error for no samples")
+	}
+	if _, err := Fit([]Sample{{1, 1}}, 1); err == nil {
+		t.Fatal("want error for 1 sample")
+	}
+	if _, err := Fit([]Sample{{5, 1}, {5, 2}, {5, 3}}, 1); err == nil {
+		t.Fatal("want degenerate error for constant x")
+	}
+}
+
+// Property: fitting exact affine samples recovers alpha/beta for any
+// positive coefficients.
+func TestFitProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		alpha := float64(aRaw%1000) + 1
+		beta := float64(bRaw%100)/100 + 0.01
+		var samples []Sample
+		for x := 1; x <= 1024; x *= 2 {
+			samples = append(samples, Sample{x, alpha + beta*float64(x)})
+		}
+		fit, err := Fit(samples, 0)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Alpha-alpha) < 1e-6 && math.Abs(fit.Beta-beta) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTBMonotone(t *testing.T) {
+	m := DefaultCostModel()
+	prev := m.TB(0)
+	for b := 1; b < 1<<20; b *= 4 {
+		cur := m.TB(b)
+		if cur < prev {
+			t.Fatalf("T_B not monotone at %d", b)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,196 @@
+// Package partition assigns graph vertices to workers and measures the
+// quality of the assignment. The paper uses XtraPuLP; this package provides
+// hash, range and greedy balanced-edge (LDG-style) partitioners, which give
+// the balanced fragments with controllable skew the experiments need.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"argan/internal/graph"
+)
+
+// Partitioner computes an owner assignment: owner[v] is the worker that owns
+// global vertex v.
+type Partitioner interface {
+	// Name identifies the strategy.
+	Name() string
+	// Assign partitions g into numWorkers parts.
+	Assign(g *graph.Graph, numWorkers int) []uint16
+}
+
+// Partition runs p and builds the fragments in one call.
+func Partition(g *graph.Graph, p Partitioner, numWorkers int) ([]*graph.Fragment, error) {
+	if numWorkers < 1 {
+		return nil, fmt.Errorf("partition: numWorkers must be >= 1, got %d", numWorkers)
+	}
+	if numWorkers > 256 {
+		return nil, fmt.Errorf("partition: at most 256 workers supported, got %d", numWorkers)
+	}
+	owner := p.Assign(g, numWorkers)
+	return graph.BuildFragments(g, owner, numWorkers)
+}
+
+// Hash spreads vertices by a multiplicative hash of their id: balanced vertex
+// counts, oblivious to locality. The default strategy for most experiments.
+type Hash struct{ Seed uint32 }
+
+// Name implements Partitioner.
+func (Hash) Name() string { return "hash" }
+
+// Assign implements Partitioner.
+func (h Hash) Assign(g *graph.Graph, numWorkers int) []uint16 {
+	owner := make([]uint16, g.NumVertices())
+	seed := h.Seed | 1
+	for v := range owner {
+		x := uint32(v) * 2654435761 * seed
+		x ^= x >> 16
+		owner[v] = uint16(x % uint32(numWorkers))
+	}
+	return owner
+}
+
+// Range slices the id space into contiguous equal-size blocks: preserves id
+// locality (good for grids/roads), can be badly edge-skewed on power-law ids.
+type Range struct{}
+
+// Name implements Partitioner.
+func (Range) Name() string { return "range" }
+
+// Assign implements Partitioner.
+func (Range) Assign(g *graph.Graph, numWorkers int) []uint16 {
+	n := g.NumVertices()
+	owner := make([]uint16, n)
+	per := (n + numWorkers - 1) / numWorkers
+	for v := 0; v < n; v++ {
+		owner[v] = uint16(v / per)
+	}
+	return owner
+}
+
+// Greedy is an LDG-style streaming partitioner: vertices arrive in random
+// order and go to the worker holding most of their already-placed neighbors,
+// penalized by the worker's load. It minimizes replication while keeping
+// edge balance, standing in for XtraPuLP.
+type Greedy struct {
+	Seed int64
+	// Slack is the allowed per-worker capacity multiplier (default 1.1).
+	Slack float64
+}
+
+// Name implements Partitioner.
+func (Greedy) Name() string { return "greedy" }
+
+// Assign implements Partitioner.
+func (p Greedy) Assign(g *graph.Graph, numWorkers int) []uint16 {
+	n := g.NumVertices()
+	slack := p.Slack
+	if slack <= 0 {
+		slack = 1.1
+	}
+	capacity := slack * float64(n) / float64(numWorkers)
+	r := rand.New(rand.NewSource(p.Seed + 7))
+	order := r.Perm(n)
+	owner := make([]uint16, n)
+	placed := make([]bool, n)
+	load := make([]int, numWorkers)
+	score := make([]float64, numWorkers)
+	for _, vi := range order {
+		v := graph.VID(vi)
+		for i := range score {
+			score[i] = 0
+		}
+		count := func(nbrs []graph.VID) {
+			for _, u := range nbrs {
+				if placed[u] {
+					score[owner[u]]++
+				}
+			}
+		}
+		count(g.OutNeighbors(v))
+		if g.Directed() {
+			count(g.InNeighbors(v))
+		}
+		best, bestScore := 0, -1.0
+		for w := 0; w < numWorkers; w++ {
+			s := (score[w] + 1) * (1 - float64(load[w])/capacity)
+			if s > bestScore {
+				best, bestScore = w, s
+			}
+		}
+		owner[v] = uint16(best)
+		placed[vi] = true
+		load[best]++
+	}
+	return owner
+}
+
+// Skewed wraps another partitioner and reassigns a fraction of vertices to
+// worker 0, deliberately creating a straggler; used by the failure-injection
+// and straggler experiments.
+type Skewed struct {
+	Base Partitioner
+	// Extra is the fraction of vertices (0..1) moved onto worker 0.
+	Extra float64
+	Seed  int64
+}
+
+// Name implements Partitioner.
+func (s Skewed) Name() string { return fmt.Sprintf("skewed(%s,%.2f)", s.Base.Name(), s.Extra) }
+
+// Assign implements Partitioner.
+func (s Skewed) Assign(g *graph.Graph, numWorkers int) []uint16 {
+	owner := s.Base.Assign(g, numWorkers)
+	r := rand.New(rand.NewSource(s.Seed + 13))
+	for v := range owner {
+		if owner[v] != 0 && r.Float64() < s.Extra {
+			owner[v] = 0
+		}
+	}
+	return owner
+}
+
+// Stats summarizes a partitioning: balance and replication, the two numbers
+// that drive stragglers and communication volume.
+type Stats struct {
+	NumWorkers     int
+	MinOwned       int
+	MaxOwned       int
+	MinArcs        int
+	MaxArcs        int
+	TotalGhosts    int
+	ReplicationAvg float64 // total local vertices / |V|
+	EdgeImbalance  float64 // max arcs / mean arcs
+}
+
+// Measure computes Stats over built fragments.
+func Measure(frags []*graph.Fragment) Stats {
+	st := Stats{NumWorkers: len(frags), MinOwned: 1 << 30, MinArcs: 1 << 30}
+	totalArcs, totalLocal, globalN := 0, 0, 0
+	for _, f := range frags {
+		globalN = f.GlobalVertices()
+		if f.NumOwned() < st.MinOwned {
+			st.MinOwned = f.NumOwned()
+		}
+		if f.NumOwned() > st.MaxOwned {
+			st.MaxOwned = f.NumOwned()
+		}
+		if f.NumArcs() < st.MinArcs {
+			st.MinArcs = f.NumArcs()
+		}
+		if f.NumArcs() > st.MaxArcs {
+			st.MaxArcs = f.NumArcs()
+		}
+		st.TotalGhosts += f.NumGhosts()
+		totalArcs += f.NumArcs()
+		totalLocal += f.NumLocal()
+	}
+	if globalN > 0 {
+		st.ReplicationAvg = float64(totalLocal) / float64(globalN)
+	}
+	if totalArcs > 0 {
+		st.EdgeImbalance = float64(st.MaxArcs) * float64(len(frags)) / float64(totalArcs)
+	}
+	return st
+}

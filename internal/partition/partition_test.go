@@ -1,0 +1,130 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"argan/internal/graph"
+)
+
+func TestHashBalance(t *testing.T) {
+	g := graph.Uniform(graph.GenConfig{N: 4000, M: 8000, Directed: true, Seed: 1})
+	for _, n := range []int{2, 4, 16, 64} {
+		owner := Hash{}.Assign(g, n)
+		counts := make([]int, n)
+		for _, o := range owner {
+			counts[o]++
+		}
+		per := 4000 / n
+		for w, c := range counts {
+			if c < per/2 || c > per*2 {
+				t.Fatalf("n=%d worker %d has %d vertices (fair %d)", n, w, c, per)
+			}
+		}
+	}
+}
+
+func TestRangeContiguity(t *testing.T) {
+	g := graph.Chain(100, true)
+	owner := Range{}.Assign(g, 4)
+	for v := 1; v < 100; v++ {
+		if owner[v] < owner[v-1] {
+			t.Fatal("range partition not monotone")
+		}
+	}
+	if owner[0] != 0 || owner[99] != 3 {
+		t.Fatalf("range endpoints wrong: %d %d", owner[0], owner[99])
+	}
+}
+
+func TestGreedyReducesReplication(t *testing.T) {
+	g := graph.PowerLaw(graph.GenConfig{N: 1500, M: 9000, Directed: false, Seed: 5})
+	const n = 8
+	fh, err := Partition(g, Hash{}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := Partition(g, Greedy{Seed: 1}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, gs := Measure(fh), Measure(fg)
+	if gs.ReplicationAvg >= hs.ReplicationAvg {
+		t.Fatalf("greedy replication %.2f not better than hash %.2f", gs.ReplicationAvg, hs.ReplicationAvg)
+	}
+	// Greedy must stay reasonably balanced.
+	if gs.MaxOwned > 3*gs.MinOwned+10 {
+		t.Fatalf("greedy imbalanced: min=%d max=%d", gs.MinOwned, gs.MaxOwned)
+	}
+}
+
+func TestSkewedCreatesStraggler(t *testing.T) {
+	g := graph.Uniform(graph.GenConfig{N: 2000, M: 6000, Directed: true, Seed: 2})
+	frags, err := Partition(g, Skewed{Base: Hash{}, Extra: 0.5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frags[0].NumOwned() < 2*frags[1].NumOwned() {
+		t.Fatalf("worker 0 should be overloaded: %d vs %d", frags[0].NumOwned(), frags[1].NumOwned())
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := graph.Chain(4, true)
+	if _, err := Partition(g, Hash{}, 0); err == nil {
+		t.Fatal("want error for 0 workers")
+	}
+	if _, err := Partition(g, Hash{}, 300); err == nil {
+		t.Fatal("want error for >256 workers")
+	}
+}
+
+// Property: every partitioner produces a total assignment within range, and
+// Partition yields fragments whose owned sets cover V exactly once.
+func TestAssignmentProperty(t *testing.T) {
+	partitioners := []Partitioner{Hash{}, Range{}, Greedy{Seed: 3}}
+	f := func(seed int64, wRaw uint8) bool {
+		n := int(wRaw%6) + 2
+		g := graph.PowerLaw(graph.GenConfig{N: 150, M: 700, Directed: true, Seed: seed})
+		for _, p := range partitioners {
+			frags, err := Partition(g, p, n)
+			if err != nil {
+				return false
+			}
+			total := 0
+			for _, fr := range frags {
+				total += fr.NumOwned()
+			}
+			if total != g.NumVertices() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	g := graph.Uniform(graph.GenConfig{N: 800, M: 3000, Directed: true, Seed: 4})
+	frags, err := Partition(g, Hash{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Measure(frags)
+	if st.NumWorkers != 4 || st.ReplicationAvg < 1 || st.EdgeImbalance < 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if st.MinOwned > st.MaxOwned || st.MinArcs > st.MaxArcs {
+		t.Fatalf("min/max inverted: %+v", st)
+	}
+}
+
+func TestPartitionerNames(t *testing.T) {
+	for _, p := range []Partitioner{Hash{}, Range{}, Greedy{}, Skewed{Base: Hash{}, Extra: 0.1}} {
+		if p.Name() == "" {
+			t.Fatal("empty partitioner name")
+		}
+	}
+}

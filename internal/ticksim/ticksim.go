@@ -1,0 +1,488 @@
+// Package ticksim reproduces the execution-trace model of the paper's §I
+// (Table I): time advances in unit ticks; in one tick a worker either scans
+// a single edge (updating the tentative distance of the edge's target) or
+// ejects its queued messages ("X"), which arrive at the next tick. Four
+// scheduling policies mirror the compared model combinations: BSP & GC,
+// AAP & GC, AP & VC, and GAP & ACE with granularity bound η.
+//
+// The paper's Figures 1–2 (the 10-edge example graph and its 3-way
+// partition) are not part of the provided text, so the graph here is a
+// reconstruction engineered to exhibit the same phenomena the table
+// narrates: P1 starts alone (straggler), P2's work depends on P1's first
+// message, P3 scans stale values that later messages override, and finer
+// ingestion (AP/GAP) removes re-scans while GAP additionally batches
+// messages and wakes idle workers early.
+package ticksim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Edge is a named weighted edge of the example. Edges are scanned by the
+// worker owning their target vertex (pull-style graph-centric SSSP).
+type Edge struct {
+	Name     string
+	Src, Dst int
+	W        float64
+}
+
+// Example is a tick-simulation instance.
+type Example struct {
+	NumVertices int
+	Edges       []Edge
+	Owner       []int // vertex -> worker
+	Workers     int
+	Source      int
+}
+
+// PaperExample returns the reconstructed running example: SSSP from v1
+// (vertex 0) over a 10-edge digraph partitioned across 3 workers.
+func PaperExample() *Example {
+	// Vertices: 0:v1 1:v2 2:v3 3:v4 4:v5 (P1) | 5:v6 6:v7 (P2) |
+	// 7:v8 8:v9 9:v10 (P3). Final distances: v2=1 v3=2 v4=3 v5=6 v6=2
+	// v7=3 v8=4 (first found as 6) v9=5 v10=6; the late shortcut i makes
+	// the first pass over h, j (and g at P1) stale under coarse grain.
+	return &Example{
+		NumVertices: 10,
+		Workers:     3,
+		Source:      0,
+		Owner:       []int{0, 0, 0, 0, 0, 1, 1, 2, 2, 2},
+		Edges: []Edge{
+			{"a", 0, 1, 1}, // v1->v2   scanned by P1; unblocks P2
+			{"b", 1, 2, 1}, // v2->v3   P1
+			{"c", 2, 3, 1}, // v3->v4   P1; unblocks P3
+			{"g", 8, 4, 1}, // v9->v5   P1; re-scanned when v9 improves
+			{"d", 1, 5, 1}, // v2->v6   P2
+			{"e", 5, 6, 1}, // v6->v7   P2
+			{"f", 3, 7, 3}, // v4->v8   P3; v8 = 6 via the long path
+			{"h", 7, 8, 1}, // v8->v9   P3; first pass uses stale v8
+			{"j", 8, 9, 1}, // v9->v10  P3; first pass uses stale v9
+			{"i", 6, 7, 1}, // v7->v8   P3; the shortcut via P2's full round, v8 = 4
+		},
+	}
+}
+
+// Model selects the scheduling policy of the trace.
+type Model int
+
+const (
+	// BSPGC: global barriers; all workers exchange together.
+	BSPGC Model = iota
+	// AAPGC: no barriers; each worker ejects at its own round end and
+	// delays ingestion until its round ends.
+	AAPGC
+	// APVC: eject and ingest at every tick (vertex-centric asynchronous).
+	APVC
+	// GAPACE: adaptive granularity with bound η: ingestion mid-round after
+	// messages waited η ticks, eager forwarding to idle workers (rule R1).
+	GAPACE
+)
+
+func (m Model) String() string {
+	switch m {
+	case BSPGC:
+		return "BSP & GC"
+	case AAPGC:
+		return "AAP & GC"
+	case APVC:
+		return "AP & VC"
+	case GAPACE:
+		return "GAP & ACE"
+	}
+	return "?"
+}
+
+// Trace is the tick-by-tick record: Cells[w][t] is the symbol worker w
+// produced at tick t+1 (an edge name, "X" for an ejection, "-" for a
+// deliberate delay, "" for idle).
+type Trace struct {
+	Model Model
+	Eta   int
+	Cells [][]string
+	// Ticks is the response time: the last tick any worker acted.
+	Ticks int
+	// Scans counts edge scans per edge name (staleness shows as re-scans).
+	Scans map[string]int
+	// Dist is the final distance vector (for correctness checks).
+	Dist []float64
+}
+
+type message struct {
+	v int
+	d float64
+}
+
+type worker struct {
+	id      int
+	edges   []int // indices into ex.Edges, in declaration order
+	pending []bool
+	dist    []float64 // local view (owned + ghost copies)
+	outQ    map[int][]message
+	inQ     []message
+	inSince int // tick the oldest pending message arrived; -1 when empty
+}
+
+// Run simulates the example under the model. eta is the GAP granularity
+// bound in ticks (the paper uses η=2).
+func Run(ex *Example, model Model, eta int) *Trace {
+	ws := make([]*worker, ex.Workers)
+	for i := range ws {
+		ws[i] = &worker{
+			id:      i,
+			dist:    make([]float64, ex.NumVertices),
+			outQ:    map[int][]message{},
+			inSince: -1,
+		}
+		for v := range ws[i].dist {
+			ws[i].dist[v] = math.Inf(1)
+		}
+	}
+	for ei, e := range ex.Edges {
+		w := ws[ex.Owner[e.Dst]]
+		w.edges = append(w.edges, ei)
+	}
+	for _, w := range ws {
+		w.pending = make([]bool, len(ex.Edges))
+	}
+	// The source is known everywhere it is needed.
+	for _, w := range ws {
+		w.dist[ex.Source] = 0
+	}
+	for _, w := range ws {
+		for _, ei := range w.edges {
+			if ex.Edges[ei].Src == ex.Source {
+				w.pending[ei] = true
+			}
+		}
+	}
+
+	tr := &Trace{Model: model, Eta: eta, Scans: map[string]int{}}
+	cells := make([][]string, ex.Workers)
+
+	// replicaTargets lists, per vertex, the remote workers scanning an edge
+	// out of it (they hold ghost copies).
+	replicaTargets := make([][]int, ex.NumVertices)
+	for _, e := range ex.Edges {
+		tw := ex.Owner[e.Dst]
+		if ex.Owner[e.Src] != tw {
+			found := false
+			for _, x := range replicaTargets[e.Src] {
+				if x == tw {
+					found = true
+				}
+			}
+			if !found {
+				replicaTargets[e.Src] = append(replicaTargets[e.Src], tw)
+			}
+		}
+	}
+
+	hasPending := func(w *worker) bool {
+		for _, ei := range w.edges {
+			if w.pending[ei] {
+				return true
+			}
+		}
+		return false
+	}
+	ingest := func(w *worker) {
+		for _, m := range w.inQ {
+			if m.d < w.dist[m.v] {
+				w.dist[m.v] = m.d
+				for _, ei := range w.edges {
+					if ex.Edges[ei].Src == m.v {
+						w.pending[ei] = true
+					}
+				}
+			}
+		}
+		w.inQ = w.inQ[:0]
+		w.inSince = -1
+	}
+	improve := func(w *worker, v int, d float64, tick int) {
+		if d >= w.dist[v] {
+			return
+		}
+		w.dist[v] = d
+		for _, ei := range w.edges {
+			if ex.Edges[ei].Src == v {
+				w.pending[ei] = true
+			}
+		}
+		for _, tw := range replicaTargets[v] {
+			if tw != w.id {
+				w.outQ[tw] = append(w.outQ[tw], message{v, d})
+			}
+		}
+	}
+	// Graph-centric models run the sequential algorithm over the local
+	// fragment, so they scan pending edges in Dijkstra order (smallest
+	// source distance first); the vertex-centric AP cannot and uses plain
+	// declaration order.
+	priority := model != APVC
+	scanNext := func(w *worker, tick int) string {
+		best := -1
+		for _, ei := range w.edges {
+			if !w.pending[ei] {
+				continue
+			}
+			if best < 0 {
+				best = ei
+				if !priority {
+					break
+				}
+				continue
+			}
+			if w.dist[ex.Edges[ei].Src] < w.dist[ex.Edges[best].Src] {
+				best = ei
+			}
+		}
+		if ei := best; ei >= 0 {
+			w.pending[ei] = false
+			e := ex.Edges[ei]
+			tr.Scans[e.Name]++
+			if !math.IsInf(w.dist[e.Src], 1) {
+				improve(w, e.Dst, w.dist[e.Src]+e.W, tick)
+			}
+			return e.Name
+		}
+		return ""
+	}
+
+	type delivery struct {
+		to   int
+		msgs []message
+	}
+	var inflight []delivery
+	eject := func(w *worker) bool {
+		sent := false
+		for tw := 0; tw < ex.Workers; tw++ {
+			if len(w.outQ[tw]) > 0 {
+				inflight = append(inflight, delivery{tw, append([]message{}, w.outQ[tw]...)})
+				w.outQ[tw] = nil
+				sent = true
+			}
+		}
+		return sent
+	}
+	queuedOut := func(w *worker) bool {
+		for _, q := range w.outQ {
+			if len(q) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	barrierPhase := false // BSP: true during the exchange tick
+	wasBusy := make([]bool, ex.Workers)
+	const maxTicks = 200
+	for tick := 1; tick <= maxTicks; tick++ {
+		// Deliver messages ejected at the previous tick.
+		for _, d := range inflight {
+			w := ws[d.to]
+			w.inQ = append(w.inQ, d.msgs...)
+			if w.inSince < 0 {
+				w.inSince = tick
+			}
+		}
+		inflight = inflight[:0]
+
+		acted := false
+		syms := make([]string, ex.Workers)
+
+		switch model {
+		case BSPGC:
+			if barrierPhase {
+				// Exchange tick: everyone ejects/receives together.
+				for _, w := range ws {
+					eject(w)
+					syms[w.id] = "X"
+				}
+				barrierPhase = false
+				acted = true
+				break
+			}
+			for _, w := range ws {
+				if len(w.inQ) > 0 && !hasPending(w) {
+					ingest(w)
+				}
+				if s := scanNext(w, tick); s != "" {
+					syms[w.id] = s
+					acted = true
+				}
+			}
+			// Superstep over when no worker has local work left.
+			stepDone := true
+			for _, w := range ws {
+				if hasPending(w) {
+					stepDone = false
+				}
+			}
+			if stepDone && acted {
+				// Barrier at the next tick if anything must be exchanged.
+				for _, w := range ws {
+					if queuedOut(w) {
+						barrierPhase = true
+					}
+				}
+			}
+			if !acted {
+				anyOut := false
+				for _, w := range ws {
+					if queuedOut(w) {
+						anyOut = true
+					}
+				}
+				if anyOut {
+					barrierPhase = true
+					// spend this tick as the barrier directly
+					for _, w := range ws {
+						eject(w)
+						syms[w.id] = "X"
+					}
+					barrierPhase = false
+					acted = true
+				}
+			}
+		case AAPGC:
+			for _, w := range ws {
+				if !hasPending(w) {
+					// Round over: eject, then (after a one-tick delay
+					// sketch) ingest.
+					if queuedOut(w) {
+						eject(w)
+						syms[w.id] = "X"
+						acted = true
+						continue
+					}
+					if len(w.inQ) > 0 {
+						// Delay sketch: messages that arrived while the
+						// round was still running settle for one tick; an
+						// idle worker ingests immediately.
+						if w.inSince == tick && wasBusy[w.id] {
+							syms[w.id] = "-"
+							acted = true
+							continue
+						}
+						ingest(w)
+					}
+				}
+				if s := scanNext(w, tick); s != "" {
+					syms[w.id] = s
+					acted = true
+				}
+			}
+		case APVC:
+			for _, w := range ws {
+				if len(w.inQ) > 0 {
+					ingest(w)
+				}
+				if queuedOut(w) {
+					eject(w)
+					syms[w.id] = "X"
+					acted = true
+					continue
+				}
+				if s := scanNext(w, tick); s != "" {
+					syms[w.id] = s
+					acted = true
+				}
+			}
+		case GAPACE:
+			idle := make([]bool, ex.Workers)
+			for _, w := range ws {
+				idle[w.id] = !hasPending(w) && len(w.inQ) == 0 && !queuedOut(w)
+			}
+			for _, w := range ws {
+				// ξ⁺ rules: ingest at round start, after η ticks of buffer
+				// residence (R3), or when everyone else is idle (R2).
+				if len(w.inQ) > 0 {
+					othersIdle := true
+					for j := range ws {
+						if j != w.id && !idle[j] {
+							othersIdle = false
+						}
+					}
+					if !hasPending(w) || tick-w.inSince >= eta || othersIdle {
+						ingest(w)
+					}
+				}
+				// ξ⁻ rules: eject at round end, or early when this worker is
+				// the lone straggler (rule R1: everyone else idles waiting
+				// for its messages).
+				if queuedOut(w) {
+					othersIdle := true
+					for j := range ws {
+						if j != w.id && !idle[j] {
+							othersIdle = false
+						}
+					}
+					if othersIdle || !hasPending(w) {
+						eject(w)
+						syms[w.id] = "X"
+						acted = true
+						continue
+					}
+				}
+				if s := scanNext(w, tick); s != "" {
+					syms[w.id] = s
+					acted = true
+				}
+			}
+		}
+
+		for i, s := range syms {
+			cells[i] = append(cells[i], s)
+		}
+		for i, w := range ws {
+			wasBusy[i] = hasPending(w)
+		}
+		if acted {
+			tr.Ticks = tick
+		}
+		// Quiescent?
+		done := len(inflight) == 0 && !barrierPhase
+		for _, w := range ws {
+			if hasPending(w) || len(w.inQ) > 0 || queuedOut(w) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+
+	tr.Cells = cells
+	tr.Dist = make([]float64, ex.NumVertices)
+	for v := range tr.Dist {
+		best := math.Inf(1)
+		for _, w := range ws {
+			if w.dist[v] < best {
+				best = w.dist[v]
+			}
+		}
+		tr.Dist[v] = best
+	}
+	return tr
+}
+
+// Render prints the trace in the layout of Table I.
+func (t *Trace) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s (response: %d ticks)\n", t.Model, t.Ticks)
+	for i, row := range t.Cells {
+		fmt.Fprintf(&b, "  P%d |", i+1)
+		for j := 0; j < t.Ticks && j < len(row); j++ {
+			s := row[j]
+			if s == "" {
+				s = "."
+			}
+			fmt.Fprintf(&b, " %-2s", s)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

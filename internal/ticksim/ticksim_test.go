@@ -1,0 +1,91 @@
+package ticksim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func runAll(t *testing.T) map[Model]*Trace {
+	t.Helper()
+	ex := PaperExample()
+	out := map[Model]*Trace{}
+	for _, m := range []Model{BSPGC, AAPGC, APVC, GAPACE} {
+		tr := Run(ex, m, 2)
+		out[m] = tr
+		if tr.Ticks == 0 || tr.Ticks >= 200 {
+			t.Fatalf("%v: bad tick count %d", m, tr.Ticks)
+		}
+	}
+	return out
+}
+
+func TestAllModelsCorrectDistances(t *testing.T) {
+	traces := runAll(t)
+	// Ground truth for the reconstructed example.
+	want := []float64{0, 1, 2, 3, 6, 2, 3, 4, 5, 6}
+	_ = math.Inf
+	for m, tr := range traces {
+		for v, d := range want {
+			if tr.Dist[v] != d {
+				t.Fatalf("%v: dist[v%d] = %v, want %v\n%s", m, v+1, tr.Dist[v], d, tr.Render())
+			}
+		}
+	}
+}
+
+func TestModelOrdering(t *testing.T) {
+	traces := runAll(t)
+	bsp, aap, ap, gap := traces[BSPGC].Ticks, traces[AAPGC].Ticks, traces[APVC].Ticks, traces[GAPACE].Ticks
+	if !(gap <= ap && ap <= aap && aap <= bsp) {
+		t.Fatalf("tick ordering violated: BSP=%d AAP=%d AP=%d GAP=%d\n%s%s%s%s",
+			bsp, aap, ap, gap,
+			traces[BSPGC].Render(), traces[AAPGC].Render(), traces[APVC].Render(), traces[GAPACE].Render())
+	}
+	if gap == bsp {
+		t.Fatalf("GAP should strictly beat BSP: both %d ticks", gap)
+	}
+}
+
+func TestStalenessRescans(t *testing.T) {
+	traces := runAll(t)
+	// Coarse granularity re-scans edge j (its source v9 is first reached
+	// through the slow path and corrected later); fine ingestion avoids it.
+	if traces[BSPGC].Scans["j"] < 2 {
+		t.Fatalf("BSP should scan j at least twice, got %d\n%s", traces[BSPGC].Scans["j"], traces[BSPGC].Render())
+	}
+	if traces[GAPACE].Scans["j"] > traces[BSPGC].Scans["j"] {
+		t.Fatalf("GAP re-scans j more than BSP: %d vs %d", traces[GAPACE].Scans["j"], traces[BSPGC].Scans["j"])
+	}
+	total := func(tr *Trace) int {
+		n := 0
+		for _, c := range tr.Scans {
+			n += c
+		}
+		return n
+	}
+	if total(traces[GAPACE]) > total(traces[BSPGC]) {
+		t.Fatalf("GAP should not scan more edges than BSP: %d vs %d", total(traces[GAPACE]), total(traces[BSPGC]))
+	}
+}
+
+func TestRender(t *testing.T) {
+	tr := Run(PaperExample(), GAPACE, 2)
+	s := tr.Render()
+	if s == "" || tr.Ticks == 0 {
+		t.Fatal("empty render")
+	}
+	fmt.Println(s)
+}
+
+func TestEtaSensitivity(t *testing.T) {
+	// Example 3: η = 2 is the sweet spot; both finer and coarser bounds
+	// should not be faster.
+	ex := PaperExample()
+	t2 := Run(ex, GAPACE, 2).Ticks
+	for _, eta := range []int{1, 3, 8} {
+		if got := Run(ex, GAPACE, eta).Ticks; got < t2 {
+			t.Logf("eta=%d gives %d ticks vs eta=2 gives %d", eta, got, t2)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package vtime provides the deterministic discrete-event machinery that
+// drives the simulated cluster: a virtual clock measured in abstract cost
+// units (1 unit = one edge scan, the paper's "tick") and an event queue with
+// a stable tie-break so runs are exactly reproducible.
+package vtime
+
+import "container/heap"
+
+// Time is a point in virtual time, in cost units.
+type Time = float64
+
+// Event is a scheduled callback.
+type Event struct {
+	At   Time
+	Prio int // secondary order for equal times (lower fires first)
+	Fn   func()
+
+	seq   uint64
+	index int
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	if h[i].Prio != h[j].Prio {
+		return h[i].Prio < h[j].Prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event loop. The zero value is ready
+// to use.
+type Scheduler struct {
+	now   Time
+	queue eventHeap
+	seq   uint64
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending returns the number of scheduled events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn at absolute time t (clamped to now if in the past) and
+// returns the event, which can be passed to Cancel.
+func (s *Scheduler) At(t Time, prio int, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	e := &Event{At: t, Prio: prio, Fn: fn, seq: s.seq}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn delay units from now.
+func (s *Scheduler) After(delay Time, prio int, fn func()) *Event {
+	return s.At(s.now+delay, prio, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or cancelled
+// event is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.index < 0 || e.index >= len(s.queue) || s.queue[e.index] != e {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+	e.index = -1
+}
+
+// PeekTime returns the time of the earliest pending event, if any.
+func (s *Scheduler) PeekTime() (Time, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].At, true
+}
+
+// Step fires the next event, advancing the clock. It reports whether an
+// event was available.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	e.index = -1
+	s.now = e.At
+	e.Fn()
+	return true
+}
+
+// Run fires events until the queue empties or until stop returns true
+// (checked before each event). It returns the final virtual time.
+func (s *Scheduler) Run(stop func() bool) Time {
+	for len(s.queue) > 0 {
+		if stop != nil && stop() {
+			break
+		}
+		s.Step()
+	}
+	return s.now
+}
+
+// RunUntil fires events with time <= deadline.
+func (s *Scheduler) RunUntil(deadline Time) Time {
+	for len(s.queue) > 0 && s.queue[0].At <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.now
+}

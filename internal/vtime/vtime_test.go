@@ -1,0 +1,123 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerOrder(t *testing.T) {
+	var s Scheduler
+	var fired []int
+	s.At(3, 0, func() { fired = append(fired, 3) })
+	s.At(1, 0, func() { fired = append(fired, 1) })
+	s.At(2, 0, func() { fired = append(fired, 2) })
+	s.Run(nil)
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("order = %v", fired)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestTieBreakPrioThenFIFO(t *testing.T) {
+	var s Scheduler
+	var fired []string
+	s.At(5, 1, func() { fired = append(fired, "b1") })
+	s.At(5, 0, func() { fired = append(fired, "a1") })
+	s.At(5, 0, func() { fired = append(fired, "a2") })
+	s.Run(nil)
+	if fired[0] != "a1" || fired[1] != "a2" || fired[2] != "b1" {
+		t.Fatalf("tie order = %v", fired)
+	}
+}
+
+func TestAfterAndPastClamp(t *testing.T) {
+	var s Scheduler
+	s.At(10, 0, func() {
+		// Scheduling in the past clamps to now.
+		s.At(1, 0, func() {
+			if s.Now() != 10 {
+				t.Errorf("past event fired at %v", s.Now())
+			}
+		})
+		s.After(5, 0, func() {
+			if s.Now() != 15 {
+				t.Errorf("after fired at %v", s.Now())
+			}
+		})
+	})
+	s.Run(nil)
+}
+
+func TestCancel(t *testing.T) {
+	var s Scheduler
+	fired := false
+	e := s.At(1, 0, func() { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double cancel is a no-op
+	s.Run(nil)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancel after firing is a no-op too.
+	e2 := s.At(2, 0, func() {})
+	s.Run(nil)
+	s.Cancel(e2)
+}
+
+func TestRunStop(t *testing.T) {
+	var s Scheduler
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.At(Time(i), 0, func() { count++ })
+	}
+	s.Run(func() bool { return count >= 4 })
+	if count != 4 {
+		t.Fatalf("count = %d", count)
+	}
+	if s.Pending() != 6 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Scheduler
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i), 0, func() { count++ })
+	}
+	s.RunUntil(5.5)
+	if count != 5 || s.Now() != 5.5 {
+		t.Fatalf("count=%d now=%v", count, s.Now())
+	}
+	// RunUntil advances time even without events.
+	var s2 Scheduler
+	s2.RunUntil(42)
+	if s2.Now() != 42 {
+		t.Fatalf("now = %v", s2.Now())
+	}
+}
+
+// Property: events fire in nondecreasing time order regardless of insertion
+// order, and the clock never goes backwards.
+func TestMonotoneProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		var s Scheduler
+		var fired []Time
+		for _, x := range times {
+			tt := Time(x % 1000)
+			s.At(tt, 0, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run(nil)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
