@@ -33,6 +33,7 @@ import (
 	"argan/internal/gap"
 	"argan/internal/graph"
 	"argan/internal/netsim"
+	"argan/internal/obs"
 	"argan/internal/partition"
 )
 
@@ -221,6 +222,24 @@ func Run[V any](g *Graph, env Env, cfg Config, factory Factory[V], q Query) ([]V
 func RunSequential[V any](g *Graph, factory Factory[V], q Query) ([]V, error) {
 	out, _, err := fixpoint.Run(g, func() ace.Program[V] { return factory() }, q)
 	return out, err
+}
+
+// Tracer is the observability hook accepted by Config.Tracer and
+// LiveConfig.Tracer; Recorder is the ring-buffered implementation that
+// exports Chrome traces (Perfetto-loadable) and CSV time series and serves
+// live progress snapshots. See internal/obs for the event model.
+type (
+	Tracer       = obs.Tracer
+	Recorder     = obs.Recorder
+	TraceStatus  = obs.Status
+	WorkerStatus = obs.WorkerStatus
+)
+
+// NewRecorder builds a trace recorder for the given worker count (workers
+// beyond it are added lazily); eventsPerWorker <= 0 selects the default
+// per-worker ring capacity.
+func NewRecorder(workers, eventsPerWorker int) *Recorder {
+	return obs.NewRecorder(workers, eventsPerWorker)
 }
 
 // LiveConfig parameterizes the goroutine-based driver.

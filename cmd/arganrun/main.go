@@ -7,18 +7,39 @@
 //	arganrun -app sssp -dataset LJ -n 16 -source 0
 //	arganrun -app pr -graph web.el -system Grape+
 //	arganrun -app color -dataset HW -system GraphLab_sync   # reports NA
+//
+// Observability (applies to the ACE applications, not -stats/-app mst):
+//
+//	-trace FILE        write the run's event trace as Chrome trace-event
+//	                   JSON: open in Perfetto (ui.perfetto.dev) or
+//	                   chrome://tracing; one span track per worker with
+//	                   LocalEval/h_in/h_out/Adjust spans, counter tracks,
+//	                   and indicator-flip (R1/R2/R3) instants. Virtual
+//	                   cost units are rendered as microseconds.
+//	-metrics-out FILE  write long-format CSV time series
+//	                   (time,worker,series,value) with per-worker η, φ,
+//	                   active-set size, mailbox depth and cumulative
+//	                   counters — the input for Fig. 7/8-style plots.
+//	-progress DUR      while the run executes, print a live progress line
+//	                   (virtual time, busy workers, updates, backlog)
+//	                   every DUR (e.g. -progress 500ms).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"sort"
+	"time"
 
 	"argan/internal/ace"
 	"argan/internal/algorithms"
 	"argan/internal/core"
+	"argan/internal/gap"
 	"argan/internal/graph"
+	"argan/internal/obs"
 	"argan/internal/systems"
 )
 
@@ -34,6 +55,9 @@ func main() {
 	hetero := flag.Float64("hetero", 0, "execution-noise amplitude")
 	top := flag.Int("top", 5, "print the top-k result vertices")
 	stats := flag.Bool("stats", false, "print structural graph statistics and exit")
+	traceFile := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to `FILE`")
+	metricsOut := flag.String("metrics-out", "", "write per-worker time-series CSV to `FILE`")
+	progress := flag.Duration("progress", 0, "print live progress every `DUR` (0 disables)")
 	flag.Parse()
 
 	var g *graph.Graph
@@ -94,9 +118,25 @@ func main() {
 	if *app == "sim" {
 		q.Pattern = algorithms.RandomPattern(g, 4, 5, 42)
 	}
-	m, err := job(frags, q, sys.Config(env.DefaultConfig()))
+	cfg := sys.Config(env.DefaultConfig())
+	var rec *obs.Recorder
+	if *traceFile != "" || *metricsOut != "" || *progress > 0 {
+		rec = obs.NewRecorder(*n, 0)
+		cfg.Tracer = rec
+	}
+	m, err := runJob(job, frags, q, cfg, rec, *progress)
 	if err != nil {
 		fatal("%v", err)
+	}
+	if rec != nil {
+		if *traceFile != "" {
+			writeExport(*traceFile, rec.WriteChromeTrace)
+			fmt.Printf("trace         : %s (%d workers, %d events dropped)\n", *traceFile, rec.Workers(), rec.Dropped())
+		}
+		if *metricsOut != "" {
+			writeExport(*metricsOut, rec.WriteCSV)
+			fmt.Printf("metrics       : %s\n", *metricsOut)
+		}
 	}
 	if !m.Converged {
 		fmt.Println("result: NA (did not converge — oscillating synchronous execution)")
@@ -190,6 +230,79 @@ func printTop(g *graph.Graph, env core.Env, app string, q ace.Query, k, source i
 			}
 		}
 		fmt.Printf("vertices simulating some pattern vertex: %d\n", matches)
+	}
+}
+
+// runJob executes the job, optionally polling the recorder for live
+// progress: the engine runs in its own goroutine while the main goroutine
+// prints a per-tick status line assembled from Recorder.Snapshot.
+func runJob(job core.Job, frags []*graph.Fragment, q ace.Query, cfg gap.Config, rec *obs.Recorder, every time.Duration) (gap.Metrics, error) {
+	if rec == nil || every <= 0 {
+		return job(frags, q, cfg)
+	}
+	type result struct {
+		m   gap.Metrics
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		m, err := job(frags, q, cfg)
+		done <- result{m, err}
+	}()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case r := <-done:
+			return r.m, r.err
+		case <-tick.C:
+			printProgress(rec)
+		}
+	}
+}
+
+// printProgress renders one live status line from the recorder snapshot.
+func printProgress(rec *obs.Recorder) {
+	st := rec.Snapshot()
+	var upd, msgs int64
+	var vt, backlog float64
+	busy := 0
+	etaLo, etaHi := math.Inf(1), math.Inf(-1)
+	for _, w := range st.Workers {
+		upd += w.Updates
+		msgs += w.MsgsSent
+		backlog += w.Mailbox
+		if !w.Idle {
+			busy++
+		}
+		if w.T > vt {
+			vt = w.T
+		}
+		if w.HasEta {
+			etaLo = math.Min(etaLo, w.Eta)
+			etaHi = math.Max(etaHi, w.Eta)
+		}
+	}
+	line := fmt.Sprintf("progress: t=%.0f busy=%d/%d updates=%d msgs=%d backlog=%.0f",
+		vt, busy, len(st.Workers), upd, msgs, backlog)
+	if etaLo <= etaHi {
+		line += fmt.Sprintf(" eta=[%.0f..%.0f]", etaLo, etaHi)
+	}
+	fmt.Fprintln(os.Stderr, line)
+}
+
+// writeExport writes one exporter's output to path.
+func writeExport(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("%v", err)
 	}
 }
 

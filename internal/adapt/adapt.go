@@ -118,7 +118,27 @@ type Tuner[V any] struct {
 	samples    []TwSample
 	etaHistory []float64
 	adjusts    int
+	observer   func(AdjustInfo)
 }
+
+// AdjustInfo describes one granularity-adjustment decision for observers
+// (tracing): what the sweep saw and what it chose. PhiLow/PhiHigh are the
+// estimated effectiveness at η/2 and η driving the hill-climb; TwReal is
+// only meaningful when HasReal is set (ground truth supplied).
+type AdjustInfo struct {
+	OldEta, NewEta float64
+	// Candidates is the number of sweep candidates scanned (k for GAwD,
+	// one per record for GA); Records is the χ_v log length.
+	Candidates, Records int
+	PhiLow, PhiHigh     float64
+	TwEst, TwReal       float64
+	HasReal             bool
+}
+
+// SetObserver registers a callback invoked at the end of every Adjust with
+// the decision's inputs and outcome; nil unregisters. The callback runs
+// synchronously on the worker's execution path, so it must be cheap.
+func (t *Tuner[V]) SetObserver(fn func(AdjustInfo)) { t.observer = fn }
 
 // NewTuner builds a tuner for one worker. equal and delta come from the
 // program (Equal / Delta); peers is n-1 (used only for sizing).
@@ -319,13 +339,18 @@ func (t *Tuner[V]) Adjust(cur func(local uint32) V, truth func(local uint32) V) 
 
 	if len(t.records) == 0 {
 		t.etaHistory = append(t.etaHistory, t.eta)
+		if t.observer != nil {
+			t.observer(AdjustInfo{OldEta: t.eta, NewEta: t.eta, Candidates: candidates})
+		}
 		return t.eta, overhead
 	}
 
 	phis, times, twEst := t.sweep(cur)
+	info := AdjustInfo{OldEta: t.eta, Candidates: candidates, Records: len(t.records), TwEst: twEst}
 	if truth != nil {
 		_, _, twReal := t.sweep(truth)
 		t.samples = append(t.samples, TwSample{Est: twEst, Real: twReal})
+		info.TwReal, info.HasReal = twReal, true
 	}
 
 	// Damped hill climbing on the estimated profile: compare the
@@ -360,6 +385,10 @@ func (t *Tuner[V]) Adjust(cur func(local uint32) V, truth func(local uint32) V) 
 		newEta = t.cfg.EtaMax
 	}
 	t.etaHistory = append(t.etaHistory, newEta)
+	if t.observer != nil {
+		info.NewEta, info.PhiLow, info.PhiHigh = newEta, low, high
+		t.observer(info)
+	}
 	return newEta, overhead
 }
 

@@ -17,6 +17,7 @@ import (
 	"argan/internal/core"
 	"argan/internal/gap"
 	"argan/internal/graph"
+	"argan/internal/obs"
 	"argan/internal/systems"
 )
 
@@ -37,6 +38,12 @@ type Options struct {
 	// Queries is the number of query repetitions averaged per point (the
 	// paper uses 5).
 	Queries int
+	// Trace, when non-nil, is called once per measured trial with a label
+	// like "Argan/sssp/n=16/rep0" and returns the tracer to attach to that
+	// trial's engine run (return nil to leave the trial untraced). Use it
+	// to capture per-trial obs.Recorder exports while regenerating a
+	// figure.
+	Trace func(trial string) obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -171,6 +178,9 @@ func runPoint(o Options, sys systems.System, app string, g *graph.Graph, n int) 
 	for rep := 0; rep < o.Queries; rep++ {
 		q := queryFor(app, g, rep)
 		cfg := sys.Config(env.DefaultConfig())
+		if o.Trace != nil {
+			cfg.Tracer = o.Trace(fmt.Sprintf("%s/%s/n=%d/rep%d", sys.Name, app, n, rep))
+		}
 		met, err := job(frags, q, cfg)
 		if err != nil {
 			return 0, m, false, err

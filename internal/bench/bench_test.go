@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"argan/internal/graph"
+	"argan/internal/obs"
 )
 
 func tinyOptions(buf *bytes.Buffer) Options {
@@ -118,5 +119,45 @@ func TestQueryFor(t *testing.T) {
 	}
 	if queryFor("sim", g, 0).Pattern == nil {
 		t.Fatal("sim query needs a pattern")
+	}
+}
+
+// TestTraceOptionAttachesRecorders checks that Options.Trace is consulted
+// once per trial and that the attached recorders capture events.
+func TestTraceOptionAttachesRecorders(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Workers = []int{4}
+	recs := map[string]*obs.Recorder{}
+	o.Trace = func(trial string) obs.Tracer {
+		r := obs.NewRecorder(0, 1<<12)
+		recs[trial] = r
+		return r
+	}
+	e, err := ByID("fig6a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(o); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("Trace was never called")
+	}
+	var argan *obs.Recorder
+	for trial, r := range recs {
+		if strings.HasPrefix(trial, "Argan/") {
+			argan = r
+		}
+	}
+	if argan == nil {
+		t.Fatalf("no Argan trial traced; trials: %d", len(recs))
+	}
+	var upd int64
+	for _, w := range argan.Snapshot().Workers {
+		upd += w.Updates
+	}
+	if upd == 0 {
+		t.Fatal("traced Argan trial recorded no updates")
 	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"argan/internal/adapt"
 	"argan/internal/netsim"
+	"argan/internal/obs"
 )
 
 // Mode selects the parallel model. BSP, AP and AAP are the special cases of
@@ -117,6 +118,13 @@ type Config struct {
 	// TunerOverrides tweaks the adaptation overhead model; zero fields keep
 	// defaults.
 	TunerClockCost, TunerRecordCost, TunerCandidateCost float64
+	// Tracer receives the run's event stream (LocalEval/h_in/h_out/Adjust
+	// spans, update/message counters, η/φ/active-set/mailbox gauges and
+	// indicator-flip marks) stamped with virtual time. nil disables tracing;
+	// the hot-path cost of a disabled tracer is a single nil check per
+	// event site. Attach an obs.Recorder to export Chrome traces and CSV
+	// time series.
+	Tracer obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -218,11 +226,22 @@ func (m *Metrics) finalize() {
 	}
 }
 
-// AvgTw returns the mean per-worker staleness cost.
-func (m *Metrics) AvgTw() float64 { return m.TotalTw / float64(len(m.Workers)) }
+// AvgTw returns the mean per-worker staleness cost (0 with no workers).
+func (m *Metrics) AvgTw() float64 { return avgOver(m.TotalTw, len(m.Workers)) }
 
-// AvgTc returns the mean per-worker communication handler cost.
-func (m *Metrics) AvgTc() float64 { return m.TotalTc / float64(len(m.Workers)) }
+// AvgTc returns the mean per-worker communication handler cost (0 with no
+// workers).
+func (m *Metrics) AvgTc() float64 { return avgOver(m.TotalTc, len(m.Workers)) }
 
-// AvgTa returns the mean per-worker adjustment overhead.
-func (m *Metrics) AvgTa() float64 { return m.TotalTa / float64(len(m.Workers)) }
+// AvgTa returns the mean per-worker adjustment overhead (0 with no
+// workers).
+func (m *Metrics) AvgTa() float64 { return avgOver(m.TotalTa, len(m.Workers)) }
+
+// avgOver divides a worker aggregate by the worker count, guarding the
+// zero-worker case (a zero-value Metrics) that would otherwise yield NaN.
+func avgOver(total float64, workers int) float64 {
+	if workers == 0 {
+		return 0
+	}
+	return total / float64(workers)
+}

@@ -1,14 +1,18 @@
 package gap
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"argan/internal/ace"
 	"argan/internal/graph"
+	"argan/internal/obs"
 )
 
 // LiveConfig parameterizes the goroutine-based driver. The live driver
@@ -27,6 +31,12 @@ type LiveConfig struct {
 	CheckEvery int
 	// ChannelCap is the per-worker mailbox capacity (default 1024).
 	ChannelCap int
+	// Tracer receives the run's event stream stamped with wall-clock
+	// microseconds since the run start. nil disables tracing (one nil
+	// check per event site). When set, worker goroutines also carry
+	// per-phase runtime/pprof labels so CPU profiles attribute samples to
+	// GAP phases; the worker label alone is applied unconditionally.
+	Tracer obs.Tracer
 }
 
 func (c LiveConfig) withDefaults() (LiveConfig, error) {
@@ -126,6 +136,22 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			tr := cfg.Tracer
+			ts := func() float64 { return float64(time.Since(start)) / 1e3 }
+			// CPU-profile attribution: the goroutine always carries its
+			// worker id; phase labels are refreshed only when tracing is
+			// on (SetGoroutineLabels allocates, and phase flips are hot).
+			wid := strconv.Itoa(w.id)
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels("worker", wid, "phase", "local_eval")))
+			defer pprof.SetGoroutineLabels(context.Background())
+			setPhase := func(string) {}
+			if tr != nil {
+				setPhase = func(p string) {
+					pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+						pprof.Labels("worker", wid, "phase", p)))
+				}
+			}
 			f := w.frag
 			prog := w.prog
 			prog.Setup(f, q)
@@ -142,7 +168,11 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 			for j := range out {
 				out[j] = outAcc{index: map[graph.VID]int{}}
 			}
+			// localSent/localRecv reset at every idle report (they feed the
+			// termination detector); sentCum/recvCum are the monotone
+			// variants the tracer reports as per-round counter deltas.
 			var localSent, localRecv int64
+			var sentCum, recvCum int64
 
 			enqueue := func(peer int, g graph.VID, val V) {
 				o := &out[peer]
@@ -249,6 +279,7 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 
 			ingestBatch := func(b liveBatch[V]) {
 				localRecv += int64(len(b.msgs))
+				recvCum += int64(len(b.msgs))
 				for _, m := range b.msgs {
 					lv, ok := f.Local(m.V)
 					if !ok {
@@ -281,13 +312,14 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 				}
 			}
 			drainFn := drain
-			flushAll := func() {
+			flushAllInner := func() {
 				for j := range out {
 					if j == w.id || len(out[j].msgs) == 0 {
 						continue
 					}
 					batch := liveBatch[V]{msgs: out[j].msgs}
 					localSent += int64(len(batch.msgs))
+					sentCum += int64(len(batch.msgs))
 					msgsSent.Add(int64(len(batch.msgs)))
 					batches.Add(1)
 					out[j] = outAcc{index: map[graph.VID]int{}}
@@ -308,12 +340,35 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 					}
 				}
 			}
+			// h_out spans wrap the whole flush sweep; the wrapper (not the
+			// inner func) closes the span so the early return on a finished
+			// run cannot leave it open.
+			flushAll := flushAllInner
+			if tr != nil {
+				flushAll = func() {
+					setPhase("h_out")
+					tr.SpanBegin(w.id, obs.PhaseHout, ts())
+					flushAllInner()
+					tr.SpanEnd(w.id, obs.PhaseHout, ts())
+					setPhase("local_eval")
+				}
+			}
 
 			for {
 				// One LocalEval round: ingest, iterate with periodic
 				// indicator checks, flush.
+				var sent0, recv0 int64
+				if tr != nil {
+					t0 := ts()
+					tr.Sample(w.id, obs.GaugeMailbox, t0, float64(len(chans[w.id])))
+					tr.SpanBegin(w.id, obs.PhaseLocalEval, t0)
+					sent0, recv0 = sentCum, recvCum
+				}
 				drain()
 				rounds.Add(1)
+				if tr != nil {
+					tr.Sample(w.id, obs.GaugeActive, ts(), float64(active.Len()))
+				}
 				steps := 0
 				for !active.Empty() {
 					v := active.Pop()
@@ -324,17 +379,31 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 						// ξ⁺/ξ⁻ between steps: pick up fresh messages and
 						// push accumulated ones.
 						if drain() == 0 && cfg.Mode != ModeAPGC {
+							if tr != nil {
+								tr.Mark(w.id, obs.MarkR3, ts())
+							}
 							flushAll()
 						}
 					}
 				}
 				flushAll()
+				if tr != nil {
+					t1 := ts()
+					tr.Count(w.id, obs.CounterUpdates, t1, int64(steps))
+					tr.Count(w.id, obs.CounterMsgsSent, t1, sentCum-sent0)
+					tr.Count(w.id, obs.CounterMsgsRecv, t1, recvCum-recv0)
+					tr.SpanEnd(w.id, obs.PhaseLocalEval, t1)
+					tr.Mark(w.id, obs.MarkIdle, t1)
+				}
 				// Idle transition: report and block for more input.
 				coord.report(w.id, true, localSent, localRecv)
 				localSent, localRecv = 0, 0
 				select {
 				case b := <-chans[w.id]:
 					coord.report(w.id, false, 0, 0)
+					if tr != nil {
+						tr.Mark(w.id, obs.MarkBusy, ts())
+					}
 					ingestBatch(b)
 				case <-coord.done:
 					return

@@ -1,8 +1,13 @@
 package gap
 
 import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+
 	"argan/internal/ace"
 	"argan/internal/graph"
+	"argan/internal/obs"
 )
 
 // liveState is the per-worker state shared by the live drivers (async and
@@ -204,6 +209,15 @@ func (st *liveState[V]) outputs(into []V) {
 // are exchanged before the next one starts — Grape's execution model on
 // goroutines.
 func RunLiveBSP[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query, maxSupersteps int) (*Result[V], *LiveMetrics, error) {
+	return RunLiveBSPTraced(frags, factory, q, maxSupersteps, nil)
+}
+
+// RunLiveBSPTraced is RunLiveBSP with an optional tracer: each worker's
+// superstep becomes a PhaseSuperstep span (wall-µs timestamps), with
+// per-superstep update/message counters and active-set gauges. Worker
+// goroutines carry runtime/pprof worker/phase labels while tracing so CPU
+// profiles attribute samples to supersteps.
+func RunLiveBSPTraced[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query, maxSupersteps int, tr obs.Tracer) (*Result[V], *LiveMetrics, error) {
 	if len(frags) == 0 {
 		return nil, nil, errNoFragments
 	}
@@ -218,6 +232,7 @@ func RunLiveBSP[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Qu
 	inbox := make([][][]ace.Message[V], n) // inbox[worker] = batches
 	m := &LiveMetrics{}
 	start := nowFn()
+	ts := func() float64 { return float64(sinceFn(start)) / 1e3 }
 
 	for step := 0; step < maxSupersteps; step++ {
 		m.Rounds++
@@ -230,13 +245,29 @@ func RunLiveBSP[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Qu
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				if tr != nil {
+					pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+						pprof.Labels("worker", strconv.Itoa(i), "phase", "superstep")))
+					defer pprof.SetGoroutineLabels(context.Background())
+					t0 := ts()
+					tr.SpanBegin(i, obs.PhaseSuperstep, t0)
+					tr.Sample(i, obs.GaugeMailbox, t0, float64(len(batches)))
+				}
 				for _, b := range batches {
 					st.ingest(b)
+				}
+				if tr != nil {
+					tr.Sample(i, obs.GaugeActive, ts(), float64(st.active.Len()))
 				}
 				for !st.active.Empty() {
 					v := st.active.Pop()
 					st.prog.Update(st.ctx, v)
 					updates[i]++
+				}
+				if tr != nil {
+					t1 := ts()
+					tr.Count(i, obs.CounterUpdates, t1, updates[i])
+					tr.SpanEnd(i, obs.PhaseSuperstep, t1)
 				}
 			}(i)
 		}
@@ -255,6 +286,9 @@ func RunLiveBSP[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Qu
 					inbox[j] = append(inbox[j], msgs)
 					m.MsgsSent += int64(len(msgs))
 					m.Batches++
+					if tr != nil {
+						tr.Count(i, obs.CounterMsgsSent, ts(), int64(len(msgs)))
+					}
 					any = true
 				}
 			}

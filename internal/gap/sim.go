@@ -7,6 +7,7 @@ import (
 	"argan/internal/ace"
 	"argan/internal/adapt"
 	"argan/internal/graph"
+	"argan/internal/obs"
 	"argan/internal/vtime"
 )
 
@@ -239,6 +240,14 @@ type simWorker[V any] struct {
 
 	lastStatusVer int
 
+	// Tracing (nil when disabled). roundOpen tracks the LocalEval span so
+	// resumes and aborts keep begin/end balanced; updEmitted is the update
+	// count already reported, so counters ship as per-round deltas instead
+	// of per-update events.
+	tr         obs.Tracer
+	roundOpen  bool
+	updEmitted int64
+
 	// Staleness bookkeeping.
 	vcost  []float64 // Category II streak costs
 	stale2 float64
@@ -260,6 +269,7 @@ func newSimWorker[V any](s *sim[V], id int, f *graph.Fragment, prog ace.Program[
 		eta:     s.cfg.Eta0,
 		slow:    1,
 		truth:   truth,
+		tr:      s.cfg.Tracer,
 	}
 	if s.cfg.SlowFactor != nil && id < len(s.cfg.SlowFactor) && s.cfg.SlowFactor[id] > 0 {
 		w.slow = s.cfg.SlowFactor[id]
@@ -334,6 +344,25 @@ func newSimWorker[V any](s *sim[V], id int, f *graph.Fragment, prog ace.Program[
 			tcfg.CandidateCost = s.cfg.TunerCandidateCost
 		}
 		w.tuner = adapt.NewTuner[V](tcfg, prog.Equal, prog.Delta, f.NumWorkers()-1)
+		if w.tr != nil {
+			// Surface every tuner decision as gauge samples on the worker's
+			// track: the chosen η, the sweep's φ estimate and candidate
+			// count, and estimated vs real staleness when truth is known.
+			w.tuner.SetObserver(func(ai adapt.AdjustInfo) {
+				w.tr.Sample(w.id, obs.GaugeCandidates, w.now, float64(ai.Candidates))
+				if ai.Records == 0 {
+					return
+				}
+				w.tr.Sample(w.id, obs.GaugePhi, w.now, ai.PhiHigh)
+				w.tr.Sample(w.id, obs.GaugeTwEst, w.now, ai.TwEst)
+				if ai.HasReal {
+					w.tr.Sample(w.id, obs.GaugeTwReal, w.now, ai.TwReal)
+				}
+			})
+		}
+	}
+	if w.tr != nil && !math.IsInf(w.eta, 1) {
+		w.tr.Sample(w.id, obs.GaugeEta, 0, w.eta)
 	}
 	return w
 }
@@ -494,9 +523,15 @@ func (w *simWorker[V]) deliver(batch []ace.Message[V], at float64) {
 		w.inFirst = at
 	}
 	w.inLast = at
+	if w.tr != nil {
+		w.tr.Sample(w.id, obs.GaugeMailbox, at, float64(len(w.inBuf)))
+	}
 	if w.idle {
 		w.idle = false
 		w.s.setStatus(w.id, false, at)
+		if w.tr != nil {
+			w.tr.Mark(w.id, obs.MarkBusy, at)
+		}
 		if w.s.barrier {
 			// Superstep modes wait for the coordinator's start signal.
 			return
@@ -508,6 +543,9 @@ func (w *simWorker[V]) deliver(batch []ace.Message[V], at float64) {
 func (w *simWorker[V]) goIdle(t float64) {
 	w.idle = true
 	w.s.setStatus(w.id, true, t)
+	if w.tr != nil {
+		w.tr.Mark(w.id, obs.MarkIdle, t)
+	}
 	if t > w.s.end {
 		w.s.end = t
 	}
@@ -522,6 +560,10 @@ func (w *simWorker[V]) goIdle(t float64) {
 // hin ingests B⁺ (g_aggr into Ψ, dependents re-activated) charging the
 // receiver-side handler cost. newRound marks the start of a LocalEval.
 func (w *simWorker[V]) hin(newRound bool) {
+	if w.tr != nil {
+		w.tr.SpanBegin(w.id, obs.PhaseHin, w.now)
+	}
+	nmsgs := len(w.inBuf)
 	c := w.s.cfg.Net.Model.RecvCost(w.inBatches, len(w.inBuf)) * w.slow
 	w.now += c
 	w.metrics.Tc += c
@@ -554,6 +596,11 @@ func (w *simWorker[V]) hin(newRound bool) {
 		w.roundBase = w.stale2
 		w.roundBusy0 = w.metrics.Busy
 	}
+	if w.tr != nil {
+		w.tr.Count(w.id, obs.CounterMsgsRecv, w.now, int64(nmsgs))
+		w.tr.Sample(w.id, obs.GaugeMailbox, w.now, 0)
+		w.tr.SpanEnd(w.id, obs.PhaseHin, w.now)
+	}
 }
 
 // flush sends B⁻_{i,j} as one batch M_{i,j} (h_out), charging the
@@ -563,12 +610,21 @@ func (w *simWorker[V]) flush(peer int) {
 	if len(o.msgs) == 0 {
 		return
 	}
+	if w.tr != nil {
+		w.tr.SpanBegin(w.id, obs.PhaseHout, w.now)
+	}
 	c := w.s.cfg.Net.Model.SendCost(len(o.msgs)) * w.slow
 	w.now += c
 	w.metrics.Tc += c
 	w.metrics.Flushes++
 	w.metrics.MsgsSent += int64(len(o.msgs))
 	w.metrics.BytesSent += int64(o.bytes)
+	if w.tr != nil {
+		w.tr.Count(w.id, obs.CounterMsgsSent, w.now, int64(len(o.msgs)))
+		w.tr.Count(w.id, obs.CounterBytesSent, w.now, int64(o.bytes))
+		w.tr.Count(w.id, obs.CounterFlushes, w.now, 1)
+		w.tr.SpanEnd(w.id, obs.PhaseHout, w.now)
+	}
 
 	batch := make([]ace.Message[V], len(o.msgs))
 	copy(batch, o.msgs)
@@ -622,10 +678,14 @@ func (w *simWorker[V]) run(start float64) {
 			w.needFreeze = false
 			w.freezeRound()
 		}
+		w.traceRoundBegin()
 
 		mode := w.s.effMode()
 		// Rule R3 / ξ-always-true: mid-round forward + ingest.
 		if w.r3Due(mode) {
+			if w.tr != nil {
+				w.tr.Mark(w.id, obs.MarkR3, w.now)
+			}
 			w.flushAll()
 			if len(w.inBuf) > 0 {
 				w.hin(false)
@@ -634,6 +694,9 @@ func (w *simWorker[V]) run(start float64) {
 		}
 		// Rule R2: last busy worker ingests pending messages immediately.
 		if mode == ModeGAP && !w.s.cfg.DisableR2 && len(w.inBuf) > 0 && w.s.allOthersIdle(w.id) {
+			if w.tr != nil {
+				w.tr.Mark(w.id, obs.MarkR2, w.now)
+			}
 			w.hin(false)
 			continue
 		}
@@ -741,6 +804,9 @@ func (w *simWorker[V]) applyR1() {
 			return
 		}
 		w.r1Next[j] = w.now + w.s.cfg.Net.Model.Alpha
+		if w.tr != nil {
+			w.tr.Mark(w.id, obs.MarkR1, w.now)
+		}
 		w.flush(j)
 	}
 	if w.s.statusVer != w.lastStatusVer {
@@ -781,6 +847,7 @@ func (w *simWorker[V]) nextWork() uint32 {
 // startRound begins a LocalEval: h_in, and for vertex-centric synchronous
 // disciplines a frozen copy of H.
 func (w *simWorker[V]) startRound(mode Mode) {
+	w.traceRoundBegin()
 	w.hin(true)
 	if mode == ModeBSPVC {
 		w.freezeRound()
@@ -803,6 +870,34 @@ func (w *simWorker[V]) endRound(mode Mode) {
 	if mode == ModeAAP {
 		w.adjustAAPDelay()
 	}
+	w.traceRoundEnd()
+}
+
+// traceRoundBegin opens the LocalEval span lazily: the first loop iteration
+// after a round boundary (or a resume into a fresh round) begins it, so the
+// span also covers rounds entered without startRound (initial activation).
+func (w *simWorker[V]) traceRoundBegin() {
+	if w.tr == nil || w.roundOpen {
+		return
+	}
+	w.roundOpen = true
+	w.tr.SpanBegin(w.id, obs.PhaseLocalEval, w.now)
+	w.tr.Sample(w.id, obs.GaugeActive, w.now, float64(w.active.Len()))
+}
+
+// traceRoundEnd closes the LocalEval span and ships the round's update
+// count as one counter delta (per-update events would flood the ring).
+func (w *simWorker[V]) traceRoundEnd() {
+	if w.tr == nil || !w.roundOpen {
+		return
+	}
+	w.roundOpen = false
+	if d := w.metrics.Updates - w.updEmitted; d > 0 {
+		w.tr.Count(w.id, obs.CounterUpdates, w.now, d)
+		w.updEmitted = w.metrics.Updates
+	}
+	w.tr.Sample(w.id, obs.GaugeActive, w.now, float64(w.active.Len()))
+	w.tr.SpanEnd(w.id, obs.PhaseLocalEval, w.now)
 }
 
 func (w *simWorker[V]) adjustAAPDelay() {
@@ -862,6 +957,9 @@ func (w *simWorker[V]) runUpdate(v uint32, c float64) {
 }
 
 func (w *simWorker[V]) adjustEta() {
+	if w.tr != nil {
+		w.tr.SpanBegin(w.id, obs.PhaseAdjust, w.now)
+	}
 	cur := func(l uint32) V { return w.prog.Output(w.ctx, l) }
 	var truthFn func(uint32) V
 	if w.truth != nil {
@@ -871,11 +969,16 @@ func (w *simWorker[V]) adjustEta() {
 	w.eta = newEta
 	w.now += oh
 	w.metrics.Ta += oh
+	if w.tr != nil {
+		w.tr.SpanEnd(w.id, obs.PhaseAdjust, w.now)
+		w.tr.Sample(w.id, obs.GaugeEta, w.now, w.eta)
+	}
 	w.tuner.Begin(w.now, w.eta)
 }
 
 // finish closes the books after the run.
 func (w *simWorker[V]) finish() {
+	w.traceRoundEnd() // close the span an aborted run left open
 	w.metrics.FinalEta = w.eta
 	switch w.cat {
 	case ace.CategoryII:

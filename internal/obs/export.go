@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// ftoa renders a float the same way on every run/platform (shortest
+// round-trip form), which is what makes sim-driver exports byte-identical
+// across runs with the same config and seed.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteChromeTrace renders the retained events as Chrome trace-event JSON
+// (the "JSON array format" understood by Perfetto and chrome://tracing):
+// one pid for the run, one tid (track) per worker carrying the nested
+// LocalEval/h_in/h_out/Adjust spans, counter tracks for the monotone
+// counters and gauges, and instant events for the indicator flips.
+//
+// Virtual cost units (sim driver) are exported 1:1 as microseconds, so a
+// span of cost 64 reads as 64 µs in the viewer. Timestamps are clamped to
+// be monotone per worker: deliveries may be stamped slightly before the
+// receiving worker's cursor (see Tracer), and trace viewers require
+// in-order begin/end pairs per track.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(s)
+	}
+	emit(`{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"gap"}}`)
+	n := r.Workers()
+	for i := 0; i < n; i++ {
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"worker %d"}}`, i, i))
+	}
+	for i := 0; i < n; i++ {
+		var cum [numCounters]int64
+		last := 0.0
+		open := 0
+		for _, e := range r.Events(i) {
+			ts := e.T
+			if ts < last {
+				ts = last
+			}
+			last = ts
+			switch e.Kind {
+			case KindSpanBegin:
+				emit(fmt.Sprintf(`{"name":%q,"ph":"B","pid":0,"tid":%d,"ts":%s}`, Phase(e.Code).String(), i, ftoa(ts)))
+				open++
+			case KindSpanEnd:
+				// The ring may have evicted the matching begin; dropping the
+				// orphan end keeps the track well-nested.
+				if open == 0 {
+					continue
+				}
+				open--
+				emit(fmt.Sprintf(`{"name":%q,"ph":"E","pid":0,"tid":%d,"ts":%s}`, Phase(e.Code).String(), i, ftoa(ts)))
+			case KindCounter:
+				c := Counter(e.Code)
+				cum[c] += int64(e.Value)
+				emit(fmt.Sprintf(`{"name":%q,"ph":"C","pid":0,"tid":%d,"ts":%s,"args":{%q:%d}}`,
+					c.String(), i, ftoa(ts), c.String(), cum[c]))
+			case KindGauge:
+				g := Gauge(e.Code)
+				if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+					continue // ±Inf/NaN (η of FG⁺) is not valid JSON
+				}
+				emit(fmt.Sprintf(`{"name":%q,"ph":"C","pid":0,"tid":%d,"ts":%s,"args":{%q:%s}}`,
+					g.String(), i, ftoa(ts), g.String(), ftoa(e.Value)))
+			case KindMark:
+				emit(fmt.Sprintf(`{"name":%q,"ph":"i","pid":0,"tid":%d,"ts":%s,"s":"t"}`, Mark(e.Code).String(), i, ftoa(ts)))
+			}
+		}
+		// Close spans left open by an aborted or truncated run so the
+		// viewer does not extend them to infinity.
+		for ; open > 0; open-- {
+			emit(fmt.Sprintf(`{"name":"(truncated)","ph":"E","pid":0,"tid":%d,"ts":%s}`, i, ftoa(last)))
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteCSV renders the gauge samples and counters as a long-format CSV time
+// series: time,worker,series,value — one row per sample, counters
+// cumulative. This is the input for η/φ/active-set trajectory plots
+// (Fig. 7/8 style): filter series=="eta" or "phi" and facet by worker.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("time,worker,series,value\n"); err != nil {
+		return err
+	}
+	n := r.Workers()
+	for i := 0; i < n; i++ {
+		var cum [numCounters]int64
+		for _, e := range r.Events(i) {
+			switch e.Kind {
+			case KindGauge:
+				fmt.Fprintf(bw, "%s,%d,%s,%s\n", ftoa(e.T), i, Gauge(e.Code).String(), ftoa(e.Value))
+			case KindCounter:
+				c := Counter(e.Code)
+				cum[c] += int64(e.Value)
+				fmt.Fprintf(bw, "%s,%d,%s,%d\n", ftoa(e.T), i, c.String(), cum[c])
+			}
+		}
+	}
+	return bw.Flush()
+}

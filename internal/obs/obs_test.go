@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	r := NewRecorder(2, 0)
+	r.SpanBegin(0, PhaseLocalEval, 0)
+	r.SpanBegin(0, PhaseHin, 1)
+	r.SpanEnd(0, PhaseHin, 3)
+	r.Count(0, CounterUpdates, 4, 10)
+	r.Count(0, CounterUpdates, 5, 7)
+	r.Sample(0, GaugeEta, 6, 64)
+	r.Mark(0, MarkR3, 7)
+	r.SpanEnd(0, PhaseLocalEval, 8)
+	r.Sample(1, GaugePhi, 2, 0.5)
+
+	ev := r.Events(0)
+	if len(ev) != 8 {
+		t.Fatalf("worker 0: got %d events, want 8", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].T < ev[i-1].T {
+			t.Fatalf("events out of order at %d: %v", i, ev)
+		}
+	}
+	st := r.Snapshot()
+	if len(st.Workers) != 2 {
+		t.Fatalf("snapshot workers = %d, want 2", len(st.Workers))
+	}
+	w0 := st.Workers[0]
+	if w0.Updates != 17 {
+		t.Errorf("updates = %d, want 17", w0.Updates)
+	}
+	if !w0.HasEta || w0.Eta != 64 {
+		t.Errorf("eta = %v (has %v), want 64", w0.Eta, w0.HasEta)
+	}
+	if w0.T != 8 {
+		t.Errorf("last t = %v, want 8", w0.T)
+	}
+	if !st.Workers[1].HasPhi || st.Workers[1].Phi != 0.5 {
+		t.Errorf("worker 1 phi = %+v", st.Workers[1])
+	}
+}
+
+func TestRecorderRingWraps(t *testing.T) {
+	r := NewRecorder(1, 8)
+	for i := 0; i < 20; i++ {
+		r.Count(0, CounterUpdates, float64(i), 1)
+	}
+	ev := r.Events(0)
+	if len(ev) != 8 {
+		t.Fatalf("retained %d, want 8", len(ev))
+	}
+	if ev[0].T != 12 || ev[7].T != 19 {
+		t.Fatalf("wrong window: first %v last %v", ev[0].T, ev[7].T)
+	}
+	if got := r.Dropped(); got != 12 {
+		t.Fatalf("dropped = %d, want 12", got)
+	}
+	// The status view survives eviction: counters stay cumulative.
+	if st := r.Snapshot(); st.Workers[0].Updates != 20 {
+		t.Fatalf("updates = %d, want 20", st.Workers[0].Updates)
+	}
+}
+
+func TestRecorderLazyWorkerGrowth(t *testing.T) {
+	r := NewRecorder(0, 16)
+	r.Mark(3, MarkIdle, 1)
+	if r.Workers() != 4 {
+		t.Fatalf("workers = %d, want 4", r.Workers())
+	}
+	if !r.Snapshot().Workers[3].Idle {
+		t.Fatal("worker 3 should be idle")
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	r := NewRecorder(2, 0)
+	r.SpanBegin(0, PhaseLocalEval, 0)
+	r.SpanBegin(0, PhaseHout, 2.5)
+	r.SpanEnd(0, PhaseHout, 3.25)
+	r.Mark(0, MarkR1, 3.5)
+	r.Count(0, CounterMsgsSent, 3.5, 12)
+	r.SpanEnd(0, PhaseLocalEval, 4)
+	r.Sample(1, GaugeEta, 1, 128)
+	// Leave a span open on worker 1: the exporter must close it.
+	r.SpanBegin(1, PhaseLocalEval, 2)
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	begins, ends := 0, 0
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		}
+	}
+	if begins != ends {
+		t.Fatalf("unbalanced spans: %d begins, %d ends", begins, ends)
+	}
+	if !strings.Contains(buf.String(), `"thread_name"`) {
+		t.Fatal("missing thread_name metadata")
+	}
+}
+
+func TestChromeTraceClampsRegressingTimestamps(t *testing.T) {
+	r := NewRecorder(1, 0)
+	r.SpanBegin(0, PhaseLocalEval, 10)
+	r.Mark(0, MarkBusy, 4) // delivery stamped before the worker's cursor
+	r.SpanEnd(0, PhaseLocalEval, 12)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"ts":10,"s":"t"`) {
+		t.Fatalf("mark not clamped to span begin:\n%s", buf.String())
+	}
+}
+
+func TestCSVCumulativeCounters(t *testing.T) {
+	r := NewRecorder(1, 0)
+	r.Count(0, CounterUpdates, 1, 5)
+	r.Count(0, CounterUpdates, 2, 5)
+	r.Sample(0, GaugePhi, 3, 0.75)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "time,worker,series,value\n1,0,updates,5\n2,0,updates,10\n3,0,phi,0.75\n"
+	if buf.String() != want {
+		t.Fatalf("csv mismatch:\ngot:\n%swant:\n%s", buf.String(), want)
+	}
+}
+
+func TestRecorderConcurrentWorkers(t *testing.T) {
+	r := NewRecorder(8, 1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Count(w, CounterUpdates, float64(i), 1)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	st := r.Snapshot()
+	for w := 0; w < 8; w++ {
+		if st.Workers[w].Updates != 500 {
+			t.Fatalf("worker %d updates = %d, want 500", w, st.Workers[w].Updates)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package obs
+
+import "sync"
+
+// EventKind discriminates recorded events.
+type EventKind uint8
+
+const (
+	KindSpanBegin EventKind = iota
+	KindSpanEnd
+	KindCounter
+	KindGauge
+	KindMark
+)
+
+// Event is one recorded trace event. Code is the Phase/Counter/Gauge/Mark
+// constant selected by Kind; Value carries the counter delta or gauge
+// sample.
+type Event struct {
+	T      float64
+	Worker int32
+	Kind   EventKind
+	Code   uint8
+	Value  float64
+}
+
+// shard is one worker's ring buffer plus its live status view. Each shard
+// has its own lock so live-driver workers never contend with each other,
+// only with an occasional Snapshot poll.
+type shard struct {
+	mu      sync.Mutex
+	ring    []Event
+	head    int // next write position
+	n       int // valid events (≤ cap)
+	dropped int64
+
+	// Live status for Snapshot.
+	t        float64
+	depth    [numPhases]int // open-span depth per phase
+	phase    Phase          // innermost open phase
+	idle     bool
+	counters [numCounters]int64
+	gauges   [numGauges]float64
+	gaugeOK  [numGauges]bool
+}
+
+// Recorder is a ring-buffered Tracer: it keeps the most recent events per
+// worker (default 1<<17 each) and serves exporters and live snapshots.
+// The zero value is not usable; call NewRecorder.
+type Recorder struct {
+	perWorker int
+
+	mu     sync.RWMutex // guards growth of shards only
+	shards []*shard
+}
+
+// DefaultEventsPerWorker is the per-worker ring capacity when NewRecorder
+// is given a non-positive capacity (≈4 MB per worker at 32 B per event).
+const DefaultEventsPerWorker = 1 << 17
+
+// NewRecorder builds a recorder sized for the given worker count; workers
+// beyond it are added lazily. eventsPerWorker bounds each worker's ring
+// (oldest events are overwritten; Dropped reports how many).
+func NewRecorder(workers, eventsPerWorker int) *Recorder {
+	if eventsPerWorker <= 0 {
+		eventsPerWorker = DefaultEventsPerWorker
+	}
+	r := &Recorder{perWorker: eventsPerWorker}
+	if workers > 0 {
+		r.shards = make([]*shard, workers)
+		for i := range r.shards {
+			r.shards[i] = &shard{ring: make([]Event, 0, eventsPerWorker)}
+		}
+	}
+	return r
+}
+
+func (r *Recorder) shard(worker int) *shard {
+	r.mu.RLock()
+	if worker < len(r.shards) {
+		s := r.shards[worker]
+		r.mu.RUnlock()
+		return s
+	}
+	r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for worker >= len(r.shards) {
+		r.shards = append(r.shards, &shard{ring: make([]Event, 0, r.perWorker)})
+	}
+	return r.shards[worker]
+}
+
+func (s *shard) push(e Event) {
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, e)
+		s.n++
+		s.head = len(s.ring) % cap(s.ring)
+		return
+	}
+	s.ring[s.head] = e
+	s.head = (s.head + 1) % cap(s.ring)
+	if s.n < cap(s.ring) {
+		s.n++
+	} else {
+		s.dropped++
+	}
+}
+
+func (r *Recorder) record(worker int, e Event) *shard {
+	s := r.shard(worker)
+	s.mu.Lock()
+	s.push(e)
+	if e.T > s.t {
+		s.t = e.T
+	}
+	return s // caller updates status view, then unlocks
+}
+
+// SpanBegin implements Tracer.
+func (r *Recorder) SpanBegin(worker int, p Phase, t float64) {
+	s := r.record(worker, Event{T: t, Worker: int32(worker), Kind: KindSpanBegin, Code: uint8(p)})
+	s.depth[p]++
+	s.phase = p
+	s.idle = false
+	s.mu.Unlock()
+}
+
+// SpanEnd implements Tracer.
+func (r *Recorder) SpanEnd(worker int, p Phase, t float64) {
+	s := r.record(worker, Event{T: t, Worker: int32(worker), Kind: KindSpanEnd, Code: uint8(p)})
+	if s.depth[p] > 0 {
+		s.depth[p]--
+	}
+	// Fall back to the outermost still-open phase for the status view.
+	s.phase = PhaseLocalEval
+	for q := numPhases - 1; q >= 0; q-- {
+		if s.depth[q] > 0 {
+			s.phase = Phase(q)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Count implements Tracer.
+func (r *Recorder) Count(worker int, c Counter, t float64, delta int64) {
+	s := r.record(worker, Event{T: t, Worker: int32(worker), Kind: KindCounter, Code: uint8(c), Value: float64(delta)})
+	s.counters[c] += delta
+	s.mu.Unlock()
+}
+
+// Sample implements Tracer.
+func (r *Recorder) Sample(worker int, g Gauge, t float64, v float64) {
+	s := r.record(worker, Event{T: t, Worker: int32(worker), Kind: KindGauge, Code: uint8(g), Value: v})
+	s.gauges[g] = v
+	s.gaugeOK[g] = true
+	s.mu.Unlock()
+}
+
+// Mark implements Tracer.
+func (r *Recorder) Mark(worker int, m Mark, t float64) {
+	s := r.record(worker, Event{T: t, Worker: int32(worker), Kind: KindMark, Code: uint8(m)})
+	switch m {
+	case MarkIdle:
+		s.idle = true
+	case MarkBusy:
+		s.idle = false
+	}
+	s.mu.Unlock()
+}
+
+var _ Tracer = (*Recorder)(nil)
+
+// Workers returns the number of worker tracks seen so far.
+func (r *Recorder) Workers() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.shards)
+}
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (r *Recorder) Dropped() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var d int64
+	for _, s := range r.shards {
+		s.mu.Lock()
+		d += s.dropped
+		s.mu.Unlock()
+	}
+	return d
+}
+
+// Events returns one worker's retained events oldest-first.
+func (r *Recorder) Events(worker int) []Event {
+	r.mu.RLock()
+	if worker >= len(r.shards) {
+		r.mu.RUnlock()
+		return nil
+	}
+	s := r.shards[worker]
+	r.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, 0, s.n)
+	start := s.head - s.n
+	if start < 0 {
+		start += cap(s.ring)
+	}
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.ring[(start+i)%cap(s.ring)])
+	}
+	return out
+}
+
+// WorkerStatus is one worker's live view for progress reporting.
+type WorkerStatus struct {
+	Worker int
+	// T is the latest timestamp the worker has reported (virtual cost
+	// units under the sim driver, wall µs under the live driver).
+	T float64
+	// Phase is the innermost open span.
+	Phase Phase
+	// Idle reports the worker's last status transition.
+	Idle bool
+	// Eta and Phi are the latest tuner gauges (NaN-free: ok flags below).
+	Eta, Phi       float64
+	HasEta, HasPhi bool
+	// Active and Mailbox are the latest sampled queue depths.
+	Active, Mailbox float64
+	// Cumulative counters.
+	Updates, MsgsSent, BytesSent, MsgsRecv, Flushes int64
+}
+
+// Status is a point-in-time view of a (possibly still running) traced run.
+type Status struct {
+	Workers []WorkerStatus
+	Dropped int64
+}
+
+// Snapshot assembles the live status of every worker. It is safe to call
+// concurrently with recording; each shard is locked briefly in turn, so the
+// view is per-worker consistent (not globally atomic).
+func (r *Recorder) Snapshot() Status {
+	r.mu.RLock()
+	shards := r.shards
+	r.mu.RUnlock()
+	st := Status{Workers: make([]WorkerStatus, len(shards))}
+	for i, s := range shards {
+		s.mu.Lock()
+		w := &st.Workers[i]
+		w.Worker = i
+		w.T = s.t
+		w.Phase = s.phase
+		w.Idle = s.idle
+		w.Eta, w.HasEta = s.gauges[GaugeEta], s.gaugeOK[GaugeEta]
+		w.Phi, w.HasPhi = s.gauges[GaugePhi], s.gaugeOK[GaugePhi]
+		w.Active = s.gauges[GaugeActive]
+		w.Mailbox = s.gauges[GaugeMailbox]
+		w.Updates = s.counters[CounterUpdates]
+		w.MsgsSent = s.counters[CounterMsgsSent]
+		w.BytesSent = s.counters[CounterBytesSent]
+		w.MsgsRecv = s.counters[CounterMsgsRecv]
+		w.Flushes = s.counters[CounterFlushes]
+		st.Dropped += s.dropped
+		s.mu.Unlock()
+	}
+	return st
+}
