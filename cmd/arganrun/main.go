@@ -8,13 +8,24 @@
 //	arganrun -app pr -graph web.el -system Grape+
 //	arganrun -app color -dataset HW -system GraphLab_sync   # reports NA
 //
+// Fault injection (sim driver; see internal/fault for the grammar):
+//
+//	-faults SPEC       inject a fault plan, given inline ("crash=1@300+150;
+//	                   drop=0.05") or as a file of spec lines. Crashed
+//	                   workers are recovered from periodic checkpoints when
+//	                   the crash schedules a restart ("+R").
+//	-no-recover        strip the restarts from the plan: crashed workers
+//	                   stay dead and the run reports non-convergence.
+//	-ckpt-every N      checkpoint interval in virtual cost units.
+//
 // Observability (applies to the ACE applications, not -stats/-app mst):
 //
 //	-trace FILE        write the run's event trace as Chrome trace-event
 //	                   JSON: open in Perfetto (ui.perfetto.dev) or
 //	                   chrome://tracing; one span track per worker with
 //	                   LocalEval/h_in/h_out/Adjust spans, counter tracks,
-//	                   and indicator-flip (R1/R2/R3) instants. Virtual
+//	                   indicator-flip (R1/R2/R3) instants and
+//	                   crash/detect/restart/ckpt fault events. Virtual
 //	                   cost units are rendered as microseconds.
 //	-metrics-out FILE  write long-format CSV time series
 //	                   (time,worker,series,value) with per-worker η, φ,
@@ -37,6 +48,7 @@ import (
 	"argan/internal/ace"
 	"argan/internal/algorithms"
 	"argan/internal/core"
+	"argan/internal/fault"
 	"argan/internal/gap"
 	"argan/internal/graph"
 	"argan/internal/obs"
@@ -44,116 +56,187 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "sssp", "application: sssp, bfs, wcc, color, pr, core, sim, mst")
-	file := flag.String("graph", "", "edge-list file (see graph.ReadEdgeList)")
-	dataset := flag.String("dataset", "", "built-in dataset stand-in (HW, DP, LJ, TW, FS, UK)")
-	scale := flag.Float64("scale", 0.25, "dataset scale")
-	n := flag.Int("n", 16, "number of workers")
-	system := flag.String("system", "Argan", "system: Argan, Grape, Grape+, Grape*, GraphLab_sync, GraphLab_async, PowerSwitch, Maiter")
-	source := flag.Int("source", 0, "source vertex for sssp/bfs")
-	eps := flag.Float64("eps", 1e-3, "delta threshold for pr")
-	hetero := flag.Float64("hetero", 0, "execution-noise amplitude")
-	top := flag.Int("top", 5, "print the top-k result vertices")
-	stats := flag.Bool("stats", false, "print structural graph statistics and exit")
-	traceFile := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to `FILE`")
-	metricsOut := flag.String("metrics-out", "", "write per-worker time-series CSV to `FILE`")
-	progress := flag.Duration("progress", 0, "print live progress every `DUR` (0 disables)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is main's testable body: parse flags, execute, report. Errors print
+// to stderr and become exit code 1 (2 for flag-parse errors), never panics.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("arganrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "sssp", "application: sssp, bfs, wcc, color, pr, core, sim, mst")
+	file := fs.String("graph", "", "edge-list file (see graph.ReadEdgeList)")
+	dataset := fs.String("dataset", "", "built-in dataset stand-in (HW, DP, LJ, TW, FS, UK)")
+	scale := fs.Float64("scale", 0.25, "dataset scale")
+	n := fs.Int("n", 16, "number of workers")
+	system := fs.String("system", "Argan", "system: Argan, Grape, Grape+, Grape*, GraphLab_sync, GraphLab_async, PowerSwitch, Maiter")
+	source := fs.Int("source", 0, "source vertex for sssp/bfs")
+	eps := fs.Float64("eps", 1e-3, "delta threshold for pr")
+	hetero := fs.Float64("hetero", 0, "execution-noise amplitude")
+	top := fs.Int("top", 5, "print the top-k result vertices")
+	stats := fs.Bool("stats", false, "print structural graph statistics and exit")
+	faults := fs.String("faults", "", "fault plan `SPEC` (inline or a file of spec lines)")
+	noRecover := fs.Bool("no-recover", false, "strip restarts from the fault plan (crashed workers stay dead)")
+	ckptEvery := fs.Float64("ckpt-every", 0, "checkpoint interval in virtual cost units (0 = default)")
+	traceFile := fs.String("trace", "", "write Chrome trace-event JSON (Perfetto) to `FILE`")
+	metricsOut := fs.String("metrics-out", "", "write per-worker time-series CSV to `FILE`")
+	progress := fs.Duration("progress", 0, "print live progress every `DUR` (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if err := runMain(stdout, stderr, options{
+		app: *app, file: *file, dataset: *dataset, scale: *scale, n: *n,
+		system: *system, source: *source, eps: *eps, hetero: *hetero,
+		top: *top, stats: *stats,
+		faults: *faults, noRecover: *noRecover, ckptEvery: *ckptEvery,
+		traceFile: *traceFile, metricsOut: *metricsOut, progress: *progress,
+	}); err != nil {
+		fmt.Fprintf(stderr, "arganrun: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+type options struct {
+	app, file, dataset    string
+	scale                 float64
+	n                     int
+	system                string
+	source                int
+	eps, hetero           float64
+	top                   int
+	stats                 bool
+	faults                string
+	noRecover             bool
+	ckptEvery             float64
+	traceFile, metricsOut string
+	progress              time.Duration
+}
+
+func runMain(stdout, stderr io.Writer, o options) error {
 	var g *graph.Graph
 	var err error
 	switch {
-	case *file != "":
-		f, ferr := os.Open(*file)
+	case o.file != "":
+		f, ferr := os.Open(o.file)
 		if ferr != nil {
-			fatal("%v", ferr)
+			return fmt.Errorf("opening graph file: %w", ferr)
 		}
 		g, err = graph.ReadEdgeList(f)
 		f.Close()
-	case *dataset != "":
-		g, err = graph.LoadDataset(*dataset, *scale)
+		if err != nil {
+			return fmt.Errorf("reading graph file %s: %w", o.file, err)
+		}
+	case o.dataset != "":
+		if g, err = graph.LoadDataset(o.dataset, o.scale); err != nil {
+			return err
+		}
 	default:
-		fatal("need -graph or -dataset")
+		return fmt.Errorf("need -graph or -dataset")
 	}
-	if err != nil {
-		fatal("%v", err)
-	}
-	fmt.Printf("graph: %v\n", g)
-	if *stats {
+	fmt.Fprintf(stdout, "graph: %v\n", g)
+	if o.stats {
 		st := graph.ComputeStats(g)
-		fmt.Printf("avg degree %.1f, max %d (p99 %d), skew %.1f, tail alpha %.2f, giant component %.0f%%\n",
+		fmt.Fprintf(stdout, "avg degree %.1f, max %d (p99 %d), skew %.1f, tail alpha %.2f, giant component %.0f%%\n",
 			st.AvgDegree, st.MaxDegree, st.DegreeP99, st.Skew, st.PowerLawAlpha, 100*st.GiantComponentFrac)
-		return
+		return nil
 	}
-	if *app == "mst" {
-		env := core.Env{Workers: *n, Hetero: *hetero}
+	if o.app == "mst" {
+		env := core.Env{Workers: o.n, Hetero: o.hetero}
 		frags, err := env.Fragments(g)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		edges, total, rounds, err := core.MST(g, frags, env.DefaultConfig())
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
-		fmt.Printf("minimum spanning forest: %d edges, total weight %.1f, %d Borůvka rounds\n",
+		fmt.Fprintf(stdout, "minimum spanning forest: %d edges, total weight %.1f, %d Borůvka rounds\n",
 			len(edges), total, rounds)
-		return
+		return nil
 	}
 
-	sys, err := systems.ByName(*system)
+	sys, err := systems.ByName(o.system)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
-	env := core.Env{Workers: *n, Hetero: *hetero}
+	env := core.Env{Workers: o.n, Hetero: o.hetero}
 	frags, err := env.Fragments(g)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
-	job, err := sys.Job(*app)
+	job, err := sys.Job(o.app)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 
-	q := ace.Query{Source: graph.VID(*source), Eps: *eps}
-	if *app == "sim" {
+	q := ace.Query{Source: graph.VID(o.source), Eps: o.eps}
+	if o.app == "sim" {
 		q.Pattern = algorithms.RandomPattern(g, 4, 5, 42)
 	}
 	cfg := sys.Config(env.DefaultConfig())
+	if o.faults != "" {
+		plan, err := fault.Load(o.faults)
+		if err != nil {
+			return err
+		}
+		if o.noRecover {
+			for i := range plan.Crashes {
+				plan.Crashes[i].Restart = -1
+			}
+		}
+		cfg.Faults = plan
+		cfg.FT.CheckpointEvery = o.ckptEvery
+	}
 	var rec *obs.Recorder
-	if *traceFile != "" || *metricsOut != "" || *progress > 0 {
-		rec = obs.NewRecorder(*n, 0)
+	if o.traceFile != "" || o.metricsOut != "" || o.progress > 0 {
+		rec = obs.NewRecorder(o.n, 0)
 		cfg.Tracer = rec
 	}
-	m, err := runJob(job, frags, q, cfg, rec, *progress)
+	m, err := runJob(stderr, job, frags, q, cfg, rec, o.progress)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	if rec != nil {
-		if *traceFile != "" {
-			writeExport(*traceFile, rec.WriteChromeTrace)
-			fmt.Printf("trace         : %s (%d workers, %d events dropped)\n", *traceFile, rec.Workers(), rec.Dropped())
+		if o.traceFile != "" {
+			if err := writeExport(o.traceFile, rec.WriteChromeTrace); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "trace         : %s (%d workers, %d events dropped)\n", o.traceFile, rec.Workers(), rec.Dropped())
 		}
-		if *metricsOut != "" {
-			writeExport(*metricsOut, rec.WriteCSV)
-			fmt.Printf("metrics       : %s\n", *metricsOut)
+		if o.metricsOut != "" {
+			if err := writeExport(o.metricsOut, rec.WriteCSV); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "metrics       : %s\n", o.metricsOut)
 		}
 	}
 	if !m.Converged {
-		fmt.Println("result: NA (did not converge — oscillating synchronous execution)")
-		return
+		if m.Crashes > m.Recoveries {
+			fmt.Fprintln(stdout, "result: NA (a crashed worker was never recovered)")
+		} else {
+			fmt.Fprintln(stdout, "result: NA (did not converge — oscillating synchronous execution)")
+		}
+		return nil
 	}
-	fmt.Printf("response time : %.0f cost units\n", m.RespTime)
-	fmt.Printf("updates       : %d over %d rounds, %d messages (%d bytes)\n",
+	fmt.Fprintf(stdout, "response time : %.0f cost units\n", m.RespTime)
+	fmt.Fprintf(stdout, "updates       : %d over %d rounds, %d messages (%d bytes)\n",
 		m.Updates, m.Rounds, m.MsgsSent, m.BytesSent)
-	fmt.Printf("composition   : busy=%.0f  T_w=%.0f  T_c=%.0f  T_a=%.0f  phi=%.1f%%\n",
+	fmt.Fprintf(stdout, "composition   : busy=%.0f  T_w=%.0f  T_c=%.0f  T_a=%.0f  phi=%.1f%%\n",
 		m.TotalBusy, m.TotalTw, m.TotalTc, m.TotalTa, 100*m.Phi)
+	if o.faults != "" {
+		fmt.Fprintf(stdout, "faults        : crashes=%d recoveries=%d checkpoints=%d T_f=%.0f\n",
+			m.Crashes, m.Recoveries, m.Checkpoints, m.TotalTf)
+	}
 
-	printTop(g, env, *app, q, *top, *source)
+	printTop(stdout, g, env, o.app, q, o.top, o.source)
+	return nil
 }
 
 // printTop recomputes the answer under Argan's defaults and prints a small
 // result sample, so the tool is useful beyond timing.
-func printTop(g *graph.Graph, env core.Env, app string, q ace.Query, k, source int) {
+func printTop(out io.Writer, g *graph.Graph, env core.Env, app string, q ace.Query, k, source int) {
 	cfg := env.DefaultConfig()
 	switch app {
 	case "sssp":
@@ -172,9 +255,9 @@ func printTop(g *graph.Graph, env core.Env, app string, q ace.Query, k, source i
 			}
 		}
 		sort.Slice(ps, func(i, j int) bool { return ps[i].d < ps[j].d })
-		fmt.Printf("nearest %d vertices from %d:\n", k, source)
+		fmt.Fprintf(out, "nearest %d vertices from %d:\n", k, source)
 		for i := 0; i < k && i < len(ps); i++ {
-			fmt.Printf("  v%-8d dist %.1f\n", ps[i].v, ps[i].d)
+			fmt.Fprintf(out, "  v%-8d dist %.1f\n", ps[i].v, ps[i].d)
 		}
 	case "pr":
 		res, err := core.PageRank(g, q.Eps, env, cfg)
@@ -190,9 +273,9 @@ func printTop(g *graph.Graph, env core.Env, app string, q ace.Query, k, source i
 			ps[v] = pair{graph.VID(v), r}
 		}
 		sort.Slice(ps, func(i, j int) bool { return ps[i].r > ps[j].r })
-		fmt.Printf("top %d by PageRank:\n", k)
+		fmt.Fprintf(out, "top %d by PageRank:\n", k)
 		for i := 0; i < k && i < len(ps); i++ {
-			fmt.Printf("  v%-8d rank %.4f\n", ps[i].v, ps[i].r)
+			fmt.Fprintf(out, "  v%-8d rank %.4f\n", ps[i].v, ps[i].r)
 		}
 	case "color":
 		res, err := core.Color(g, env, cfg)
@@ -205,7 +288,7 @@ func printTop(g *graph.Graph, env core.Env, app string, q ace.Query, k, source i
 				max = c
 			}
 		}
-		fmt.Printf("colors used: %d\n", max+1)
+		fmt.Fprintf(out, "colors used: %d\n", max+1)
 	case "core":
 		res, err := core.CoreDecomposition(g, env, cfg)
 		if err != nil {
@@ -217,7 +300,7 @@ func printTop(g *graph.Graph, env core.Env, app string, q ace.Query, k, source i
 				max = c
 			}
 		}
-		fmt.Printf("degeneracy (max coreness): %d\n", max)
+		fmt.Fprintf(out, "degeneracy (max coreness): %d\n", max)
 	case "sim":
 		res, err := core.Simulation(g, q.Pattern, env, cfg)
 		if err != nil {
@@ -229,14 +312,14 @@ func printTop(g *graph.Graph, env core.Env, app string, q ace.Query, k, source i
 				matches++
 			}
 		}
-		fmt.Printf("vertices simulating some pattern vertex: %d\n", matches)
+		fmt.Fprintf(out, "vertices simulating some pattern vertex: %d\n", matches)
 	}
 }
 
 // runJob executes the job, optionally polling the recorder for live
 // progress: the engine runs in its own goroutine while the main goroutine
 // prints a per-tick status line assembled from Recorder.Snapshot.
-func runJob(job core.Job, frags []*graph.Fragment, q ace.Query, cfg gap.Config, rec *obs.Recorder, every time.Duration) (gap.Metrics, error) {
+func runJob(stderr io.Writer, job core.Job, frags []*graph.Fragment, q ace.Query, cfg gap.Config, rec *obs.Recorder, every time.Duration) (gap.Metrics, error) {
 	if rec == nil || every <= 0 {
 		return job(frags, q, cfg)
 	}
@@ -256,13 +339,13 @@ func runJob(job core.Job, frags []*graph.Fragment, q ace.Query, cfg gap.Config, 
 		case r := <-done:
 			return r.m, r.err
 		case <-tick.C:
-			printProgress(rec)
+			printProgress(stderr, rec)
 		}
 	}
 }
 
 // printProgress renders one live status line from the recorder snapshot.
-func printProgress(rec *obs.Recorder) {
+func printProgress(stderr io.Writer, rec *obs.Recorder) {
 	st := rec.Snapshot()
 	var upd, msgs int64
 	var vt, backlog float64
@@ -288,25 +371,18 @@ func printProgress(rec *obs.Recorder) {
 	if etaLo <= etaHi {
 		line += fmt.Sprintf(" eta=[%.0f..%.0f]", etaLo, etaHi)
 	}
-	fmt.Fprintln(os.Stderr, line)
+	fmt.Fprintln(stderr, line)
 }
 
 // writeExport writes one exporter's output to path.
-func writeExport(path string, write func(w io.Writer) error) {
+func writeExport(path string, write func(w io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	if err := write(f); err != nil {
 		f.Close()
-		fatal("writing %s: %v", path, err)
+		return fmt.Errorf("writing %s: %w", path, err)
 	}
-	if err := f.Close(); err != nil {
-		fatal("%v", err)
-	}
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "arganrun: "+format+"\n", args...)
-	os.Exit(1)
+	return f.Close()
 }

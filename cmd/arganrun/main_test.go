@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes the command body the way main does, capturing both streams.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestBadInputsExitNonZero: every malformed invocation must produce exit
+// code 1 with a clear one-line diagnostic on stderr — never a panic, never
+// a zero exit.
+func TestBadInputsExitNonZero(t *testing.T) {
+	garbage := filepath.Join(t.TempDir(), "garbage.el")
+	if err := os.WriteFile(garbage, []byte("this is not an edge list\n1 2 3 4 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of stderr
+	}{
+		{"no_input", nil, "need -graph or -dataset"},
+		{"missing_graph_file", []string{"-graph", filepath.Join(t.TempDir(), "nope.el")}, "opening graph file"},
+		{"malformed_graph_file", []string{"-graph", garbage}, "reading graph file"},
+		{"unknown_dataset", []string{"-dataset", "NOPE"}, "unknown dataset"},
+		{"bad_fault_spec", []string{"-dataset", "HW", "-scale", "0.05", "-faults", "crash=oops"}, "fault"},
+		{"unknown_system", []string{"-dataset", "HW", "-scale", "0.05", "-system", "NoSuch"}, "unknown system"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, stderr := runCLI(c.args...)
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, "arganrun: ") || !strings.Contains(stderr, c.want) {
+				t.Fatalf("stderr %q missing prefix or %q", stderr, c.want)
+			}
+		})
+	}
+}
+
+// TestBadFlagExitsTwo: flag-parse failures use the conventional exit 2.
+func TestBadFlagExitsTwo(t *testing.T) {
+	code, _, stderr := runCLI("-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr)
+	}
+}
+
+// TestRunWithFaultPlan is a smoke test of the full fault-injection path
+// through the CLI: a crash-and-recover plan on a small stand-in must still
+// exit 0 and report the fault accounting line.
+func TestRunWithFaultPlan(t *testing.T) {
+	code, stdout, stderr := runCLI(
+		"-dataset", "HW", "-scale", "0.05", "-app", "sssp",
+		"-faults", "crash=1@300+50", "-ckpt-every", "150")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "faults        :") || !strings.Contains(stdout, "crashes=1") {
+		t.Fatalf("missing fault accounting in output:\n%s", stdout)
+	}
+}
+
+// TestNoRecoverReportsNA: stripping the restart must leave the crashed
+// worker dead and the run non-convergent, reported as NA rather than an
+// error or a wrong answer.
+func TestNoRecoverReportsNA(t *testing.T) {
+	code, stdout, stderr := runCLI(
+		"-dataset", "HW", "-scale", "0.05", "-app", "sssp",
+		"-faults", "crash=1@300+50", "-no-recover")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "result: NA") || !strings.Contains(stdout, "never recovered") {
+		t.Fatalf("want NA result for unrecovered crash, got:\n%s", stdout)
+	}
+}

@@ -172,6 +172,21 @@ type InitialSyncer interface {
 	InitialSync() bool
 }
 
+// Checkpointer is an optional Program extension for programs that hold
+// mutable auxiliary state outside the status variables Ψ (e.g. PageRank's
+// accumulated rank vector). The fault-tolerance layer snapshots that state
+// alongside Ψ at each checkpoint and restores it on rollback; without it,
+// only Ψ and the active set are captured, which is sufficient for programs
+// whose entire mutable state lives in Ψ.
+type Checkpointer interface {
+	// SnapshotAux returns a deep copy of the program's auxiliary state.
+	SnapshotAux() any
+	// RestoreAux restores state previously returned by SnapshotAux. The
+	// argument may be restored more than once, so implementations must not
+	// alias it into mutable state — copy out of it.
+	RestoreAux(snap any)
+}
+
 // Coster is an optional Program extension overriding the default update
 // cost model (deg(Y_xv) + 1 edge-scan units).
 type Coster interface {

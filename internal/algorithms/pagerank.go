@@ -138,3 +138,10 @@ func (p *PageRank) Size(float64) int { return 8 }
 
 // Output implements ace.Program: the accumulated rank.
 func (p *PageRank) Output(ctx *ace.Ctx[float64], local uint32) float64 { return p.rank[local] }
+
+// SnapshotAux implements ace.Checkpointer: the rank vector is mutable state
+// outside Ψ (the pending deltas), so checkpoints must capture it.
+func (p *PageRank) SnapshotAux() any { return append([]float64(nil), p.rank...) }
+
+// RestoreAux implements ace.Checkpointer.
+func (p *PageRank) RestoreAux(snap any) { copy(p.rank, snap.([]float64)) }

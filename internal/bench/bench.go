@@ -101,6 +101,7 @@ func All() []Experiment {
 		{"fig6k", "Fig 6k: Sim on DP vs n", figSweep("fig6k", "sim", "DP")},
 		{"fig6l", "Fig 6l: scalability vs |G|", Fig6l},
 		{"ablation", "Extension: per-rule ablation of GAP (R1/R2/R3/tuner)", Ablation},
+		{"faults", "Extension: crash-recovery and link-fault overhead sweep", FaultSweep},
 	}
 }
 

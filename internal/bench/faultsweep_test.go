@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFaultSweepRecovers checks the sweep's substance, not just that it
+// prints: every faulty plan must reproduce the fault-free answers, and the
+// crash plans must actually crash and recover.
+func TestFaultSweepRecovers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FaultSweep(Quick(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "DIFF") {
+		t.Fatalf("a faulty run diverged from the fault-free answers:\n%s", out)
+	}
+	for _, want := range []string{"crash early", "full chaos", "exact"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}

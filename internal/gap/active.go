@@ -102,6 +102,44 @@ func (a *activeSet) Drain() []uint32 {
 	return out
 }
 
+// Snapshot returns the queued vertices without disturbing the set; used by
+// the fault-tolerance layer to checkpoint H. The result preserves FIFO
+// order (heap order is irrelevant: Reset re-inserts with fresh priorities).
+func (a *activeSet) Snapshot() []uint32 {
+	out := make([]uint32, 0, a.size)
+	if a.prio == nil {
+		for _, v := range a.fifo[a.head:] {
+			if a.inQ[v] {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	seen := make(map[uint32]bool, a.size)
+	for _, it := range a.items {
+		if a.inQ[it.local] && !seen[it.local] {
+			seen[it.local] = true
+			out = append(out, it.local)
+		}
+	}
+	return out
+}
+
+// Reset replaces the set's contents with vs (a prior Snapshot), dropping
+// everything queued since.
+func (a *activeSet) Reset(vs []uint32) {
+	for i := range a.inQ {
+		a.inQ[i] = false
+	}
+	a.size = 0
+	a.fifo = a.fifo[:0]
+	a.head = 0
+	a.items = a.items[:0]
+	for _, v := range vs {
+		a.Push(v)
+	}
+}
+
 type prioItem struct {
 	p     float64
 	local uint32

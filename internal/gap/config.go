@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"argan/internal/adapt"
+	"argan/internal/fault"
 	"argan/internal/netsim"
 	"argan/internal/obs"
 )
@@ -125,6 +126,26 @@ type Config struct {
 	// event site. Attach an obs.Recorder to export Chrome traces and CSV
 	// time series.
 	Tracer obs.Tracer
+	// Faults is the injected fault plan (nil = fault-free). Under the sim
+	// driver all times in the plan are virtual cost units and every fault
+	// is charged a deterministic cost, so faulty runs remain
+	// byte-reproducible for a fixed seed. Crash injection requires an
+	// asynchronous mode (GAP, AP-GC, AP-VC, AAP): the barrier disciplines
+	// have no meaningful single-worker failure semantics.
+	Faults *fault.Plan
+	// FT tunes checkpointing and recovery; only consulted when Faults
+	// schedules a crash with a restart.
+	FT FTConfig
+}
+
+// FTConfig parameterizes the sim driver's checkpoint/recovery layer.
+type FTConfig struct {
+	// CheckpointEvery is the virtual-time interval between consistent
+	// cluster snapshots. Default 4096 cost units.
+	CheckpointEvery float64
+	// DetectDelay is the virtual delay between a crash and the coordinator
+	// detecting the failure. Default 4α of the network model.
+	DetectDelay float64
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +181,12 @@ func (c Config) withDefaults() Config {
 	default:
 		c.VCOverhead = 1
 	}
+	if c.FT.CheckpointEvery <= 0 {
+		c.FT.CheckpointEvery = 4096
+	}
+	if c.FT.DetectDelay <= 0 {
+		c.FT.DetectDelay = 4 * c.Net.Model.Alpha
+	}
 	return c
 }
 
@@ -175,6 +202,7 @@ type WorkerMetrics struct {
 	MsgsSent  int64
 	BytesSent int64
 	FinalEta  float64
+	Tf        float64 // fault-handling overhead (checkpoint + restore cost)
 }
 
 // Metrics summarizes a run.
@@ -194,8 +222,12 @@ type Metrics struct {
 
 	// Aggregates over workers.
 	TotalBusy, TotalTw, TotalTc, TotalTa float64
+	TotalTf                              float64
 	Rounds, Updates, MsgsSent, BytesSent int64
 	Supersteps                           int64
+
+	// Fault-tolerance accounting (all zero on fault-free runs).
+	Crashes, Recoveries, Checkpoints int64
 
 	// Phi is the overall computation effectiveness (Σbusy − ΣTw)/(Σbusy + ΣTc).
 	Phi float64
@@ -213,6 +245,7 @@ func (m *Metrics) finalize() {
 		m.TotalTw += w.Tw
 		m.TotalTc += w.Tc
 		m.TotalTa += w.Ta
+		m.TotalTf += w.Tf
 		m.Rounds += w.Rounds
 		m.Updates += w.Updates
 		m.MsgsSent += w.MsgsSent

@@ -3,7 +3,6 @@ package gap
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"sync"
@@ -11,6 +10,7 @@ import (
 	"time"
 
 	"argan/internal/ace"
+	"argan/internal/fault"
 	"argan/internal/graph"
 	"argan/internal/obs"
 )
@@ -37,6 +37,30 @@ type LiveConfig struct {
 	// per-phase runtime/pprof labels so CPU profiles attribute samples to
 	// GAP phases; the worker label alone is applied unconditionally.
 	Tracer obs.Tracer
+	// Faults injects worker crashes, transient slowdowns and per-link
+	// batch faults into the run; nil is fault-free. Plan times (Crash.At,
+	// Slowdown fields, Retry) are wall-clock milliseconds under the live
+	// driver. Crashed workers are real goroutine exits; when the plan
+	// schedules a restart the monitor detects the death by heartbeat
+	// timeout and rolls the cluster back to its last consistent snapshot.
+	Faults *fault.Plan
+	// NoRecover disables checkpointing and recovery even when the plan's
+	// crashes carry restart delays: a crashed worker then stays dead and
+	// the watchdog eventually fails the run with a descriptive error.
+	NoRecover bool
+	// CheckpointEvery is the interval between consistent cluster
+	// snapshots when recovery is enabled. Default 50ms.
+	CheckpointEvery time.Duration
+	// HeartbeatTimeout declares a worker dead when its heartbeat is older
+	// than this. Default 250ms. Workers beat at every indicator check,
+	// idle-wait tick and send retry, so only an exited goroutine (or a
+	// pathologically long single Update call) goes stale.
+	HeartbeatTimeout time.Duration
+	// Watchdog fails the run with a descriptive error when no worker
+	// reports, updates or sends for this long, so termination detection
+	// can never hang silently (e.g. a permanently dead worker holding
+	// unacknowledged messages). Default 30s; < 0 disables.
+	Watchdog time.Duration
 }
 
 func (c LiveConfig) withDefaults() (LiveConfig, error) {
@@ -54,6 +78,15 @@ func (c LiveConfig) withDefaults() (LiveConfig, error) {
 	if c.ChannelCap <= 0 {
 		c.ChannelCap = 1024
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 50 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 250 * time.Millisecond
+	}
+	if c.Watchdog == 0 {
+		c.Watchdog = 30 * time.Second
+	}
 	return c, nil
 }
 
@@ -64,27 +97,50 @@ type LiveMetrics struct {
 	MsgsSent int64
 	Batches  int64
 	Rounds   int64
+
+	// Fault-tolerance accounting (zero on fault-free runs).
+	Crashes     int64
+	Recoveries  int64
+	Checkpoints int64
 }
 
-type liveBatch[V any] struct {
-	msgs []ace.Message[V]
+// liveEnvelope is one batch in flight. The epoch tags which incarnation of
+// the cluster sent it: recovery bumps the epoch, and receivers silently
+// discard (without counting) envelopes from before the rollback.
+type liveEnvelope[V any] struct {
+	epoch int32
+	msgs  []ace.Message[V]
 }
 
 // liveCoord detects global quiescence: every worker idle and every sent
-// message received.
+// message received. It also carries the run's failure slot (watchdog or
+// internal errors) and a progress counter the watchdog samples.
 type liveCoord struct {
-	mu     sync.Mutex
-	idle   []bool
-	nIdle  int
-	sent   int64
-	recv   int64
-	done   chan struct{}
-	closed bool
+	mu       sync.Mutex
+	idle     []bool
+	nIdle    int
+	sent     int64
+	recv     int64
+	done     chan struct{}
+	closed   bool
+	err      error
+	progress int64 // bumped on every report; a watchdog progress signal
+}
+
+func newLiveCoord(n int) *liveCoord {
+	c := &liveCoord{idle: make([]bool, n), done: make(chan struct{})}
+	if n == 0 {
+		// Zero workers are vacuously quiescent.
+		c.closed = true
+		close(c.done)
+	}
+	return c
 }
 
 func (c *liveCoord) report(id int, idle bool, sentDelta, recvDelta int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.progress++
 	if c.idle[id] != idle {
 		c.idle[id] = idle
 		if idle {
@@ -101,341 +157,503 @@ func (c *liveCoord) report(id int, idle bool, sentDelta, recvDelta int64) {
 	}
 }
 
+// fail aborts the run with err; the first failure wins and termination
+// detection is bypassed.
+func (c *liveCoord) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.err = err
+	c.closed = true
+	close(c.done)
+}
+
+func (c *liveCoord) failure() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// reset re-arms the detector after a rollback: every worker busy, message
+// accounting zeroed (in-flight pre-rollback envelopes are discarded by
+// receivers without being counted). Returns false if the run already ended.
+func (c *liveCoord) reset() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	for i := range c.idle {
+		c.idle[i] = false
+	}
+	c.nIdle = 0
+	c.sent, c.recv = 0, 0
+	c.progress++
+	return true
+}
+
+func (c *liveCoord) counts() (sent, recv int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent, c.recv
+}
+
+func (c *liveCoord) status() (idle, total int, sent, recv, progress int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nIdle, len(c.idle), c.sent, c.recv, c.progress
+}
+
+// liveDriver holds one RunLive invocation's shared state.
+type liveDriver[V any] struct {
+	cfg    LiveConfig
+	n      int
+	chans  []chan liveEnvelope[V]
+	coord  *liveCoord
+	ctrl   *liveCtrl
+	states []*liveState[V]
+	snaps  []liveSnap[V]
+	start  time.Time
+	wg     sync.WaitGroup
+
+	inj        *fault.Injector
+	hasCrashes bool
+	hasLink    bool
+	hasSlow    bool
+	recover    bool
+	beatEvery  time.Duration
+	retrySleep time.Duration
+
+	updates, msgsSent, batches, rounds atomic.Int64
+	crashes, recoveries, checkpoints   atomic.Int64
+	updCount                           []atomic.Int64 // per-worker, for crash triggers
+}
+
+const (
+	liveParkPoll    = 50 * time.Microsecond
+	liveSendBackoff = 50 * time.Microsecond
+	liveSendBackMax = 2 * time.Millisecond
+)
+
 // RunLive executes the program over the fragments with one goroutine per
 // worker, returning the global result. Results are identical to the
 // sequential fixpoint for programs with order-insensitive (monotone)
-// aggregation.
+// aggregation. When cfg.Faults schedules crashes with restarts, the run
+// survives them via consistent snapshots and global rollback.
 func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query, cfg LiveConfig) (*Result[V], *LiveMetrics, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, nil, err
 	}
 	if len(frags) == 0 {
-		return nil, nil, fmt.Errorf("gap: no fragments")
+		return nil, nil, errNoFragments
 	}
 	n := len(frags)
-	chans := make([]chan liveBatch[V], n)
-	for i := range chans {
-		chans[i] = make(chan liveBatch[V], cfg.ChannelCap)
+	d := &liveDriver[V]{cfg: cfg, n: n}
+	d.hasCrashes = cfg.Faults.HasCrashes()
+	d.hasLink = cfg.Faults.HasLinkFaults()
+	d.hasSlow = cfg.Faults != nil && len(cfg.Faults.Slowdowns) > 0
+	if !cfg.Faults.Empty() {
+		d.inj = fault.NewInjector(cfg.Faults)
+		d.retrySleep = time.Duration(d.inj.RetryDelay(1) * float64(time.Millisecond))
 	}
-	coord := &liveCoord{idle: make([]bool, n), done: make(chan struct{})}
-
-	type outAcc struct {
-		msgs  []ace.Message[V]
-		index map[graph.VID]int
+	if d.hasCrashes && !cfg.NoRecover {
+		for _, c := range cfg.Faults.Crashes {
+			if c.Restart >= 0 {
+				d.recover = true
+				break
+			}
+		}
+	}
+	d.beatEvery = 10 * time.Millisecond
+	if d.hasCrashes && cfg.HeartbeatTimeout/5 < d.beatEvery {
+		d.beatEvery = cfg.HeartbeatTimeout / 5
+	}
+	if d.beatEvery < 200*time.Microsecond {
+		d.beatEvery = 200 * time.Microsecond
 	}
 
-	var wg sync.WaitGroup
-	workers := make([]*liveWorker[V], n)
-	var updates, msgsSent, batches, rounds atomic.Int64
+	d.chans = make([]chan liveEnvelope[V], n)
+	for i := range d.chans {
+		d.chans[i] = make(chan liveEnvelope[V], cfg.ChannelCap)
+	}
+	d.coord = newLiveCoord(n)
+	d.ctrl = newLiveCtrl(n)
+	d.updCount = make([]atomic.Int64, n)
+	d.states = make([]*liveState[V], n)
+	for i := range d.states {
+		d.states[i] = newLiveState(i, frags[i], factory(), q)
+	}
+	if d.recover {
+		// Snapshot 0: the freshly initialized cluster, so a crash before
+		// the first periodic checkpoint still has a rollback target.
+		d.snaps = make([]liveSnap[V], n)
+		for i := range d.states {
+			d.snaps[i] = captureLive(d.states[i])
+		}
+	}
 
-	start := time.Now()
+	d.start = nowFn()
+	d.wg.Add(1)
+	go d.monitor()
 	for i := 0; i < n; i++ {
-		w := &liveWorker[V]{id: i, frag: frags[i], prog: factory()}
-		workers[i] = w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			tr := cfg.Tracer
-			ts := func() float64 { return float64(time.Since(start)) / 1e3 }
-			// CPU-profile attribution: the goroutine always carries its
-			// worker id; phase labels are refreshed only when tracing is
-			// on (SetGoroutineLabels allocates, and phase flips are hot).
-			wid := strconv.Itoa(w.id)
-			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
-				pprof.Labels("worker", wid, "phase", "local_eval")))
-			defer pprof.SetGoroutineLabels(context.Background())
-			setPhase := func(string) {}
-			if tr != nil {
-				setPhase = func(p string) {
-					pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
-						pprof.Labels("worker", wid, "phase", p)))
-				}
-			}
-			f := w.frag
-			prog := w.prog
-			prog.Setup(f, q)
-			psi := make([]V, f.NumLocal())
-			w.psi = psi
-			var prio func(uint32) float64
-			if p, ok := any(prog).(ace.Prioritizer[V]); ok {
-				prio = func(l uint32) float64 { return p.Priority(psi[l]) }
-			}
-			active := newActiveSet(f.NumOwned(), prio)
-			deps := prog.Deps()
-
-			out := make([]outAcc, n)
-			for j := range out {
-				out[j] = outAcc{index: map[graph.VID]int{}}
-			}
-			// localSent/localRecv reset at every idle report (they feed the
-			// termination detector); sentCum/recvCum are the monotone
-			// variants the tracer reports as per-round counter deltas.
-			var localSent, localRecv int64
-			var sentCum, recvCum int64
-
-			enqueue := func(peer int, g graph.VID, val V) {
-				o := &out[peer]
-				if k, ok := o.index[g]; ok {
-					agg, _ := prog.Aggregate(o.msgs[k].Val, val)
-					o.msgs[k].Val = agg
-				} else {
-					o.index[g] = len(o.msgs)
-					o.msgs = append(o.msgs, ace.Message[V]{V: g, Val: val})
-				}
-			}
-			activateDeps := func(lv uint32) {
-				push := func(us []uint32) {
-					for _, u := range us {
-						if f.IsOwned(u) {
-							active.Push(u)
-						}
-					}
-				}
-				switch deps {
-				case ace.DepOut:
-					push(f.InNeighbors(lv))
-				case ace.DepBoth:
-					push(f.InNeighbors(lv))
-					push(f.OutNeighbors(lv))
-				default:
-					push(f.OutNeighbors(lv))
-				}
-			}
-			ctx := ace.NewCtx(f, psi,
-				func(l uint32, v V) { // Set
-					old := psi[l]
-					psi[l] = v
-					if prog.Equal(old, v) || deps == ace.DepSelf {
-						return
-					}
-					g := f.Global(l)
-					switch deps {
-					case ace.DepOut:
-						for _, r := range f.ReplicasIn(l) {
-							enqueue(int(r), g, v)
-						}
-					case ace.DepBoth:
-						for _, r := range f.ReplicasOut(l) {
-							enqueue(int(r), g, v)
-						}
-						for _, r := range f.ReplicasIn(l) {
-							dup := false
-							for _, r2 := range f.ReplicasOut(l) {
-								if r2 == r {
-									dup = true
-									break
-								}
-							}
-							if !dup {
-								enqueue(int(r), g, v)
-							}
-						}
-					default:
-						for _, r := range f.ReplicasOut(l) {
-							enqueue(int(r), g, v)
-						}
-					}
-					activateDeps(l)
-				},
-				func(l uint32, d V) { // Send
-					if f.IsOwned(l) {
-						nv, ch := prog.Aggregate(psi[l], d)
-						if ch {
-							psi[l] = nv
-							active.Push(l)
-						}
-						return
-					}
-					g := f.Global(l)
-					enqueue(f.OwnerOf(g), g, d)
-				},
-				func(l uint32) {
-					if f.IsOwned(l) {
-						active.Push(l)
-					}
-				},
-			)
-			for l := uint32(0); int(l) < f.NumLocal(); l++ {
-				v, act := prog.InitValue(f, l, q)
-				psi[l] = v
-				if act && f.IsOwned(l) {
-					active.Push(l)
-				}
-			}
-			if is, ok := any(prog).(ace.InitialSyncer); ok && is.InitialSync() {
-				for l := uint32(0); int(l) < f.NumOwned(); l++ {
-					g := f.Global(l)
-					for _, r := range f.ReplicasOut(l) {
-						enqueue(int(r), g, psi[l])
-					}
-					if f.Directed() && deps != ace.DepIn && deps != ace.DepSelf {
-						for _, r := range f.ReplicasIn(l) {
-							enqueue(int(r), g, psi[l])
-						}
-					}
-				}
-			}
-
-			ingestBatch := func(b liveBatch[V]) {
-				localRecv += int64(len(b.msgs))
-				recvCum += int64(len(b.msgs))
-				for _, m := range b.msgs {
-					lv, ok := f.Local(m.V)
-					if !ok {
-						continue
-					}
-					nv, ch := prog.Aggregate(psi[lv], m.Val)
-					if !ch {
-						continue
-					}
-					psi[lv] = nv
-					if deps == ace.DepSelf {
-						if f.IsOwned(lv) {
-							active.Push(lv)
-						}
-					} else {
-						activateDeps(lv)
-					}
-				}
-			}
-			drain := func() int {
-				got := 0
-				for {
-					select {
-					case b := <-chans[w.id]:
-						ingestBatch(b)
-						got++
-					default:
-						return got
-					}
-				}
-			}
-			drainFn := drain
-			flushAllInner := func() {
-				for j := range out {
-					if j == w.id || len(out[j].msgs) == 0 {
-						continue
-					}
-					batch := liveBatch[V]{msgs: out[j].msgs}
-					localSent += int64(len(batch.msgs))
-					sentCum += int64(len(batch.msgs))
-					msgsSent.Add(int64(len(batch.msgs)))
-					batches.Add(1)
-					out[j] = outAcc{index: map[graph.VID]int{}}
-					for {
-						select {
-						case chans[j] <- batch:
-						case <-coord.done:
-							return
-						default:
-							// Peer mailbox full: keep draining our own so
-							// the cluster cannot deadlock on mutual sends.
-							if drainFn() == 0 {
-								runtime.Gosched()
-							}
-							continue
-						}
-						break
-					}
-				}
-			}
-			// h_out spans wrap the whole flush sweep; the wrapper (not the
-			// inner func) closes the span so the early return on a finished
-			// run cannot leave it open.
-			flushAll := flushAllInner
-			if tr != nil {
-				flushAll = func() {
-					setPhase("h_out")
-					tr.SpanBegin(w.id, obs.PhaseHout, ts())
-					flushAllInner()
-					tr.SpanEnd(w.id, obs.PhaseHout, ts())
-					setPhase("local_eval")
-				}
-			}
-
-			for {
-				// One LocalEval round: ingest, iterate with periodic
-				// indicator checks, flush.
-				var sent0, recv0 int64
-				if tr != nil {
-					t0 := ts()
-					tr.Sample(w.id, obs.GaugeMailbox, t0, float64(len(chans[w.id])))
-					tr.SpanBegin(w.id, obs.PhaseLocalEval, t0)
-					sent0, recv0 = sentCum, recvCum
-				}
-				drain()
-				rounds.Add(1)
-				if tr != nil {
-					tr.Sample(w.id, obs.GaugeActive, ts(), float64(active.Len()))
-				}
-				steps := 0
-				for !active.Empty() {
-					v := active.Pop()
-					prog.Update(ctx, v)
-					updates.Add(1)
-					steps++
-					if steps%cfg.CheckEvery == 0 {
-						// ξ⁺/ξ⁻ between steps: pick up fresh messages and
-						// push accumulated ones.
-						if drain() == 0 && cfg.Mode != ModeAPGC {
-							if tr != nil {
-								tr.Mark(w.id, obs.MarkR3, ts())
-							}
-							flushAll()
-						}
-					}
-				}
-				flushAll()
-				if tr != nil {
-					t1 := ts()
-					tr.Count(w.id, obs.CounterUpdates, t1, int64(steps))
-					tr.Count(w.id, obs.CounterMsgsSent, t1, sentCum-sent0)
-					tr.Count(w.id, obs.CounterMsgsRecv, t1, recvCum-recv0)
-					tr.SpanEnd(w.id, obs.PhaseLocalEval, t1)
-					tr.Mark(w.id, obs.MarkIdle, t1)
-				}
-				// Idle transition: report and block for more input.
-				coord.report(w.id, true, localSent, localRecv)
-				localSent, localRecv = 0, 0
-				select {
-				case b := <-chans[w.id]:
-					coord.report(w.id, false, 0, 0)
-					if tr != nil {
-						tr.Mark(w.id, obs.MarkBusy, ts())
-					}
-					ingestBatch(b)
-				case <-coord.done:
-					return
-				}
-			}
-		}()
+		d.wg.Add(1)
+		go d.worker(d.states[i], 0)
 	}
-	wg.Wait()
-	wall := time.Since(start)
+	d.wg.Wait()
+	wall := sinceFn(d.start)
+	if err := d.coord.failure(); err != nil {
+		return nil, nil, err
+	}
 
 	res := &Result[V]{Values: make([]V, frags[0].GlobalVertices())}
-	for _, w := range workers {
-		ctx := ace.NewCtx(w.frag, w.psi, nil, nil, nil)
-		for l := uint32(0); int(l) < w.frag.NumOwned(); l++ {
-			res.Values[w.frag.Global(l)] = w.prog.Output(ctx, l)
-		}
+	for _, st := range d.states {
+		st.outputs(res.Values)
 	}
 	res.Metrics.Converged = true
 	res.Metrics.Mode = cfg.Mode
+	res.Metrics.Crashes = d.crashes.Load()
+	res.Metrics.Recoveries = d.recoveries.Load()
+	res.Metrics.Checkpoints = d.checkpoints.Load()
 	m := &LiveMetrics{
-		WallTime: wall,
-		Updates:  updates.Load(),
-		MsgsSent: msgsSent.Load(),
-		Batches:  batches.Load(),
-		Rounds:   rounds.Load(),
+		WallTime:    wall,
+		Updates:     d.updates.Load(),
+		MsgsSent:    d.msgsSent.Load(),
+		Batches:     d.batches.Load(),
+		Rounds:      d.rounds.Load(),
+		Crashes:     d.crashes.Load(),
+		Recoveries:  d.recoveries.Load(),
+		Checkpoints: d.checkpoints.Load(),
 	}
 	return res, m, nil
 }
 
-type liveWorker[V any] struct {
-	id   int
-	frag *graph.Fragment
-	prog ace.Program[V]
-	psi  []V
+// worker runs one incarnation of worker st.id at the given epoch. A
+// restarted worker is a fresh call with a bumped epoch over the restored
+// state.
+func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
+	defer d.wg.Done()
+	cfg := d.cfg
+	id := st.id
+	tr := cfg.Tracer
+	ts := func() float64 { return float64(sinceFn(d.start)) / 1e3 }
+	nowMS := func() float64 { return float64(sinceFn(d.start)) / 1e6 }
+
+	// CPU-profile attribution: the goroutine always carries its worker id;
+	// phase labels are refreshed only when tracing is on
+	// (SetGoroutineLabels allocates, and phase flips are hot).
+	wid := strconv.Itoa(id)
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("worker", wid, "phase", "local_eval")))
+	defer pprof.SetGoroutineLabels(context.Background())
+	setPhase := func(string) {}
+	if tr != nil {
+		setPhase = func(p string) {
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels("worker", wid, "phase", p)))
+		}
+	}
+
+	// localSent/localRecv reset at every report (they feed the termination
+	// detector); sentCum/recvCum are the monotone variants the tracer
+	// reports as per-round counter deltas.
+	var localSent, localRecv int64
+	var sentCum, recvCum int64
+	lastIdle := false
+	var hold [][]ace.Message[V] // reorder fault: batches held past FIFO order
+	if d.hasLink {
+		hold = make([][]ace.Message[V], d.n)
+	}
+
+	beat := func() { d.ctrl.beats[id].Store(int64(sinceFn(d.start))) }
+	beat()
+
+	// crashed fires any due crash from the plan: the goroutine stops
+	// beating and exits, exactly like a lost process. It reports nothing
+	// to the coordinator — detection is genuinely heartbeat-based.
+	crashed := func() bool {
+		if !d.hasCrashes {
+			return false
+		}
+		c, ok := d.inj.TakeDue(id, d.updCount[id].Load(), nowMS())
+		if !ok {
+			return false
+		}
+		d.crashes.Add(1)
+		if tr != nil {
+			tr.Mark(id, obs.MarkCrash, ts())
+		}
+		d.ctrl.noteCrash(id, c.Restart)
+		return true
+	}
+
+	ingest := func(msgs []ace.Message[V]) {
+		localRecv += int64(len(msgs))
+		recvCum += int64(len(msgs))
+		st.ingest(msgs)
+	}
+	drain := func() int {
+		got := 0
+		for {
+			select {
+			case env := <-d.chans[id]:
+				if env.epoch != myEpoch {
+					continue // pre-rollback leftover: discard uncounted
+				}
+				ingest(env.msgs)
+				got++
+			default:
+				return got
+			}
+		}
+	}
+
+	// send ships one batch to peer j, counting it only once it is actually
+	// in the mailbox. A full peer mailbox (the peer may be dead) is
+	// retried with exponential backoff while draining our own mailbox so
+	// mutual sends cannot deadlock; a recovery in progress drops the batch
+	// (the rollback re-derives it).
+	send := func(j int, msgs []ace.Message[V]) {
+		if len(msgs) == 0 {
+			return
+		}
+		env := liveEnvelope[V]{epoch: myEpoch, msgs: msgs}
+		backoff := liveSendBackoff
+		for {
+			if d.ctrl.phase.Load() == ctrlRecover {
+				return
+			}
+			select {
+			case d.chans[j] <- env:
+				localSent += int64(len(msgs))
+				sentCum += int64(len(msgs))
+				d.msgsSent.Add(int64(len(msgs)))
+				d.batches.Add(1)
+				return
+			case <-d.coord.done:
+				return
+			default:
+			}
+			if drain() == 0 {
+				beat()
+				time.Sleep(backoff)
+				if backoff < liveSendBackMax {
+					backoff *= 2
+				}
+			}
+		}
+	}
+
+	// pauseCheck parks the worker while the monitor runs a checkpoint or a
+	// recovery; returns true when the run is over. During checkpoint parks
+	// the worker keeps draining and reporting (the snapshot barrier needs
+	// global sent==recv); during recovery parks it must not touch state —
+	// the monitor is rewriting it. Leaving a park with a bumped epoch
+	// means the cluster rolled back under us: message accounting restarts
+	// from zero and held batches are dropped (the replay re-derives them).
+	pauseCheck := func() bool {
+		if d.ctrl.phase.Load() == ctrlRun {
+			return false
+		}
+		if d.ctrl.phase.Load() == ctrlCkpt {
+			// Held (reordered) batches live outside the snapshot; flush
+			// them now so the checkpoint never strands a message.
+			for j := range hold {
+				if len(hold[j]) > 0 {
+					hb := hold[j]
+					hold[j] = nil
+					send(j, hb)
+				}
+			}
+		}
+		d.ctrl.enterPark()
+		for d.ctrl.phase.Load() != ctrlRun {
+			select {
+			case <-d.coord.done:
+				d.ctrl.exitPark()
+				return true
+			default:
+			}
+			if d.ctrl.phase.Load() == ctrlCkpt {
+				if drain() > 0 {
+					lastIdle = false
+				}
+				if localSent != 0 || localRecv != 0 {
+					d.coord.report(id, lastIdle, localSent, localRecv)
+					localSent, localRecv = 0, 0
+				}
+			}
+			beat()
+			time.Sleep(liveParkPoll)
+		}
+		d.ctrl.exitPark()
+		if e := d.ctrl.epoch.Load(); e != myEpoch {
+			myEpoch = e
+			localSent, localRecv = 0, 0
+			lastIdle = false
+			for j := range hold {
+				hold[j] = nil
+			}
+		}
+		return false
+	}
+
+	// flushAllInner ships every non-empty out-accumulator, routing each
+	// batch through its drawn link fate when link faults are on. "Drop" is
+	// lossless: the transport retransmits after the retry delay, so the
+	// batch arrives late rather than never (the programs are not assumed
+	// idempotent against true loss). "Reorder" holds the batch back until
+	// a later batch to the same peer has passed it.
+	flushAllInner := func(final bool) {
+		for j := 0; j < d.n; j++ {
+			if j == id {
+				continue
+			}
+			msgs := st.takeOut(j)
+			sentFresh := false
+			if len(msgs) > 0 {
+				if d.hasLink {
+					switch f := d.inj.BatchFate(id, j); {
+					case f.Drop:
+						time.Sleep(d.retrySleep)
+						send(j, msgs)
+						sentFresh = true
+					case f.Dup:
+						send(j, msgs)
+						send(j, append([]ace.Message[V](nil), msgs...))
+						sentFresh = true
+					case f.Reorder:
+						hold[j] = append(hold[j], msgs...)
+					default:
+						send(j, msgs)
+						sentFresh = true
+					}
+				} else {
+					send(j, msgs)
+					sentFresh = true
+				}
+			}
+			if hold != nil && len(hold[j]) > 0 && (sentFresh || final) {
+				hb := hold[j]
+				hold[j] = nil
+				send(j, hb)
+			}
+		}
+	}
+	// h_out spans wrap the whole flush sweep; the wrapper (not the inner
+	// func) closes the span so an early return on a finished run cannot
+	// leave it open.
+	flushAll := flushAllInner
+	if tr != nil {
+		flushAll = func(final bool) {
+			setPhase("h_out")
+			tr.SpanBegin(id, obs.PhaseHout, ts())
+			flushAllInner(final)
+			tr.SpanEnd(id, obs.PhaseHout, ts())
+			setPhase("local_eval")
+		}
+	}
+
+	for {
+		if pauseCheck() {
+			return
+		}
+		if crashed() {
+			return
+		}
+		beat()
+		// One LocalEval round: ingest, iterate with periodic indicator
+		// checks, flush.
+		var sent0, recv0 int64
+		if tr != nil {
+			t0 := ts()
+			tr.Sample(id, obs.GaugeMailbox, t0, float64(len(d.chans[id])))
+			tr.SpanBegin(id, obs.PhaseLocalEval, t0)
+			sent0, recv0 = sentCum, recvCum
+		}
+		drain()
+		d.rounds.Add(1)
+		if tr != nil {
+			tr.Sample(id, obs.GaugeActive, ts(), float64(st.active.Len()))
+		}
+		steps := 0
+		for !st.active.Empty() {
+			v := st.active.Pop()
+			st.prog.Update(st.ctx, v)
+			d.updates.Add(1)
+			if d.hasCrashes {
+				d.updCount[id].Add(1)
+			}
+			steps++
+			if steps%cfg.CheckEvery == 0 {
+				beat()
+				if pauseCheck() {
+					return
+				}
+				if crashed() {
+					return
+				}
+				if d.hasSlow {
+					if f := d.inj.SlowFactor(id, nowMS()); f > 1 {
+						time.Sleep(time.Duration((f - 1) * float64(100*time.Microsecond)))
+					}
+				}
+				// ξ⁺/ξ⁻ between steps: pick up fresh messages and push
+				// accumulated ones.
+				if drain() == 0 && cfg.Mode != ModeAPGC {
+					if tr != nil {
+						tr.Mark(id, obs.MarkR3, ts())
+					}
+					flushAll(false)
+				}
+			}
+		}
+		flushAll(true)
+		if tr != nil {
+			t1 := ts()
+			tr.Count(id, obs.CounterUpdates, t1, int64(steps))
+			tr.Count(id, obs.CounterMsgsSent, t1, sentCum-sent0)
+			tr.Count(id, obs.CounterMsgsRecv, t1, recvCum-recv0)
+			tr.SpanEnd(id, obs.PhaseLocalEval, t1)
+			tr.Mark(id, obs.MarkIdle, t1)
+		}
+		// Idle transition: report and block for more input. The timeout
+		// keeps the heartbeat alive and lets the worker notice parks (and
+		// due time-triggered crashes) while idle.
+		lastIdle = true
+		d.coord.report(id, true, localSent, localRecv)
+		localSent, localRecv = 0, 0
+	idleWait:
+		for {
+			select {
+			case env := <-d.chans[id]:
+				if env.epoch != myEpoch {
+					continue
+				}
+				lastIdle = false
+				d.coord.report(id, false, 0, 0)
+				if tr != nil {
+					tr.Mark(id, obs.MarkBusy, ts())
+				}
+				ingest(env.msgs)
+				break idleWait
+			case <-d.coord.done:
+				return
+			case <-time.After(d.beatEvery):
+				beat()
+				if pauseCheck() {
+					return
+				}
+				if crashed() {
+					return
+				}
+				if !lastIdle {
+					// A rollback put restored work back on our plate.
+					break idleWait
+				}
+			}
+		}
+	}
 }

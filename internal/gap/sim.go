@@ -46,11 +46,17 @@ func RunSimTruth[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Q
 	if s.mode == ModeBSP || s.mode == ModeBSPVC {
 		s.barrier = true
 	}
+	if cfg.Faults.HasCrashes() && (s.barrier || s.mode == ModePowerSwitch) {
+		return nil, fmt.Errorf("gap: crash injection requires an asynchronous mode, not %v", s.mode)
+	}
 	s.coord = &coordinator[V]{s: s, expected: len(frags)}
 
 	for i, f := range frags {
 		w := newSimWorker(s, i, f, factory(), q, truth)
 		s.workers = append(s.workers, w)
+	}
+	if !cfg.Faults.Empty() {
+		s.ft = newSimFT(s, cfg.Faults)
 	}
 	// Initial activation: workers with non-empty H start computing at t=0;
 	// the rest begin idle (and, under a barrier, arrive immediately).
@@ -70,6 +76,9 @@ func RunSimTruth[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Q
 			w.scheduleResumeAt(0)
 		}
 	}
+	if s.ft != nil {
+		s.ft.start()
+	}
 	s.sched.Run(func() bool { return s.aborted })
 	if s.aborted && s.sched.Now() > s.end {
 		s.end = s.sched.Now()
@@ -78,8 +87,9 @@ func RunSimTruth[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Q
 	res := &Result[V]{Values: make([]V, frags[0].GlobalVertices())}
 	m := &res.Metrics
 	m.Mode = cfg.Mode
-	m.Converged = !s.aborted
+	m.Converged = !s.aborted && (s.ft == nil || s.ft.nCrashed == 0)
 	m.Switched = s.switched
+	m.Crashes, m.Recoveries, m.Checkpoints = s.crashes, s.recoveries, s.checkpoints
 	m.RespTime = s.end
 	m.Supersteps = s.coord.supersteps
 	for _, w := range s.workers {
@@ -118,6 +128,10 @@ type sim[V any] struct {
 	switched bool
 	end      float64
 
+	// Fault-tolerance layer (nil on fault-free runs) and its accounting.
+	ft                               *simFT[V]
+	crashes, recoveries, checkpoints int64
+
 	// lastArrival enforces per-link FIFO delivery (messages on one link
 	// never overtake each other), which replace-style aggregators such as
 	// Color rely on.
@@ -125,8 +139,13 @@ type sim[V any] struct {
 }
 
 // ship schedules the delivery of a batch over the link from→to, respecting
-// per-link FIFO ordering, and returns the arrival time.
+// per-link FIFO ordering, and returns the arrival time. With a fault layer
+// active the batch is subject to injected link faults and registered for
+// in-flight replay.
 func (s *sim[V]) ship(from, to int, batch []ace.Message[V], bytes int, sentAt float64) float64 {
+	if s.ft != nil {
+		return s.ft.shipFaulty(from, to, batch, bytes, sentAt)
+	}
 	at := sentAt + s.cfg.Net.Latency(from, to, bytes)
 	if prev, ok := s.lastArrival[[2]int{from, to}]; ok && at < prev {
 		at = prev
@@ -219,7 +238,8 @@ type simWorker[V any] struct {
 	now             float64
 	idle            bool
 	resumeScheduled bool
-	arrived         bool // barrier: arrived this superstep
+	arrived         bool    // barrier: arrived this superstep
+	penalty         float64 // pending fault-tolerance cost (checkpoint/restore)
 
 	// Superstep work list for the VC disciplines.
 	roundList  []uint32
@@ -509,7 +529,13 @@ func (w *simWorker[V]) scheduleResumeAt(t float64) {
 		return
 	}
 	w.resumeScheduled = true
+	e, inc := w.s.epochNow(), w.s.incOf(w.id)
 	w.s.sched.At(t, prioResume, func() {
+		if w.s.epochNow() != e || w.s.incOf(w.id) != inc {
+			// A rollback or this worker's crash invalidated the resume; the
+			// recovery path reset resumeScheduled itself.
+			return
+		}
 		w.resumeScheduled = false
 		w.run(w.s.sched.Now())
 	})
@@ -658,10 +684,16 @@ func (w *simWorker[V]) flushAll() {
 // --- the main loop (Algorithm 1 under the selected mode) -----------------
 
 func (w *simWorker[V]) run(start float64) {
-	if w.s.aborted {
+	if w.s.aborted || w.s.dead(w.id) {
 		return
 	}
 	w.now = start
+	if w.penalty > 0 {
+		// Consume the pending checkpoint/restore cost before computing.
+		w.now += w.penalty
+		w.metrics.Tf += w.penalty
+		w.penalty = 0
+	}
 	for {
 		// Yield to any event scheduled before our cursor so causality holds.
 		if t, ok := w.s.sched.PeekTime(); ok && t < w.now {
@@ -739,8 +771,11 @@ func (w *simWorker[V]) run(start float64) {
 		}
 
 		v := w.nextWork()
-		c := ace.UpdateCost(w.prog, w.frag, v) * w.slow * w.s.cfg.VCOverhead * w.jitter()
+		c := ace.UpdateCost(w.prog, w.frag, v) * w.slow * w.s.cfg.VCOverhead * w.jitter() * w.s.slowAt(w.id, w.now)
 		w.runUpdate(v, c)
+		if w.s.ft != nil && w.s.ft.checkDue(w) {
+			return // the injected crash killed this worker mid-round
+		}
 
 		if mode == ModeAPVC || (mode == ModeGAP && w.eta == 0) {
 			// ξ⁺ and ξ⁻ constantly true (AP-VC, and FG⁻'s η = 0): flush and

@@ -9,7 +9,7 @@ package netsim
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"sync"
 )
 
 // CostModel is the hardware-dependent function T_B mapping a message batch
@@ -63,36 +63,63 @@ func (m CostModel) String() string {
 
 // Network adds per-link behaviour on top of a CostModel: heterogeneous link
 // speeds (stragglers at the network level) and optional jitter, all
-// deterministic under Seed.
+// deterministic under Seed. Latency is safe for concurrent use: jitter is
+// drawn from a stateless hash of (seed, link, per-link counter) rather than
+// a shared math/rand stream, so each link gets its own deterministic
+// sequence and the live driver can call it from every worker goroutine.
 type Network struct {
 	Model CostModel
 	// SlowLinks maps "i->j" links to latency multipliers (>1 is slower).
 	slow map[[2]int]float64
 	// Jitter adds up to Jitter*latency of deterministic pseudo-random delay.
 	Jitter float64
-	rng    *rand.Rand
+	seed   int64
+
+	mu  sync.Mutex
+	seq map[[2]int]uint64
 }
 
 // NewNetwork builds a homogeneous network over the model.
 func NewNetwork(model CostModel, seed int64) *Network {
-	return &Network{Model: model, slow: map[[2]int]float64{}, rng: rand.New(rand.NewSource(seed))}
+	return &Network{Model: model, slow: map[[2]int]float64{}, seed: seed, seq: map[[2]int]uint64{}}
 }
 
 // SetLinkFactor makes the i->j link factor-times slower than the base model.
+// Not safe to call concurrently with Latency; configure links before the run.
 func (n *Network) SetLinkFactor(i, j int, factor float64) { n.slow[[2]int{i, j}] = factor }
 
 // Latency returns the delivery delay for a batch of the given size on link
-// i->j.
+// i->j. Safe for concurrent use.
 func (n *Network) Latency(i, j, bytes int) float64 {
 	l := n.Model.TB(bytes)
 	if f, ok := n.slow[[2]int{i, j}]; ok {
 		l *= f
 	}
 	if n.Jitter > 0 {
-		l *= 1 + n.Jitter*n.rng.Float64()
+		n.mu.Lock()
+		k := n.seq[[2]int{i, j}]
+		n.seq[[2]int{i, j}] = k + 1
+		n.mu.Unlock()
+		l *= 1 + n.Jitter*u01(mix(uint64(n.seed), uint64(i)<<32|uint64(uint32(j)), k))
 	}
 	return l
 }
+
+// mix is a splitmix64-style avalanche over three words.
+func mix(a, b, c uint64) uint64 {
+	z := a + 0x9e3779b97f4a7c15
+	z += b * 0xbf58476d1ce4e5b9
+	z += c * 0x94d049bb133111eb
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// u01 maps a 64-bit hash to [0,1).
+func u01(h uint64) float64 { return float64(h>>11) / (1 << 53) }
 
 // Sample is one profiler observation: batch size and measured cost.
 type Sample struct {

@@ -28,8 +28,13 @@ const (
 	PhaseAdjust
 	// PhaseSuperstep is one superstep of the live BSP driver.
 	PhaseSuperstep
+	// PhaseRecovery spans a fault recovery: from failure detection to the
+	// crashed worker's restart (rollback + state restore + replay).
+	PhaseRecovery
+	// PhaseCheckpoint spans one consistent-snapshot checkpoint.
+	PhaseCheckpoint
 
-	numPhases = int(PhaseSuperstep) + 1
+	numPhases = int(PhaseCheckpoint) + 1
 )
 
 func (p Phase) String() string {
@@ -44,6 +49,10 @@ func (p Phase) String() string {
 		return "Adjust"
 	case PhaseSuperstep:
 		return "superstep"
+	case PhaseRecovery:
+		return "recovery"
+	case PhaseCheckpoint:
+		return "checkpoint"
 	}
 	return "phase?"
 }
@@ -142,8 +151,16 @@ const (
 	MarkIdle
 	// MarkBusy fires when a delivery reactivates an idle worker.
 	MarkBusy
+	// MarkCrash fires on the worker's track when an injected fault kills it.
+	MarkCrash
+	// MarkDetect fires when the coordinator detects the failure.
+	MarkDetect
+	// MarkRestart fires when the recovered worker resumes execution.
+	MarkRestart
+	// MarkCkpt fires when the worker's state is captured in a checkpoint.
+	MarkCkpt
 
-	numMarks = int(MarkBusy) + 1
+	numMarks = int(MarkCkpt) + 1
 )
 
 func (m Mark) String() string {
@@ -158,6 +175,14 @@ func (m Mark) String() string {
 		return "idle"
 	case MarkBusy:
 		return "busy"
+	case MarkCrash:
+		return "crash"
+	case MarkDetect:
+		return "detect"
+	case MarkRestart:
+		return "restart"
+	case MarkCkpt:
+		return "ckpt"
 	}
 	return "mark?"
 }
