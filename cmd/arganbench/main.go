@@ -25,6 +25,7 @@ func main() {
 	scale := flag.Float64("scale", 0, "override dataset scale (0 = per -full/-quick default)")
 	workers := flag.String("workers", "", "comma-separated worker counts, e.g. 16,32,64,128")
 	queries := flag.Int("queries", 0, "query repetitions per point (paper uses 5)")
+	jsonPath := flag.String("json", "", "write machine-readable results here (experiments that support it, e.g. -exp perf)")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +47,7 @@ func main() {
 	if *queries > 0 {
 		o.Queries = *queries
 	}
+	o.JSONPath = *jsonPath
 	if *workers != "" {
 		o.Workers = nil
 		for _, f := range strings.Split(*workers, ",") {

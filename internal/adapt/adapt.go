@@ -227,6 +227,15 @@ func (t *Tuner[V]) RecordBytes(peer int, now float64, bytes int) {
 func (t *Tuner[V]) candidateTime(bucket int32) float64 {
 	if t.cfg.Policy == PolicyGA {
 		// For GA every record is a candidate at its exact recorded time.
+		// bucketOf stamps each record with its own index, so bucket is a
+		// valid index whenever records is non-empty; the clamp only
+		// defends against a malformed bucket reaching a short log.
+		if bucket >= int32(len(t.records)) {
+			bucket = int32(len(t.records)) - 1
+		}
+		if bucket < 0 {
+			return t.eta / float64(len(t.records)+1)
+		}
 		r := t.records[bucket].rel
 		if r <= 0 {
 			r = t.eta / float64(len(t.records)+1)
@@ -346,6 +355,15 @@ func (t *Tuner[V]) Adjust(cur func(local uint32) V, truth func(local uint32) V) 
 	}
 
 	phis, times, twEst := t.sweep(cur)
+	if len(phis) == 0 {
+		// Unreachable with a non-empty record log (sweep always emits at
+		// least one candidate), but a hold is the only sane answer here.
+		t.etaHistory = append(t.etaHistory, t.eta)
+		if t.observer != nil {
+			t.observer(AdjustInfo{OldEta: t.eta, NewEta: t.eta, Candidates: candidates, Records: len(t.records), TwEst: twEst})
+		}
+		return t.eta, overhead
+	}
 	info := AdjustInfo{OldEta: t.eta, Candidates: candidates, Records: len(t.records), TwEst: twEst}
 	if truth != nil {
 		_, _, twReal := t.sweep(truth)

@@ -207,3 +207,58 @@ func TestPolicyStrings(t *testing.T) {
 		t.Fatal("policy strings wrong")
 	}
 }
+
+// TestAdjustDegenerateCycles is the regression suite for out-of-range
+// access on near-empty collection cycles: Adjust must hold η (and stay
+// panic-free) on zero-record cycles, single-record cycles, and cycles
+// that recorded only outgoing bytes, under both GA and GAwD.
+func TestAdjustDegenerateCycles(t *testing.T) {
+	for _, policy := range []Policy{PolicyGA, PolicyGAwD} {
+		t.Run(policy.String()+"/zero_records", func(t *testing.T) {
+			tu := newTestTuner(policy, ace.CategoryII, 4)
+			tu.Begin(0, 64)
+			newEta, overhead := tu.Adjust(func(uint32) float64 { return 0 }, nil)
+			if newEta != 64 {
+				t.Fatalf("zero-record Adjust moved eta: %v", newEta)
+			}
+			if overhead < 0 {
+				t.Fatalf("negative overhead %v", overhead)
+			}
+			if tu.Adjustments() != 1 || len(tu.EtaHistory()) != 1 || tu.EtaHistory()[0] != 64 {
+				t.Fatalf("bookkeeping wrong: adjusts=%d history=%v", tu.Adjustments(), tu.EtaHistory())
+			}
+		})
+		t.Run(policy.String()+"/single_record", func(t *testing.T) {
+			tu := newTestTuner(policy, ace.CategoryII, 4)
+			tu.Begin(0, 64)
+			tu.Record(3, 10, 2, 1.5, 0.5)
+			newEta, _ := tu.Adjust(func(uint32) float64 { return 1.5 }, nil)
+			if newEta <= 0 || math.IsNaN(newEta) {
+				t.Fatalf("single-record Adjust produced eta=%v", newEta)
+			}
+		})
+		t.Run(policy.String()+"/bytes_only", func(t *testing.T) {
+			tu := newTestTuner(policy, ace.CategoryII, 4)
+			tu.Begin(0, 64)
+			tu.RecordBytes(1, 5, 128)
+			tu.RecordBytes(2, 20, 64)
+			newEta, _ := tu.Adjust(func(uint32) float64 { return 0 }, nil)
+			if newEta != 64 {
+				t.Fatalf("bytes-only Adjust moved eta: %v", newEta)
+			}
+		})
+	}
+}
+
+// TestAdjustZeroRecordObserver: the observer must still see a (held)
+// decision on a zero-record cycle, so traces stay complete.
+func TestAdjustZeroRecordObserver(t *testing.T) {
+	tu := newTestTuner(PolicyGAwD, ace.CategoryII, 4)
+	var got []AdjustInfo
+	tu.SetObserver(func(i AdjustInfo) { got = append(got, i) })
+	tu.Begin(0, 32)
+	tu.Adjust(func(uint32) float64 { return 0 }, nil)
+	if len(got) != 1 || got[0].OldEta != 32 || got[0].NewEta != 32 || got[0].Records != 0 {
+		t.Fatalf("observer saw %+v", got)
+	}
+}

@@ -139,6 +139,15 @@ func (p *PageRank) Size(float64) int { return 8 }
 // Output implements ace.Program: the accumulated rank.
 func (p *PageRank) Output(ctx *ace.Ctx[float64], local uint32) float64 { return p.rank[local] }
 
+// Combine implements ace.Combiner: two deltas headed to one vertex fold to
+// their sum before leaving the worker (addition is the program's g_aggr, so
+// coalescing preserves the fixpoint exactly).
+func (p *PageRank) Combine(a, b float64) float64 { return a + b }
+
+// ShardSafe implements ace.ShardSafe: Update reads only the vertex's own
+// delta and writes only rank[local], so sweeps may be sharded.
+func (p *PageRank) ShardSafe() bool { return true }
+
 // SnapshotAux implements ace.Checkpointer: the rank vector is mutable state
 // outside Ψ (the pending deltas), so checkpoints must capture it.
 func (p *PageRank) SnapshotAux() any { return append([]float64(nil), p.rank...) }

@@ -145,6 +145,19 @@ func (p *SSSP) Output(ctx *ace.Ctx[float64], local uint32) float64 { return ctx.
 // Priority orders the active set by tentative distance (Dijkstra order).
 func (p *SSSP) Priority(v float64) float64 { return v }
 
+// Combine implements ace.Combiner: two distances headed to one vertex fold
+// to their minimum before leaving the worker.
+func (p *SSSP) Combine(a, b float64) float64 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// ShardSafe implements ace.ShardSafe: Update only reads the vertex's own
+// distance and the fragment, so sweeps may be sharded across goroutines.
+func (p *SSSP) ShardSafe() bool { return true }
+
 // SeqBellmanFord is the queue-based Bellman-Ford reference.
 func SeqBellmanFord(g *graph.Graph, src graph.VID) []float64 {
 	dist := make([]float64, g.NumVertices())

@@ -103,6 +103,17 @@ func (p *BFS) Output(ctx *ace.Ctx[int32], local uint32) int32 { return ctx.Get(l
 // Priority processes nearer frontiers first.
 func (p *BFS) Priority(v int32) float64 { return float64(v) }
 
+// Combine implements ace.Combiner (min hop count).
+func (p *BFS) Combine(a, b int32) int32 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// ShardSafe implements ace.ShardSafe.
+func (p *BFS) ShardSafe() bool { return true }
+
 // SeqWCC labels weakly connected components with the smallest member id.
 func SeqWCC(g *graph.Graph) []graph.VID {
 	n := g.NumVertices()
@@ -208,6 +219,17 @@ func (p *WCC) Size(uint32) int { return 4 }
 
 // Output implements ace.Program.
 func (p *WCC) Output(ctx *ace.Ctx[uint32], local uint32) uint32 { return ctx.Get(local) }
+
+// Combine implements ace.Combiner (min label).
+func (p *WCC) Combine(a, b uint32) uint32 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// ShardSafe implements ace.ShardSafe.
+func (p *WCC) ShardSafe() bool { return true }
 
 // Cost implements ace.Coster: WCC scans both adjacencies on directed graphs.
 func (p *WCC) Cost(f *graph.Fragment, local uint32) float64 {

@@ -44,6 +44,10 @@ type Options struct {
 	// to capture per-trial obs.Recorder exports while regenerating a
 	// figure.
 	Trace func(trial string) obs.Tracer
+	// JSONPath, when non-empty, makes experiments with machine-readable
+	// results (currently "perf") write them to this file in addition to
+	// the rendered rows.
+	JSONPath string
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +106,7 @@ func All() []Experiment {
 		{"fig6l", "Fig 6l: scalability vs |G|", Fig6l},
 		{"ablation", "Extension: per-rule ablation of GAP (R1/R2/R3/tuner)", Ablation},
 		{"faults", "Extension: crash-recovery and link-fault overhead sweep", FaultSweep},
+		{"perf", "Extension: live hot-path baseline (pooled batches, intra-worker shards)", Perf},
 	}
 }
 

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"argan/internal/ace"
+	"argan/internal/algorithms"
+	"argan/internal/core"
+	"argan/internal/gap"
+	"argan/internal/graph"
+)
+
+// perfShards is the intra-worker shard count the perf experiment measures
+// (the acceptance bar is IntraParallelism >= 4 at 4 workers).
+const perfShards = 4
+
+// perfWorkers is the live worker count; the live driver spawns real
+// goroutines, so unlike the sim sweeps this stays small.
+const perfWorkers = 4
+
+// PerfConfigResult is one measured live-driver configuration.
+type PerfConfigResult struct {
+	Name     string    `json:"name"`
+	WallMS   []float64 `json:"wall_ms"`
+	BestMS   float64   `json:"best_ms"`
+	Updates  int64     `json:"updates"`
+	MsgsSent int64     `json:"msgs_sent"`
+	Batches  int64     `json:"batches"`
+}
+
+// PerfReport is the machine-readable result of the perf experiment,
+// written to Options.JSONPath (BENCH_perf.json in CI).
+type PerfReport struct {
+	Experiment       string  `json:"experiment"`
+	Dataset          string  `json:"dataset"`
+	Scale            float64 `json:"scale"`
+	Workers          int     `json:"workers"`
+	IntraParallelism int     `json:"intra_parallelism"`
+	Vertices         int     `json:"vertices"`
+	Arcs             int     `json:"arcs"`
+	Reps             int     `json:"reps"`
+
+	Configs []PerfConfigResult `json:"configs"`
+
+	// SpeedupPageRankAsync is best legacy-serial wall time over best
+	// pooled-parallel wall time for the async live PageRank run; the
+	// acceptance bar is SpeedupTarget.
+	SpeedupPageRankAsync  float64 `json:"speedup_pagerank_async"`
+	SpeedupPooledSerial   float64 `json:"speedup_pooled_serial"`
+	SpeedupTarget         float64 `json:"speedup_target"`
+	SpeedupMet            bool    `json:"speedup_met"`
+	SSSPParallelExact     bool    `json:"sssp_parallel_bit_identical"`
+	PageRankBSPInvariant  bool    `json:"pagerank_bsp_shard_invariant"`
+	PageRankAsyncMaxRelDp float64 `json:"pagerank_async_max_rel_diff"`
+}
+
+// Perf benchmarks the live driver's hot path on the HW stand-in: async
+// PageRank under the legacy (pre-pooling, serial) pipeline versus the
+// pooled pipeline, serial and sharded. It also re-verifies the semantic
+// guarantees the optimizations must preserve — SSSP answers bit-identical
+// between serial and sharded async runs, BSP PageRank bit-identical
+// across shard counts, and async PageRank within tolerance of the legacy
+// baseline. The report is rendered as a table and, when Options.JSONPath
+// is set, written as JSON.
+func Perf(o Options) error {
+	o = o.withDefaults()
+	g, err := graph.LoadDataset("HW", o.Scale)
+	if err != nil {
+		return err
+	}
+	env := core.Env{Workers: perfWorkers, Hetero: o.Hetero}
+	frags, err := env.Fragments(g)
+	if err != nil {
+		return err
+	}
+	reps := o.Queries
+	if reps < 3 {
+		reps = 3
+	}
+	prq := ace.Query{Eps: 1e-3}
+
+	rep := PerfReport{
+		Experiment:       "perf",
+		Dataset:          "HW",
+		Scale:            o.Scale,
+		Workers:          perfWorkers,
+		IntraParallelism: perfShards,
+		Vertices:         g.NumVertices(),
+		Arcs:             g.NumEdges(),
+		Reps:             reps,
+		SpeedupTarget:    1.5,
+	}
+
+	configs := []struct {
+		name string
+		cfg  gap.LiveConfig
+	}{
+		{"legacy_serial", gap.LiveConfig{Mode: gap.ModeGAP, LegacyBatches: true, NoCombine: true, IntraParallelism: 1}},
+		{"pooled_serial", gap.LiveConfig{Mode: gap.ModeGAP, IntraParallelism: 1}},
+		{"pooled_parallel", gap.LiveConfig{Mode: gap.ModeGAP, IntraParallelism: perfShards}},
+	}
+	fmt.Fprintf(o.Out, "== perf: async live PageRank over HW (|V|=%d, arcs=%d, n=%d, reps=%d) ==\n",
+		g.NumVertices(), g.NumEdges(), perfWorkers, reps)
+	fmt.Fprintf(o.Out, "%-16s %10s %12s %12s %10s\n", "config", "best ms", "updates", "msgs", "batches")
+	values := map[string][]float64{}
+	for _, c := range configs {
+		r := PerfConfigResult{Name: c.name}
+		for k := 0; k < reps; k++ {
+			res, lm, err := gap.RunLive(frags, algorithms.NewPageRank(), prq, c.cfg)
+			if err != nil {
+				return fmt.Errorf("perf %s: %v", c.name, err)
+			}
+			ms := float64(lm.WallTime) / float64(time.Millisecond)
+			r.WallMS = append(r.WallMS, ms)
+			if r.BestMS == 0 || ms < r.BestMS {
+				r.BestMS = ms
+			}
+			r.Updates, r.MsgsSent, r.Batches = lm.Updates, lm.MsgsSent, lm.Batches
+			values[c.name] = res.Values
+		}
+		rep.Configs = append(rep.Configs, r)
+		fmt.Fprintf(o.Out, "%-16s %10.1f %12d %12d %10d\n", r.Name, r.BestMS, r.Updates, r.MsgsSent, r.Batches)
+	}
+	best := func(name string) float64 {
+		for _, c := range rep.Configs {
+			if c.Name == name {
+				return c.BestMS
+			}
+		}
+		return math.NaN()
+	}
+	rep.SpeedupPageRankAsync = best("legacy_serial") / best("pooled_parallel")
+	rep.SpeedupPooledSerial = best("legacy_serial") / best("pooled_serial")
+	rep.SpeedupMet = rep.SpeedupPageRankAsync >= rep.SpeedupTarget
+	fmt.Fprintf(o.Out, "speedup vs legacy: %.2fx pooled_parallel (target %.1fx, met=%v), %.2fx pooled_serial\n",
+		rep.SpeedupPageRankAsync, rep.SpeedupTarget, rep.SpeedupMet, rep.SpeedupPooledSerial)
+
+	// Async PageRank schedules differ between pop-loop and wave evaluation,
+	// so the answers agree only within tolerance; report the worst case.
+	a, b := values["legacy_serial"], values["pooled_parallel"]
+	for v := range a {
+		d := math.Abs(a[v]-b[v]) / math.Max(math.Max(math.Abs(a[v]), math.Abs(b[v])), 1e-12)
+		if d > rep.PageRankAsyncMaxRelDp {
+			rep.PageRankAsyncMaxRelDp = d
+		}
+	}
+	fmt.Fprintf(o.Out, "async PageRank max rel diff legacy vs sharded: %.3g\n", rep.PageRankAsyncMaxRelDp)
+
+	// SSSP (min-fold) must be bit-identical between the serial and sharded
+	// async drivers — any schedule reaches the same fixpoint.
+	sq := queryFor("sssp", g, 0)
+	ser, _, err := gap.RunLive(frags, algorithms.NewSSSP(), sq, gap.LiveConfig{Mode: gap.ModeGAP, IntraParallelism: 1})
+	if err != nil {
+		return err
+	}
+	par, _, err := gap.RunLive(frags, algorithms.NewSSSP(), sq, gap.LiveConfig{Mode: gap.ModeGAP, IntraParallelism: perfShards})
+	if err != nil {
+		return err
+	}
+	rep.SSSPParallelExact = true
+	for v := range ser.Values {
+		if ser.Values[v] != par.Values[v] {
+			rep.SSSPParallelExact = false
+			break
+		}
+	}
+	fmt.Fprintf(o.Out, "SSSP serial vs sharded bit-identical: %v\n", rep.SSSPParallelExact)
+
+	// BSP is deterministic end to end, so sharded PageRank must be
+	// bit-identical across shard counts.
+	b2, _, err := gap.RunLiveBSPOpts(frags, algorithms.NewPageRank(), prq, gap.BSPOptions{IntraParallelism: 2})
+	if err != nil {
+		return err
+	}
+	b4, _, err := gap.RunLiveBSPOpts(frags, algorithms.NewPageRank(), prq, gap.BSPOptions{IntraParallelism: perfShards})
+	if err != nil {
+		return err
+	}
+	rep.PageRankBSPInvariant = true
+	for v := range b2.Values {
+		if b2.Values[v] != b4.Values[v] {
+			rep.PageRankBSPInvariant = false
+			break
+		}
+	}
+	fmt.Fprintf(o.Out, "BSP PageRank shard-invariant (2 vs %d shards): %v\n", perfShards, rep.PageRankBSPInvariant)
+
+	if !rep.SSSPParallelExact || !rep.PageRankBSPInvariant {
+		return fmt.Errorf("perf: determinism guarantee violated (sssp_exact=%v bsp_invariant=%v)",
+			rep.SSSPParallelExact, rep.PageRankBSPInvariant)
+	}
+	if o.JSONPath != "" {
+		buf, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.JSONPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "wrote %s\n", o.JSONPath)
+	}
+	return nil
+}

@@ -23,6 +23,7 @@ package fault
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -60,6 +61,13 @@ type Plan struct {
 	Dup     float64 // batch is delivered twice (idempotent programs only)
 	Reorder float64 // batch is held back / delayed past FIFO order
 
+	// LinkDrop overrides Drop on individual links: the key is {from, to}
+	// and the value a probability in [0,1]. Written "drop=F>T:P" in specs.
+	// A per-link entry fully replaces the global Drop on that link, so
+	// "drop=0>1:1" with no global clause drops every 0→1 batch and nothing
+	// else.
+	LinkDrop map[[2]int]float64
+
 	// Retry is the retransmit delay charged for a dropped batch
 	// (cost units / ms). Zero selects a driver default.
 	Retry float64
@@ -70,7 +78,18 @@ func (p *Plan) HasCrashes() bool { return p != nil && len(p.Crashes) > 0 }
 
 // HasLinkFaults reports whether any per-batch link fault can fire.
 func (p *Plan) HasLinkFaults() bool {
-	return p != nil && (p.Drop > 0 || p.Dup > 0 || p.Reorder > 0)
+	if p == nil {
+		return false
+	}
+	if p.Drop > 0 || p.Dup > 0 || p.Reorder > 0 {
+		return true
+	}
+	for _, pr := range p.LinkDrop {
+		if pr > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Empty reports whether the plan injects nothing at all.
@@ -106,6 +125,19 @@ func (p *Plan) String() string {
 	}
 	if p.Drop > 0 {
 		parts = append(parts, "drop="+ftoa(p.Drop))
+	}
+	links := make([][2]int, 0, len(p.LinkDrop))
+	for l := range p.LinkDrop {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
+	for _, l := range links {
+		parts = append(parts, fmt.Sprintf("drop=%d>%d:%s", l[0], l[1], ftoa(p.LinkDrop[l])))
 	}
 	if p.Dup > 0 {
 		parts = append(parts, "dup="+ftoa(p.Dup))
@@ -158,7 +190,11 @@ func Parse(spec string) (*Plan, error) {
 		case "slow":
 			err = parseSlow(p, val)
 		case "drop":
-			p.Drop, err = parseProb(val)
+			if strings.Contains(val, ">") {
+				err = parseLinkDrop(p, val)
+			} else {
+				p.Drop, err = parseProb(val)
+			}
 		case "dup":
 			p.Dup, err = parseProb(val)
 		case "reorder":
@@ -251,6 +287,36 @@ func parseSlow(p *Plan, val string) error {
 		return fmt.Errorf("bad factor %q (want >= 1)", f[2])
 	}
 	p.Slowdowns = append(p.Slowdowns, s)
+	return nil
+}
+
+// parseLinkDrop handles the "drop=F>T:P" form: batches on link F→T are
+// dropped with probability P, overriding the global drop rate there.
+func parseLinkDrop(p *Plan, val string) error {
+	fs, rest, _ := strings.Cut(val, ">")
+	ts, ps, ok := strings.Cut(rest, ":")
+	if !ok {
+		return fmt.Errorf("want F>T:P")
+	}
+	from, err := strconv.Atoi(strings.TrimSpace(fs))
+	if err != nil || from < 0 {
+		return fmt.Errorf("bad source worker %q", fs)
+	}
+	to, err := strconv.Atoi(strings.TrimSpace(ts))
+	if err != nil || to < 0 {
+		return fmt.Errorf("bad destination worker %q", ts)
+	}
+	if from == to {
+		return fmt.Errorf("link %d>%d is not a link", from, to)
+	}
+	prob, err := parseProb(strings.TrimSpace(ps))
+	if err != nil {
+		return err
+	}
+	if p.LinkDrop == nil {
+		p.LinkDrop = make(map[[2]int]float64)
+	}
+	p.LinkDrop[[2]int{from, to}] = prob
 	return nil
 }
 
@@ -386,12 +452,16 @@ func (in *Injector) BatchFate(from, to int) Fate {
 	in.mu.Unlock()
 	u := u01(mix(uint64(in.plan.Seed), uint64(from)<<32|uint64(uint32(to)), k))
 	p := in.plan
+	drop := p.Drop
+	if pr, ok := p.LinkDrop[[2]int{from, to}]; ok {
+		drop = pr
+	}
 	switch {
-	case u < p.Drop:
+	case u < drop:
 		return Fate{Drop: true}
-	case u < p.Drop+p.Dup:
+	case u < drop+p.Dup:
 		return Fate{Dup: true}
-	case u < p.Drop+p.Dup+p.Reorder:
+	case u < drop+p.Dup+p.Reorder:
 		return Fate{Reorder: true}
 	}
 	return Fate{}

@@ -226,3 +226,69 @@ func TestRetryDelay(t *testing.T) {
 		t.Fatalf("fallback retry: %v", d)
 	}
 }
+
+func TestLinkDrop(t *testing.T) {
+	p, err := Parse("seed=9; drop=1>0:1; drop=0>2:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Drop != 0 {
+		t.Fatalf("global drop should stay 0, got %v", p.Drop)
+	}
+	if got := p.LinkDrop[[2]int{1, 0}]; got != 1 {
+		t.Fatalf("LinkDrop[1>0] = %v", got)
+	}
+	if got := p.LinkDrop[[2]int{0, 2}]; got != 0.5 {
+		t.Fatalf("LinkDrop[0>2] = %v", got)
+	}
+	if !p.HasLinkFaults() {
+		t.Fatal("per-link drop should count as a link fault")
+	}
+	// String must round-trip, with links emitted deterministically.
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("round-trip parse of %q: %v", p.String(), err)
+	}
+	if p.String() != p2.String() {
+		t.Fatalf("round trip: %q != %q", p.String(), p2.String())
+	}
+
+	// Probability 1 on the named link drops every batch; other links are
+	// untouched.
+	in := NewInjector(p)
+	for k := 0; k < 50; k++ {
+		if !in.BatchFate(1, 0).Drop {
+			t.Fatalf("batch %d on 1->0 not dropped under drop=1>0:1", k)
+		}
+		if f := in.BatchFate(2, 1); f != (Fate{}) {
+			t.Fatalf("batch %d on unlisted link 2->1 drew %+v", k, f)
+		}
+	}
+
+	// A per-link entry overrides the global rate rather than stacking.
+	p3, _ := Parse("seed=9; drop=1; drop=0>1:0")
+	in3 := NewInjector(p3)
+	for k := 0; k < 50; k++ {
+		if in3.BatchFate(0, 1).Drop {
+			t.Fatalf("batch %d dropped despite drop=0>1:0 override", k)
+		}
+		if !in3.BatchFate(1, 2).Drop {
+			t.Fatalf("batch %d on 1->2 must still use global drop=1", k)
+		}
+	}
+}
+
+func TestLinkDropParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"drop=1>0",      // missing probability
+		"drop=x>0:0.5",  // bad source
+		"drop=0>y:0.5",  // bad destination
+		"drop=0>0:0.5",  // self-link
+		"drop=0>1:1.5",  // probability out of range
+		"drop=-1>0:0.5", // negative worker
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): expected error", spec)
+		}
+	}
+}

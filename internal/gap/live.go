@@ -61,6 +61,25 @@ type LiveConfig struct {
 	// can never hang silently (e.g. a permanently dead worker holding
 	// unacknowledged messages). Default 30s; < 0 disables.
 	Watchdog time.Duration
+	// IntraParallelism shards each worker's f_step sweep across a small
+	// goroutine pool (intra-worker parallel local evaluation). Every wave
+	// of updates reads the pre-wave state, per-shard effects are buffered,
+	// and the buffers merge in fixed shard order, so results are a pure
+	// function of the work list — independent of the shard count and of
+	// goroutine scheduling. 0 (the default) resolves to
+	// GOMAXPROCS/NumWorkers, min 1; 1 evaluates serially on the worker
+	// goroutine (the classic pop-loop). Values > 1 apply only to programs
+	// that declare ace.ShardSafe; others fall back to serial evaluation.
+	IntraParallelism int
+	// LegacyBatches restores the pre-pooling message pipeline (a fresh
+	// map-indexed out-accumulator per flush, slice copies, map-based
+	// global→local resolution on ingest). Benchmarks use it as the
+	// baseline the pooled pipeline is measured against.
+	LegacyBatches bool
+	// NoCombine disables outgoing message coalescing in the pooled
+	// pipeline (append-only accumulators); isolates the per-algorithm
+	// combiner's contribution in benchmarks.
+	NoCombine bool
 }
 
 func (c LiveConfig) withDefaults() (LiveConfig, error) {
@@ -97,6 +116,10 @@ type LiveMetrics struct {
 	MsgsSent int64
 	Batches  int64
 	Rounds   int64
+
+	// Retransmits counts dropped batches redelivered by the async
+	// retransmit path (zero when the plan injects no drops).
+	Retransmits int64
 
 	// Fault-tolerance accounting (zero on fault-free runs).
 	Crashes     int64
@@ -226,8 +249,13 @@ type liveDriver[V any] struct {
 	beatEvery  time.Duration
 	retrySleep time.Duration
 
+	pool   *batchPool[V]
+	pooled bool // recycle batches through the pool (off under LegacyBatches)
+	shards int  // effective intra-worker shard count (1 = serial sweep)
+
 	updates, msgsSent, batches, rounds atomic.Int64
 	crashes, recoveries, checkpoints   atomic.Int64
+	retransmits                        atomic.Int64
 	updCount                           []atomic.Int64 // per-worker, for crash triggers
 }
 
@@ -282,10 +310,14 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 	d.coord = newLiveCoord(n)
 	d.ctrl = newLiveCtrl(n)
 	d.updCount = make([]atomic.Int64, n)
+	d.pool = &batchPool[V]{}
+	d.pooled = !cfg.LegacyBatches
+	tune := liveTuning{legacy: cfg.LegacyBatches, noCombine: cfg.NoCombine}
 	d.states = make([]*liveState[V], n)
 	for i := range d.states {
-		d.states[i] = newLiveState(i, frags[i], factory(), q)
+		d.states[i] = newLiveStateWith(i, frags[i], factory(), q, d.pool, tune)
 	}
+	d.shards = resolveShards(cfg.IntraParallelism, n, d.states[0].prog)
 	if d.recover {
 		// Snapshot 0: the freshly initialized cluster, so a crash before
 		// the first periodic checkpoint still has a rollback target.
@@ -323,6 +355,7 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 		MsgsSent:    d.msgsSent.Load(),
 		Batches:     d.batches.Load(),
 		Rounds:      d.rounds.Load(),
+		Retransmits: d.retransmits.Load(),
 		Crashes:     d.crashes.Load(),
 		Recoveries:  d.recoveries.Load(),
 		Checkpoints: d.checkpoints.Load(),
@@ -366,6 +399,10 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 	if d.hasLink {
 		hold = make([][]ace.Message[V], d.n)
 	}
+	var ev *waveEval[V] // sharded local evaluation (IntraParallelism > 1)
+	if d.shards > 1 {
+		ev = newWaveEval(st, d.shards)
+	}
 
 	beat := func() { d.ctrl.beats[id].Store(int64(sinceFn(d.start))) }
 	beat()
@@ -389,10 +426,18 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 		return true
 	}
 
+	// Batches arriving from the transport are owned by this worker once
+	// received: after h_in they are recycled into the driver's pool (the
+	// senders' takeOut draws replacements from it), closing the
+	// zero-allocation loop. Legacy mode skips recycling to stay a faithful
+	// pre-pooling baseline.
 	ingest := func(msgs []ace.Message[V]) {
 		localRecv += int64(len(msgs))
 		recvCum += int64(len(msgs))
 		st.ingest(msgs)
+		if d.pooled {
+			d.pool.put(msgs)
+		}
 	}
 	drain := func() int {
 		got := 0
@@ -400,7 +445,11 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 			select {
 			case env := <-d.chans[id]:
 				if env.epoch != myEpoch {
-					continue // pre-rollback leftover: discard uncounted
+					// Pre-rollback leftover: discard uncounted.
+					if d.pooled {
+						d.pool.put(env.msgs)
+					}
+					continue
 				}
 				ingest(env.msgs)
 				got++
@@ -517,15 +566,35 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 				if d.hasLink {
 					switch f := d.inj.BatchFate(id, j); {
 					case f.Drop:
-						time.Sleep(d.retrySleep)
-						send(j, msgs)
+						// Count the batch as sent now — termination
+						// cannot be declared while it is in flight —
+						// and hand it to an asynchronous retransmitter.
+						// Sleeping inline here would stall heartbeats,
+						// park checks and every other peer's flush for
+						// the whole retry delay.
+						localSent += int64(len(msgs))
+						sentCum += int64(len(msgs))
+						d.msgsSent.Add(int64(len(msgs)))
+						d.batches.Add(1)
+						d.retransmit(j, msgs, myEpoch)
 						sentFresh = true
 					case f.Dup:
+						// Copy before the first send: the receiver may
+						// recycle the original while we still read it.
+						var cp []ace.Message[V]
+						if d.pooled {
+							cp = append(d.pool.get(), msgs...)
+						} else {
+							cp = append([]ace.Message[V](nil), msgs...)
+						}
 						send(j, msgs)
-						send(j, append([]ace.Message[V](nil), msgs...))
+						send(j, cp)
 						sentFresh = true
 					case f.Reorder:
 						hold[j] = append(hold[j], msgs...)
+						if d.pooled {
+							d.pool.put(msgs)
+						}
 					default:
 						send(j, msgs)
 						sentFresh = true
@@ -578,35 +647,67 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 		if tr != nil {
 			tr.Sample(id, obs.GaugeActive, ts(), float64(st.active.Len()))
 		}
-		steps := 0
-		for !st.active.Empty() {
-			v := st.active.Pop()
-			st.prog.Update(st.ctx, v)
-			d.updates.Add(1)
-			if d.hasCrashes {
-				d.updCount[id].Add(1)
+		// checkStep is the shared per-CheckEvery indicator check (ξ⁺/ξ⁻):
+		// heartbeat, park/crash checks, slowdown injection, then pick up
+		// fresh messages or push accumulated ones. Returns true when the
+		// worker must exit.
+		checkStep := func() bool {
+			beat()
+			if pauseCheck() {
+				return true
 			}
-			steps++
-			if steps%cfg.CheckEvery == 0 {
-				beat()
-				if pauseCheck() {
+			if crashed() {
+				return true
+			}
+			if d.hasSlow {
+				if f := d.inj.SlowFactor(id, nowMS()); f > 1 {
+					time.Sleep(time.Duration((f - 1) * float64(100*time.Microsecond)))
+				}
+			}
+			if drain() == 0 && cfg.Mode != ModeAPGC {
+				if tr != nil {
+					tr.Mark(id, obs.MarkR3, ts())
+				}
+				flushAll(false)
+			}
+			return false
+		}
+		steps := 0
+		if ev != nil {
+			// Sharded sweep: waves stay smaller than CheckEvery because
+			// in-wave sends only land after the wave merges — oversized
+			// waves process stale deltas and inflate the update count. The
+			// indicator check (with its R3 flush) runs after every wave;
+			// the eager flushing propagates deltas sooner and measurably
+			// shortens convergence.
+			wave := cfg.CheckEvery
+			if wave > liveWaveCap {
+				wave = liveWaveCap
+			}
+			for !st.active.Empty() {
+				nw := ev.runWave(wave)
+				steps += nw
+				d.updates.Add(int64(nw))
+				if d.hasCrashes {
+					d.updCount[id].Add(int64(nw))
+				}
+				if checkStep() {
 					return
 				}
-				if crashed() {
-					return
+			}
+		} else {
+			for !st.active.Empty() {
+				v := st.active.Pop()
+				st.prog.Update(st.ctx, v)
+				d.updates.Add(1)
+				if d.hasCrashes {
+					d.updCount[id].Add(1)
 				}
-				if d.hasSlow {
-					if f := d.inj.SlowFactor(id, nowMS()); f > 1 {
-						time.Sleep(time.Duration((f - 1) * float64(100*time.Microsecond)))
+				steps++
+				if steps%cfg.CheckEvery == 0 {
+					if checkStep() {
+						return
 					}
-				}
-				// ξ⁺/ξ⁻ between steps: pick up fresh messages and push
-				// accumulated ones.
-				if drain() == 0 && cfg.Mode != ModeAPGC {
-					if tr != nil {
-						tr.Mark(id, obs.MarkR3, ts())
-					}
-					flushAll(false)
 				}
 			}
 		}
@@ -656,4 +757,42 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 			}
 		}
 	}
+}
+
+// retransmit delivers a "dropped" batch after the plan's retry delay
+// without blocking the worker that flushed it. The caller already counted
+// the batch as sent, so termination cannot be declared while it is in
+// flight. A recovery while the retransmitter sleeps bumps the epoch (and
+// the coordinator reset wiped the count), so delivery is abandoned — the
+// rollback re-derives the batch.
+func (d *liveDriver[V]) retransmit(to int, msgs []ace.Message[V], epoch int32) {
+	d.retransmits.Add(1)
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTimer(d.retrySleep)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-d.coord.done:
+			return
+		}
+		backoff := liveSendBackoff
+		for {
+			if d.ctrl.epoch.Load() != epoch || d.ctrl.phase.Load() == ctrlRecover {
+				return
+			}
+			select {
+			case d.chans[to] <- liveEnvelope[V]{epoch: epoch, msgs: msgs}:
+				return
+			case <-d.coord.done:
+				return
+			default:
+			}
+			time.Sleep(backoff)
+			if backoff < liveSendBackMax {
+				backoff *= 2
+			}
+		}
+	}()
 }

@@ -1,0 +1,150 @@
+package gap
+
+import (
+	"runtime"
+	"sync"
+
+	"argan/internal/ace"
+)
+
+// Intra-worker parallel local evaluation.
+//
+// A waveEval shards one worker's f_step sweep across a small goroutine pool
+// while keeping results bit-reproducible. Each wave freezes a slice of the
+// active set as its work list, splits it into contiguous shard chunks, and
+// runs Update concurrently per shard against the *pre-wave* Ψ: every Ctx
+// effect (Set/Send/Activate) is buffered into the shard's private op log
+// instead of being applied. After the pool joins, the logs are merged on
+// the worker goroutine in a fixed order — first every Set in (shard, op)
+// order, then every Send and Activate in (shard, op) order.
+//
+// Determinism rule: because chunks are contiguous and merged in shard
+// order, the concatenated op sequence equals the one a single shard would
+// produce over the same work list, so results are a pure function of the
+// work list — independent of the shard count and of goroutine scheduling.
+// Sets merge before Sends so that a delta sent during the wave to a vertex
+// updated in the same wave lands on the published (consumed) value rather
+// than being wiped by it — no in-flight mass is ever lost.
+
+type evalOpKind uint8
+
+const (
+	opSet evalOpKind = iota
+	opSend
+	opActivate
+)
+
+type evalOp[V any] struct {
+	local uint32
+	kind  evalOpKind
+	val   V
+}
+
+// waveInlineMin is the minimum per-shard work for which spawning the pool
+// pays off; smaller waves run inline on the worker goroutine (the buffered
+// op logs make both executions byte-identical).
+const waveInlineMin = 8
+
+// liveWaveCap bounds the async driver's wave size. In-wave sends are only
+// merged after the wave, so larger waves evaluate more vertices against
+// stale Ψ and repeat work; 64 keeps that inflation small while leaving
+// enough per-shard work to amortize the merge.
+const liveWaveCap = 64
+
+type waveEval[V any] struct {
+	st      *liveState[V]
+	shards  int
+	singleP bool // GOMAXPROCS == 1: spawning buys nothing, run shards inline
+	bufs    [][]evalOp[V]
+	ctxs    []*ace.Ctx[V]
+	work    []uint32
+
+	// forceInline pins execution to the worker goroutine; the determinism
+	// tests compare it against forced concurrent execution.
+	forceInline bool
+	// forceSpawn always uses the pool, regardless of wave size.
+	forceSpawn bool
+}
+
+func newWaveEval[V any](st *liveState[V], shards int) *waveEval[V] {
+	if shards < 1 {
+		shards = 1
+	}
+	ev := &waveEval[V]{
+		st:      st,
+		shards:  shards,
+		singleP: runtime.GOMAXPROCS(0) == 1,
+		bufs:    make([][]evalOp[V], shards),
+		ctxs:    make([]*ace.Ctx[V], shards),
+	}
+	for s := range ev.ctxs {
+		s := s
+		ev.ctxs[s] = ace.NewCtx(st.frag, st.psi,
+			func(l uint32, v V) { ev.bufs[s] = append(ev.bufs[s], evalOp[V]{local: l, kind: opSet, val: v}) },
+			func(l uint32, d V) { ev.bufs[s] = append(ev.bufs[s], evalOp[V]{local: l, kind: opSend, val: d}) },
+			func(l uint32) { ev.bufs[s] = append(ev.bufs[s], evalOp[V]{local: l, kind: opActivate}) })
+	}
+	return ev
+}
+
+// runWave evaluates up to max active vertices and returns how many ran.
+func (ev *waveEval[V]) runWave(max int) int {
+	st := ev.st
+	ev.work = ev.work[:0]
+	for len(ev.work) < max && !st.active.Empty() {
+		ev.work = append(ev.work, st.active.Pop())
+	}
+	n := len(ev.work)
+	if n == 0 {
+		return 0
+	}
+	s := ev.shards
+	if s > n {
+		s = n
+	}
+	runShard := func(k int) {
+		lo, hi := k*n/s, (k+1)*n/s
+		ctx := ev.ctxs[k]
+		for _, v := range ev.work[lo:hi] {
+			st.prog.Update(ctx, v)
+		}
+	}
+	if ev.forceInline || (!ev.forceSpawn && (s == 1 || ev.singleP || n < s*waveInlineMin)) {
+		for k := 0; k < s; k++ {
+			runShard(k)
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(s)
+		for k := 0; k < s; k++ {
+			go func(k int) {
+				defer wg.Done()
+				runShard(k)
+			}(k)
+		}
+		wg.Wait()
+	}
+	// Deterministic merge: publish every Set first, then apply Sends and
+	// Activates, each pass in (shard, op) order.
+	for k := 0; k < s; k++ {
+		buf := ev.bufs[k]
+		for i := range buf {
+			if buf[i].kind == opSet {
+				st.ctxSet(buf[i].local, buf[i].val)
+			}
+		}
+	}
+	for k := 0; k < s; k++ {
+		buf := ev.bufs[k]
+		for i := range buf {
+			switch buf[i].kind {
+			case opSend:
+				st.ctxSend(buf[i].local, buf[i].val)
+			case opActivate:
+				st.ctxActivate(buf[i].local)
+			}
+		}
+		ev.bufs[k] = buf[:0]
+	}
+	return n
+}

@@ -1,0 +1,217 @@
+package gap
+
+import (
+	"math"
+	"testing"
+
+	"argan/internal/ace"
+	"argan/internal/algorithms"
+)
+
+// waveRun drives one worker's local fixpoint entirely through the sharded
+// wave evaluator and returns the final state: Ψ, the accumulated outgoing
+// batches per peer, and the number of updates executed. No messages are
+// exchanged — the point is to observe the evaluator's raw effect on one
+// fragment, byte for byte.
+func waveRun[V any](t *testing.T, factory ace.Factory[V], q ace.Query, nWorkers, shards int, spawn bool) (psi []V, out [][]ace.Message[V], updates int) {
+	t.Helper()
+	g := testGraph(true, 11)
+	fs := frags(t, g, nWorkers)
+	st := newLiveState(0, fs[0], factory(), q)
+	ev := newWaveEval(st, shards)
+	if spawn {
+		ev.forceSpawn = true
+	} else {
+		ev.forceInline = true
+	}
+	for !st.active.Empty() {
+		updates += ev.runWave(64)
+	}
+	out = make([][]ace.Message[V], len(st.out))
+	for j := range st.out {
+		out[j] = append([]ace.Message[V](nil), st.out[j].msgs...)
+	}
+	return st.psi, out, updates
+}
+
+func assertWaveEqual[V comparable](t *testing.T, label string, psiA, psiB []V, outA, outB [][]ace.Message[V]) {
+	t.Helper()
+	for l := range psiA {
+		if psiA[l] != psiB[l] {
+			t.Fatalf("%s: psi[%d] differs: %v vs %v", label, l, psiA[l], psiB[l])
+		}
+	}
+	for j := range outA {
+		if len(outA[j]) != len(outB[j]) {
+			t.Fatalf("%s: out[%d] length differs: %d vs %d", label, j, len(outA[j]), len(outB[j]))
+		}
+		for k := range outA[j] {
+			if outA[j][k] != outB[j][k] {
+				t.Fatalf("%s: out[%d][%d] differs: %+v vs %+v", label, j, k, outA[j][k], outB[j][k])
+			}
+		}
+	}
+}
+
+// TestWaveEvalShardCountInvariant is the evaluator's core determinism
+// property: because shard chunks are contiguous and the op logs merge in
+// shard order, the result must be bit-identical for EVERY shard count —
+// including 1 — and identical between inline and concurrent execution.
+func TestWaveEvalShardCountInvariant(t *testing.T) {
+	t.Run("pagerank", func(t *testing.T) {
+		q := ace.Query{Eps: 1e-4}
+		refPsi, refOut, refUpd := waveRun(t, algorithms.NewPageRank(), q, 4, 1, false)
+		if refUpd == 0 {
+			t.Fatal("reference run did no work")
+		}
+		for _, shards := range []int{2, 3, 4, 7} {
+			psi, out, upd := waveRun(t, algorithms.NewPageRank(), q, 4, shards, false)
+			if upd != refUpd {
+				t.Fatalf("shards=%d inline: %d updates vs %d", shards, upd, refUpd)
+			}
+			assertWaveEqual(t, "pagerank inline", refPsi, psi, refOut, out)
+			psi, out, upd = waveRun(t, algorithms.NewPageRank(), q, 4, shards, true)
+			if upd != refUpd {
+				t.Fatalf("shards=%d spawned: %d updates vs %d", shards, upd, refUpd)
+			}
+			assertWaveEqual(t, "pagerank spawned", refPsi, psi, refOut, out)
+		}
+	})
+	t.Run("sssp", func(t *testing.T) {
+		q := ace.Query{Source: 0}
+		refPsi, refOut, _ := waveRun(t, algorithms.NewSSSP(), q, 4, 1, false)
+		for _, shards := range []int{2, 4} {
+			psi, out, _ := waveRun(t, algorithms.NewSSSP(), q, 4, shards, true)
+			assertWaveEqual(t, "sssp", refPsi, psi, refOut, out)
+		}
+	})
+}
+
+// TestLiveIntraParallelExact: the async live driver with intra-worker
+// parallelism must produce exactly the answers of the serial driver for
+// min-fold programs (any schedule reaches the same fixpoint), and exact
+// sequential answers for SSSP. This is also the race stress test: run
+// with -race it exercises >= 4 workers x >= 4 shards on both programs.
+func TestLiveIntraParallelExact(t *testing.T) {
+	t.Run("sssp", func(t *testing.T) {
+		g := testGraph(true, 12)
+		want := algorithms.SeqSSSP(g, 0)
+		for _, par := range []int{1, 4} {
+			cfg := LiveConfig{Mode: ModeGAP, CheckEvery: 16, IntraParallelism: par}
+			res, _, err := RunLive(frags(t, g, 4), algorithms.NewSSSP(), ace.Query{Source: 0}, cfg)
+			if err != nil {
+				t.Fatalf("par=%d: %v", par, err)
+			}
+			for v, w := range want {
+				if res.Values[v] != w {
+					t.Fatalf("par=%d vertex %d: got %v want %v", par, v, res.Values[v], w)
+				}
+			}
+		}
+	})
+	t.Run("pagerank", func(t *testing.T) {
+		g := testGraph(true, 13)
+		want := algorithms.SeqPageRank(g, 1e-4)
+		cfg := LiveConfig{Mode: ModeGAP, CheckEvery: 16, IntraParallelism: 4}
+		res, _, err := RunLive(frags(t, g, 4), algorithms.NewPageRank(), ace.Query{Eps: 1e-4}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, w := range want {
+			if math.Abs(res.Values[v]-w) > 0.02*(w+1) {
+				t.Fatalf("vertex %d: got %v want %v", v, res.Values[v], w)
+			}
+		}
+	})
+}
+
+// TestLiveBSPShardInvariance: the BSP exchange is deterministic, so a
+// sharded BSP PageRank run must be bit-identical across shard counts —
+// the full-run version of the per-wave invariance above.
+func TestLiveBSPShardInvariance(t *testing.T) {
+	g := testGraph(true, 14)
+	run := func(par int) []float64 {
+		res, _, err := RunLiveBSPOpts(frags(t, g, 4), algorithms.NewPageRank(), ace.Query{Eps: 1e-4},
+			BSPOptions{IntraParallelism: par})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		return res.Values
+	}
+	ref := run(2)
+	for _, par := range []int{3, 4} {
+		got := run(par)
+		for v := range ref {
+			if got[v] != ref[v] {
+				t.Fatalf("par=%d vertex %d: %v != %v (must be bit-identical)", par, v, got[v], ref[v])
+			}
+		}
+	}
+	// The serial pop-loop follows a different (priority) schedule, so it
+	// is only tolerance-equal — but it must agree on the fixpoint.
+	serial := run(1)
+	for v := range ref {
+		if math.Abs(serial[v]-ref[v]) > 0.02*(ref[v]+1) {
+			t.Fatalf("vertex %d: sharded %v vs serial %v beyond tolerance", v, ref[v], serial[v])
+		}
+	}
+}
+
+// TestLivePipelineVariantsAgree: the pooled/combining pipeline, the
+// no-combine pipeline and the legacy pre-pooling pipeline are different
+// code paths to the same semantics; SSSP answers must be exact under all
+// of them, async and BSP.
+func TestLivePipelineVariantsAgree(t *testing.T) {
+	g := testGraph(true, 15)
+	want := algorithms.SeqSSSP(g, 0)
+	type variant struct {
+		name             string
+		legacy, noCombin bool
+	}
+	variants := []variant{{"pooled", false, false}, {"nocombine", false, true}, {"legacy", true, false}}
+	for _, vt := range variants {
+		cfg := LiveConfig{Mode: ModeGAP, CheckEvery: 16, LegacyBatches: vt.legacy, NoCombine: vt.noCombin}
+		res, _, err := RunLive(frags(t, g, 4), algorithms.NewSSSP(), ace.Query{Source: 0}, cfg)
+		if err != nil {
+			t.Fatalf("async %s: %v", vt.name, err)
+		}
+		for v, w := range want {
+			if res.Values[v] != w {
+				t.Fatalf("async %s vertex %d: got %v want %v", vt.name, v, res.Values[v], w)
+			}
+		}
+		resB, _, err := RunLiveBSPOpts(frags(t, g, 4), algorithms.NewSSSP(), ace.Query{Source: 0},
+			BSPOptions{IntraParallelism: 1, LegacyBatches: vt.legacy, NoCombine: vt.noCombin})
+		if err != nil {
+			t.Fatalf("bsp %s: %v", vt.name, err)
+		}
+		for v, w := range want {
+			if resB.Values[v] != w {
+				t.Fatalf("bsp %s vertex %d: got %v want %v", vt.name, v, resB.Values[v], w)
+			}
+		}
+	}
+}
+
+// TestResolveShards covers the IntraParallelism resolution rules: explicit
+// values pass through for ShardSafe programs, non-shard-safe programs pin
+// to 1, and 0 derives from GOMAXPROCS without ever going below 1.
+func TestResolveShards(t *testing.T) {
+	pr := algorithms.NewPageRank()()
+	if s := resolveShards(4, 2, pr); s != 4 {
+		t.Fatalf("explicit shard count: %d", s)
+	}
+	if s := resolveShards(0, 1000, pr); s != 1 {
+		t.Fatalf("default must floor at 1: %d", s)
+	}
+	if s := resolveShards(1, 1, pr); s != 1 {
+		t.Fatalf("explicit serial: %d", s)
+	}
+	// A program that does not declare ShardSafe must never shard.
+	cd := algorithms.NewCore()()
+	if _, ok := any(cd).(ace.ShardSafe); !ok {
+		if s := resolveShards(8, 1, cd); s != 1 {
+			t.Fatalf("non-shard-safe program sharded: %d", s)
+		}
+	}
+}

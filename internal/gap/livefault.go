@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"argan/internal/ace"
-	"argan/internal/graph"
 	"argan/internal/obs"
 )
 
@@ -115,12 +114,7 @@ func restoreLive[V any](st *liveState[V], s *liveSnap[V]) {
 	}
 	st.active.Reset(s.active)
 	for j := range st.out {
-		msgs := append([]ace.Message[V](nil), s.out[j]...)
-		idx := make(map[graph.VID]int, len(msgs))
-		for k, m := range msgs {
-			idx[m.V] = k
-		}
-		st.out[j] = liveOutAcc[V]{msgs: msgs, index: idx}
+		st.restoreOut(j, s.out[j])
 	}
 }
 

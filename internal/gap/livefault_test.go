@@ -271,3 +271,39 @@ func TestLiveCoordEdgeCases(t *testing.T) {
 		}
 	})
 }
+
+// TestLiveDropRetransmitAsync is the regression test for the inline
+// retry sleep: a dropped batch used to stall the sender's compute loop
+// for the full retry delay, delaying every unrelated send behind it.
+// Retransmission is now asynchronous, so even with EVERY batch on one
+// link dropped and a long retry delay, total wall time must stay far
+// below the serial sum of the retry sleeps the old code would pay —
+// while the redelivered batches still make the answers exact.
+func TestLiveDropRetransmitAsync(t *testing.T) {
+	g := testGraph(true, 6)
+	want := algorithms.SeqSSSP(g, 0)
+	const retryMS = 100
+	cfg := LiveConfig{Mode: ModeGAP, CheckEvery: 16}
+	cfg.Faults = faultPlan(t, "seed=5; drop=1>0:1; retry=100")
+	start := time.Now()
+	res, lm, err := RunLive(frags(t, g, 4), algorithms.NewSSSP(), ace.Query{Source: 0}, cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("RunLive: %v", err)
+	}
+	for v, w := range want {
+		if res.Values[v] != w {
+			t.Fatalf("vertex %d: got %v want %v", v, res.Values[v], w)
+		}
+	}
+	if lm.Retransmits < 2 {
+		t.Fatalf("retransmits=%d, plan should drop every 1->0 batch", lm.Retransmits)
+	}
+	serial := time.Duration(lm.Retransmits) * retryMS * time.Millisecond
+	t.Logf("retransmits=%d elapsed=%v (inline sleeps would serialize to >= %v)",
+		lm.Retransmits, elapsed, serial)
+	if lm.Retransmits >= 4 && elapsed >= serial/2 {
+		t.Fatalf("run took %v with %d retransmits: retry sleeps appear to serialize on the compute loop (old inline behavior would need >= %v)",
+			elapsed, lm.Retransmits, serial)
+	}
+}

@@ -2,13 +2,66 @@ package gap
 
 import (
 	"context"
+	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"sync"
 
 	"argan/internal/ace"
 	"argan/internal/graph"
 	"argan/internal/obs"
 )
+
+// batchPool recycles message batches between senders and receivers: takeOut
+// hands a filled batch to the transport and replaces the accumulator's
+// backing slice from the pool; the receiver returns the batch after h_in.
+// A bounded mutex-guarded free list is used instead of sync.Pool so a put
+// never allocates (boxing a slice into an interface would) and reuse is
+// deterministic under test.
+type batchPool[V any] struct {
+	mu   sync.Mutex
+	free [][]ace.Message[V]
+}
+
+// batchPoolCap bounds the free list; overflow batches are left to the GC.
+const batchPoolCap = 256
+
+func (bp *batchPool[V]) get() []ace.Message[V] {
+	bp.mu.Lock()
+	if n := len(bp.free); n > 0 {
+		s := bp.free[n-1]
+		bp.free[n-1] = nil
+		bp.free = bp.free[:n-1]
+		bp.mu.Unlock()
+		return s
+	}
+	bp.mu.Unlock()
+	return make([]ace.Message[V], 0, 64)
+}
+
+func (bp *batchPool[V]) put(s []ace.Message[V]) {
+	if cap(s) == 0 {
+		return
+	}
+	bp.mu.Lock()
+	if len(bp.free) < batchPoolCap {
+		bp.free = append(bp.free, s[:0])
+	}
+	bp.mu.Unlock()
+}
+
+// liveTuning selects the message-pipeline variant of a live state; the zero
+// value is the default pooled, combining pipeline.
+type liveTuning struct {
+	// legacy reproduces the pre-pooling pipeline byte for byte: a fresh
+	// map-indexed accumulator per flush, coalescing through Aggregate, and
+	// map-based global→local resolution on ingest. Benchmarks use it as
+	// the baseline the pooled pipeline is measured against.
+	legacy bool
+	// noCombine disables outgoing coalescing entirely (append-only
+	// accumulators); isolates the combiner's contribution in benchmarks.
+	noCombine bool
+}
 
 // liveState is the per-worker state shared by the live drivers (async and
 // BSP): status variables, active set, per-peer out-accumulators and the ACE
@@ -25,15 +78,37 @@ type liveState[V any] struct {
 	ctx    *ace.Ctx[V]
 
 	out []liveOutAcc[V]
+
+	pool   *batchPool[V]
+	tune   liveTuning
+	lookup []uint32 // global id -> local id + 1; 0 = not present (pooled path)
+	// combine coalesces two outgoing values for one vertex (the program's
+	// Combiner, falling back to an Aggregate fold); nil appends without
+	// coalescing (legacy mode indexes by map instead).
+	combine func(a, b V) V
 }
 
+// liveOutAcc accumulates the outgoing batch for one peer. The pooled path
+// coalesces through a generation-stamped dense index keyed by the sender's
+// local vertex id (every enqueued vertex is local to the sender), so a
+// flush is a pointer swap plus a generation bump — no per-flush allocation.
+// The legacy path keeps the original map index and reallocates per flush.
 type liveOutAcc[V any] struct {
-	msgs  []ace.Message[V]
-	index map[graph.VID]int
+	msgs []ace.Message[V]
+
+	slotGen []uint32 // slotGen[l] == gen ⇒ msgs[slotIdx[l]] holds vertex l
+	slotIdx []uint32
+	gen     uint32
+
+	index map[graph.VID]int // legacy only
 }
 
 func newLiveState[V any](id int, f *graph.Fragment, prog ace.Program[V], q ace.Query) *liveState[V] {
-	st := &liveState[V]{id: id, frag: f, prog: prog, deps: prog.Deps()}
+	return newLiveStateWith(id, f, prog, q, &batchPool[V]{}, liveTuning{})
+}
+
+func newLiveStateWith[V any](id int, f *graph.Fragment, prog ace.Program[V], q ace.Query, pool *batchPool[V], tune liveTuning) *liveState[V] {
+	st := &liveState[V]{id: id, frag: f, prog: prog, deps: prog.Deps(), pool: pool, tune: tune}
 	prog.Setup(f, q)
 	st.psi = make([]V, f.NumLocal())
 	var prio func(uint32) float64
@@ -42,8 +117,28 @@ func newLiveState[V any](id int, f *graph.Fragment, prog ace.Program[V], q ace.Q
 	}
 	st.active = newActiveSet(f.NumOwned(), prio)
 	st.out = make([]liveOutAcc[V], f.NumWorkers())
-	for j := range st.out {
-		st.out[j] = liveOutAcc[V]{index: map[graph.VID]int{}}
+	if tune.legacy {
+		for j := range st.out {
+			st.out[j] = liveOutAcc[V]{index: map[graph.VID]int{}}
+		}
+	} else {
+		for j := range st.out {
+			st.out[j] = liveOutAcc[V]{gen: 1}
+		}
+		st.lookup = make([]uint32, f.GlobalVertices())
+		for l := uint32(0); int(l) < f.NumLocal(); l++ {
+			st.lookup[f.Global(l)] = l + 1
+		}
+		if !tune.noCombine {
+			if c, ok := any(prog).(ace.Combiner[V]); ok {
+				st.combine = c.Combine
+			} else {
+				st.combine = func(a, b V) V {
+					v, _ := prog.Aggregate(a, b)
+					return v
+				}
+			}
+		}
 	}
 	st.ctx = ace.NewCtx(f, st.psi, st.ctxSet, st.ctxSend, st.ctxActivate)
 	for l := uint32(0); int(l) < f.NumLocal(); l++ {
@@ -57,7 +152,7 @@ func newLiveState[V any](id int, f *graph.Fragment, prog ace.Program[V], q ace.Q
 		for l := uint32(0); int(l) < f.NumOwned(); l++ {
 			g := f.Global(l)
 			for _, r := range f.ReplicasOut(l) {
-				st.enqueue(int(r), g, st.psi[l])
+				st.enqueue(int(r), l, g, st.psi[l])
 			}
 			if f.Directed() && st.deps != ace.DepIn && st.deps != ace.DepSelf {
 				for _, r := range f.ReplicasIn(l) {
@@ -69,7 +164,7 @@ func newLiveState[V any](id int, f *graph.Fragment, prog ace.Program[V], q ace.Q
 						}
 					}
 					if !dup {
-						st.enqueue(int(r), g, st.psi[l])
+						st.enqueue(int(r), l, g, st.psi[l])
 					}
 				}
 			}
@@ -78,14 +173,34 @@ func newLiveState[V any](id int, f *graph.Fragment, prog ace.Program[V], q ace.Q
 	return st
 }
 
-func (st *liveState[V]) enqueue(peer int, g graph.VID, val V) {
+// enqueue buffers ⟨g, val⟩ for peer. l is the sender-local id of g (every
+// vertex a worker ships is local to it: owned border vertices and ghosts),
+// which keys the pooled path's dense coalescing index.
+func (st *liveState[V]) enqueue(peer int, l uint32, g graph.VID, val V) {
 	o := &st.out[peer]
-	if k, ok := o.index[g]; ok {
-		agg, _ := st.prog.Aggregate(o.msgs[k].Val, val)
-		o.msgs[k].Val = agg
+	if st.tune.legacy {
+		if k, ok := o.index[g]; ok {
+			agg, _ := st.prog.Aggregate(o.msgs[k].Val, val)
+			o.msgs[k].Val = agg
+			return
+		}
+		o.index[g] = len(o.msgs)
+		o.msgs = append(o.msgs, ace.Message[V]{V: g, Val: val})
 		return
 	}
-	o.index[g] = len(o.msgs)
+	if st.combine != nil {
+		if o.slotGen == nil {
+			o.slotGen = make([]uint32, st.frag.NumLocal())
+			o.slotIdx = make([]uint32, st.frag.NumLocal())
+		}
+		if o.slotGen[l] == o.gen {
+			k := o.slotIdx[l]
+			o.msgs[k].Val = st.combine(o.msgs[k].Val, val)
+			return
+		}
+		o.slotGen[l] = o.gen
+		o.slotIdx[l] = uint32(len(o.msgs))
+	}
 	o.msgs = append(o.msgs, ace.Message[V]{V: g, Val: val})
 }
 
@@ -118,11 +233,11 @@ func (st *liveState[V]) ctxSet(l uint32, v V) {
 	switch st.deps {
 	case ace.DepOut:
 		for _, r := range st.frag.ReplicasIn(l) {
-			st.enqueue(int(r), g, v)
+			st.enqueue(int(r), l, g, v)
 		}
 	case ace.DepBoth:
 		for _, r := range st.frag.ReplicasOut(l) {
-			st.enqueue(int(r), g, v)
+			st.enqueue(int(r), l, g, v)
 		}
 		for _, r := range st.frag.ReplicasIn(l) {
 			dup := false
@@ -133,12 +248,12 @@ func (st *liveState[V]) ctxSet(l uint32, v V) {
 				}
 			}
 			if !dup {
-				st.enqueue(int(r), g, v)
+				st.enqueue(int(r), l, g, v)
 			}
 		}
 	default:
 		for _, r := range st.frag.ReplicasOut(l) {
-			st.enqueue(int(r), g, v)
+			st.enqueue(int(r), l, g, v)
 		}
 	}
 	st.activateDeps(l)
@@ -154,7 +269,7 @@ func (st *liveState[V]) ctxSend(l uint32, d V) {
 		return
 	}
 	g := st.frag.Global(l)
-	st.enqueue(st.frag.OwnerOf(g), g, d)
+	st.enqueue(st.frag.OwnerOf(g), l, g, d)
 }
 
 func (st *liveState[V]) ctxActivate(l uint32) {
@@ -163,10 +278,23 @@ func (st *liveState[V]) ctxActivate(l uint32) {
 	}
 }
 
+// local resolves a global id to the local index through the dense lookup
+// when available (pooled path), falling back to the fragment's map.
+func (st *liveState[V]) local(g graph.VID) (uint32, bool) {
+	if st.lookup != nil {
+		if int(g) < len(st.lookup) {
+			l := st.lookup[g]
+			return l - 1, l != 0
+		}
+		return 0, false
+	}
+	return st.frag.Local(g)
+}
+
 // ingest applies one batch to Ψ (h_in) and re-activates dependents.
 func (st *liveState[V]) ingest(msgs []ace.Message[V]) {
 	for _, m := range msgs {
-		lv, ok := st.frag.Local(m.V)
+		lv, ok := st.local(m.V)
 		if !ok {
 			continue
 		}
@@ -185,15 +313,53 @@ func (st *liveState[V]) ingest(msgs []ace.Message[V]) {
 	}
 }
 
-// takeOut removes and returns the accumulated batch for the peer.
+// takeOut removes and returns the accumulated batch for the peer. The pooled
+// path swaps in a recycled backing slice and bumps the coalescing
+// generation; the legacy path reallocates as the pre-pooling pipeline did.
+// Ownership of the returned batch transfers to the caller (the receiver
+// recycles it via the pool after h_in).
 func (st *liveState[V]) takeOut(peer int) []ace.Message[V] {
 	o := &st.out[peer]
 	if len(o.msgs) == 0 {
 		return nil
 	}
 	msgs := o.msgs
-	st.out[peer] = liveOutAcc[V]{index: map[graph.VID]int{}}
+	if st.tune.legacy {
+		st.out[peer] = liveOutAcc[V]{index: map[graph.VID]int{}}
+		return msgs
+	}
+	o.msgs = st.pool.get()
+	o.gen++
 	return msgs
+}
+
+// restoreOut overwrites the peer's accumulator with the snapshot batch,
+// rebuilding whichever coalescing index the pipeline variant uses.
+func (st *liveState[V]) restoreOut(peer int, msgs []ace.Message[V]) {
+	if st.tune.legacy {
+		cp := append([]ace.Message[V](nil), msgs...)
+		idx := make(map[graph.VID]int, len(cp))
+		for k, m := range cp {
+			idx[m.V] = k
+		}
+		st.out[peer] = liveOutAcc[V]{msgs: cp, index: idx}
+		return
+	}
+	o := &st.out[peer]
+	o.msgs = append(o.msgs[:0], msgs...)
+	o.gen++
+	if st.combine != nil && len(o.msgs) > 0 {
+		if o.slotGen == nil {
+			o.slotGen = make([]uint32, st.frag.NumLocal())
+			o.slotIdx = make([]uint32, st.frag.NumLocal())
+		}
+		for k, m := range o.msgs {
+			if l, ok := st.local(m.V); ok {
+				o.slotGen[l] = o.gen
+				o.slotIdx[l] = uint32(k)
+			}
+		}
+	}
 }
 
 // outputs extracts the owned results.
@@ -203,13 +369,32 @@ func (st *liveState[V]) outputs(into []V) {
 	}
 }
 
+// BSPOptions tunes the live BSP driver's execution pipeline.
+type BSPOptions struct {
+	// MaxSupersteps bounds the run (<= 0 means effectively unbounded).
+	MaxSupersteps int
+	// Tracer receives superstep spans and counters; nil disables tracing.
+	Tracer obs.Tracer
+	// IntraParallelism shards each worker's local fixpoint as in
+	// LiveConfig.IntraParallelism: 0 resolves to GOMAXPROCS/NumWorkers
+	// (min 1), 1 evaluates serially, > 1 uses the deterministic sharded
+	// evaluator for ace.ShardSafe programs. Because the BSP exchange is
+	// itself deterministic, sharded BSP runs are bit-reproducible and
+	// identical for every shard count.
+	IntraParallelism int
+	// LegacyBatches / NoCombine select the message-pipeline variant (see
+	// LiveConfig).
+	LegacyBatches bool
+	NoCombine     bool
+}
+
 // RunLiveBSP executes the program under a real-concurrency bulk-synchronous
 // driver: per superstep every worker runs its local fixpoint in its own
 // goroutine, a sync.WaitGroup barrier closes the superstep, and the batches
 // are exchanged before the next one starts — Grape's execution model on
 // goroutines.
 func RunLiveBSP[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query, maxSupersteps int) (*Result[V], *LiveMetrics, error) {
-	return RunLiveBSPTraced(frags, factory, q, maxSupersteps, nil)
+	return RunLiveBSPOpts(frags, factory, q, BSPOptions{MaxSupersteps: maxSupersteps, IntraParallelism: 1})
 }
 
 // RunLiveBSPTraced is RunLiveBSP with an optional tracer: each worker's
@@ -218,16 +403,32 @@ func RunLiveBSP[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Qu
 // goroutines carry runtime/pprof worker/phase labels while tracing so CPU
 // profiles attribute samples to supersteps.
 func RunLiveBSPTraced[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query, maxSupersteps int, tr obs.Tracer) (*Result[V], *LiveMetrics, error) {
+	return RunLiveBSPOpts(frags, factory, q, BSPOptions{MaxSupersteps: maxSupersteps, Tracer: tr, IntraParallelism: 1})
+}
+
+// RunLiveBSPOpts is the fully-parameterized live BSP driver.
+func RunLiveBSPOpts[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query, o BSPOptions) (*Result[V], *LiveMetrics, error) {
 	if len(frags) == 0 {
 		return nil, nil, errNoFragments
 	}
+	maxSupersteps := o.MaxSupersteps
 	if maxSupersteps <= 0 {
 		maxSupersteps = 1 << 20
 	}
+	tr := o.Tracer
 	n := len(frags)
+	pool := &batchPool[V]{}
+	tune := liveTuning{legacy: o.LegacyBatches, noCombine: o.NoCombine}
 	states := make([]*liveState[V], n)
 	for i := range states {
-		states[i] = newLiveState(i, frags[i], factory(), q)
+		states[i] = newLiveStateWith(i, frags[i], factory(), q, pool, tune)
+	}
+	shards := resolveShards(o.IntraParallelism, n, states[0].prog)
+	evals := make([]*waveEval[V], n)
+	if shards > 1 {
+		for i := range evals {
+			evals[i] = newWaveEval(states[i], shards)
+		}
 	}
 	inbox := make([][][]ace.Message[V], n) // inbox[worker] = batches
 	m := &LiveMetrics{}
@@ -255,14 +456,23 @@ func RunLiveBSPTraced[V any](frags []*graph.Fragment, factory ace.Factory[V], q 
 				}
 				for _, b := range batches {
 					st.ingest(b)
+					if !tune.legacy {
+						pool.put(b)
+					}
 				}
 				if tr != nil {
 					tr.Sample(i, obs.GaugeActive, ts(), float64(st.active.Len()))
 				}
-				for !st.active.Empty() {
-					v := st.active.Pop()
-					st.prog.Update(st.ctx, v)
-					updates[i]++
+				if ev := evals[i]; ev != nil {
+					for !st.active.Empty() {
+						updates[i] += int64(ev.runWave(liveBSPWaveCap))
+					}
+				} else {
+					for !st.active.Empty() {
+						v := st.active.Pop()
+						st.prog.Update(st.ctx, v)
+						updates[i]++
+					}
 				}
 				if tr != nil {
 					t1 := ts()
@@ -307,6 +517,29 @@ func RunLiveBSPTraced[V any](frags []*graph.Fragment, factory ace.Factory[V], q 
 	res.Metrics.Mode = ModeBSP
 	res.Metrics.Supersteps = m.Rounds
 	return res, m, nil
+}
+
+// liveBSPWaveCap is the wave size of the sharded evaluator under the BSP
+// driver (the async driver uses CheckEvery instead).
+const liveBSPWaveCap = 256
+
+// resolveShards turns an IntraParallelism setting into an effective shard
+// count for prog: 0 defaults to GOMAXPROCS/numWorkers (min 1), and values
+// above 1 require the program to declare ace.ShardSafe.
+func resolveShards[V any](requested, numWorkers int, prog ace.Program[V]) int {
+	s := requested
+	if s <= 0 {
+		s = runtime.GOMAXPROCS(0) / numWorkers
+		if s < 1 {
+			s = 1
+		}
+	}
+	if s > 1 {
+		if ss, ok := any(prog).(ace.ShardSafe); !ok || !ss.ShardSafe() {
+			s = 1
+		}
+	}
+	return s
 }
 
 // Indirections shared with live.go (kept tiny so tests can stub time).

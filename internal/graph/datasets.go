@@ -64,6 +64,11 @@ var (
 // LoadDataset builds (and memoizes) the stand-in for the named paper dataset
 // at the given scale (1.0 = default reduced size; smaller values shrink the
 // graph further, which tests use to stay fast).
+//
+// The memoized instance is shared across trials, so it is frozen at build
+// time: every later load re-verifies the structural fingerprint and fails
+// loudly if any caller mutated the graph through an aliasing accessor —
+// otherwise one trial could silently poison every subsequent one.
 func LoadDataset(name string, scale float64) (*Graph, error) {
 	d, ok := datasets[name]
 	if !ok {
@@ -73,9 +78,13 @@ func LoadDataset(name string, scale float64) (*Graph, error) {
 	dsMu.Lock()
 	defer dsMu.Unlock()
 	if g, ok := dsCache[key]; ok {
+		if err := g.CheckFrozen(); err != nil {
+			return nil, fmt.Errorf("graph: cached dataset %s is corrupt: %w", key, err)
+		}
 		return g, nil
 	}
 	g := d.Build(scale)
+	g.Freeze()
 	dsCache[key] = g
 	return g, nil
 }

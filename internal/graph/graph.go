@@ -6,6 +6,8 @@ package graph
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sort"
 )
 
@@ -38,6 +40,12 @@ type Graph struct {
 	inW     []float64
 
 	labels []int32 // optional vertex labels; nil when unlabeled
+
+	// frozen guards shared instances (the dataset cache): once set, fprint
+	// holds the structural fingerprint taken at freeze time, and any later
+	// mutation through an aliasing accessor is detectable.
+	frozen bool
+	fprint uint64
 }
 
 // NumVertices returns |V|.
@@ -251,6 +259,80 @@ func (s *adjSorter) Less(i, j int) bool {
 		return s.to[i] < s.to[j]
 	}
 	return s.w[i] < s.w[j]
+}
+
+// Fingerprint returns an FNV-1a hash over the graph's entire structure:
+// shape, CSR index/target arrays, weight bit patterns and labels. Two
+// graphs with equal fingerprints are structurally identical for all
+// practical purposes; a single flipped weight or rewired edge changes it.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	w64(uint64(g.n))
+	if g.directed {
+		w64(1)
+	} else {
+		w64(0)
+	}
+	for _, v := range g.outIndex {
+		w64(uint64(v))
+	}
+	for _, v := range g.outTo {
+		w64(uint64(v))
+	}
+	for _, v := range g.outW {
+		w64(math.Float64bits(v))
+	}
+	if g.directed {
+		for _, v := range g.inIndex {
+			w64(uint64(v))
+		}
+		for _, v := range g.inTo {
+			w64(uint64(v))
+		}
+		for _, v := range g.inW {
+			w64(math.Float64bits(v))
+		}
+	}
+	w64(uint64(len(g.labels)))
+	for _, v := range g.labels {
+		w64(uint64(uint32(v)))
+	}
+	return h.Sum64()
+}
+
+// Freeze marks the graph as shared read-only and records its fingerprint.
+// Adjacency accessors alias internal storage, so immutability cannot be
+// enforced by the type system; Freeze + CheckFrozen make violations
+// detectable instead. Freezing twice is a no-op.
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	g.fprint = g.Fingerprint()
+	g.frozen = true
+}
+
+// Frozen reports whether Freeze has been called.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// CheckFrozen re-fingerprints a frozen graph and returns a descriptive
+// error if it was mutated since Freeze (nil for unfrozen graphs).
+func (g *Graph) CheckFrozen() error {
+	if !g.frozen {
+		return nil
+	}
+	if got := g.Fingerprint(); got != g.fprint {
+		return fmt.Errorf("graph: frozen %v was mutated: fingerprint %#x, expected %#x (adjacency accessors alias internal storage and must be treated as read-only)",
+			g, got, g.fprint)
+	}
+	return nil
 }
 
 // HasEdge reports whether the arc src->dst exists.

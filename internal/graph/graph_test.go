@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -327,5 +328,105 @@ func assertGraphEqual(t *testing.T, a, b *Graph) {
 				t.Fatalf("adjacency of %d differs at %d: (%d,%g) vs (%d,%g)", v, i, an[i], aw[i], bn[i], bw[i])
 			}
 		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	build := func() *Graph {
+		return NewBuilder(4, true).
+			AddWeighted(0, 1, 2).AddWeighted(1, 2, 3).AddWeighted(2, 3, 1).
+			MustBuild()
+	}
+	a, b := build(), build()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical builds must fingerprint identically")
+	}
+	// A single flipped weight changes the fingerprint.
+	c := NewBuilder(4, true).
+		AddWeighted(0, 1, 2).AddWeighted(1, 2, 3).AddWeighted(2, 3, 1.5).
+		MustBuild()
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("weight change not reflected in fingerprint")
+	}
+	// A rewired edge changes it too.
+	d := NewBuilder(4, true).
+		AddWeighted(0, 1, 2).AddWeighted(1, 3, 3).AddWeighted(2, 3, 1).
+		MustBuild()
+	if d.Fingerprint() == a.Fingerprint() {
+		t.Fatal("edge rewire not reflected in fingerprint")
+	}
+}
+
+// TestFrozenMutationDetected is the regression test for the shared
+// dataset cache: adjacency accessors alias CSR storage, so a trial that
+// scribbles on a neighbor list used to silently corrupt every later
+// trial's graph. Frozen graphs now detect the mutation.
+func TestFrozenMutationDetected(t *testing.T) {
+	g := NewBuilder(3, true).AddEdge(0, 1).AddEdge(1, 2).MustBuild()
+	if g.Frozen() {
+		t.Fatal("fresh graph must not be frozen")
+	}
+	g.Freeze()
+	if !g.Frozen() {
+		t.Fatal("Freeze did not stick")
+	}
+	if err := g.CheckFrozen(); err != nil {
+		t.Fatalf("untouched frozen graph flagged: %v", err)
+	}
+	// Mutate through an aliasing accessor, as a buggy caller would.
+	g.OutNeighbors(0)[0] = 2
+	if err := g.CheckFrozen(); err == nil {
+		t.Fatal("mutation of frozen graph not detected")
+	}
+	g.OutNeighbors(0)[0] = 1 // repair
+	if err := g.CheckFrozen(); err != nil {
+		t.Fatalf("repaired graph still flagged: %v", err)
+	}
+	g.OutWeights(1)[0] = 99
+	if err := g.CheckFrozen(); err == nil {
+		t.Fatal("weight mutation of frozen graph not detected")
+	}
+}
+
+// TestDatasetCacheImmutable: two sequential trials must see the identical
+// graph, and a trial that mutates the shared instance must surface a
+// descriptive error on the next load instead of poisoning it silently.
+func TestDatasetCacheImmutable(t *testing.T) {
+	g1, err := LoadDataset("LJ", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.Frozen() {
+		t.Fatal("cached dataset must be frozen")
+	}
+	fp := g1.Fingerprint()
+	g2, err := LoadDataset("LJ", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g1 {
+		t.Fatal("memoization lost: sequential trials got different instances")
+	}
+	if g2.Fingerprint() != fp {
+		t.Fatal("sequential trials see different graph content")
+	}
+
+	// Corrupt the shared instance; the next load must refuse to serve it.
+	w := g1.OutWeights(0)
+	if len(w) == 0 {
+		t.Fatal("test graph has no edges at vertex 0")
+	}
+	orig := w[0]
+	w[0] = orig + 1
+	_, err = LoadDataset("LJ", 0.01)
+	w[0] = orig // repair before asserting so other tests keep a clean cache
+	if err == nil {
+		t.Fatal("mutated cached dataset served without error")
+	}
+	if !strings.Contains(err.Error(), "mutated") {
+		t.Fatalf("error not descriptive: %v", err)
+	}
+	if _, err := LoadDataset("LJ", 0.01); err != nil {
+		t.Fatalf("repaired cache still refused: %v", err)
 	}
 }
