@@ -6,6 +6,12 @@
 //	arganbench -exp all              # everything, paper order
 //	arganbench -exp all -full        # paper-scale stand-ins (slow)
 //	arganbench -list                 # available experiment ids
+//
+// Extensions beyond the paper carry machine-readable results via -json,
+// e.g. the live hot-path baseline and the recovery-strategy comparison:
+//
+//	arganbench -exp perf -json BENCH_perf.json
+//	arganbench -exp recovery -json BENCH_recovery.json
 package main
 
 import (
@@ -25,7 +31,7 @@ func main() {
 	scale := flag.Float64("scale", 0, "override dataset scale (0 = per -full/-quick default)")
 	workers := flag.String("workers", "", "comma-separated worker counts, e.g. 16,32,64,128")
 	queries := flag.Int("queries", 0, "query repetitions per point (paper uses 5)")
-	jsonPath := flag.String("json", "", "write machine-readable results here (experiments that support it, e.g. -exp perf)")
+	jsonPath := flag.String("json", "", "write machine-readable results here (experiments that support it, e.g. -exp perf or -exp recovery)")
 	flag.Parse()
 
 	if *list {

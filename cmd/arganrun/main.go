@@ -18,6 +18,18 @@
 //	                   stay dead and the run reports non-convergence.
 //	-ckpt-every N      checkpoint interval in virtual cost units.
 //
+// Live driver (real goroutines; apps sssp, bfs, wcc, pr):
+//
+//	-recovery MODE     run under the live driver with the given crash
+//	                   recovery strategy: "global" (stop-and-sync snapshots,
+//	                   whole-cluster rollback) or "local" (per-worker logging
+//	                   checkpoints, survivor-local repair, message replay).
+//	                   Plan times are wall-clock milliseconds here.
+//	-soak N            repeat the live run N times (the fault plan's seed is
+//	                   re-derived per iteration), verify every run against
+//	                   the sequential reference, and print a soak summary.
+//	                   Any mismatch makes the exit code non-zero.
+//
 // Observability (applies to the ACE applications, not -stats/-app mst):
 //
 //	-trace FILE        write the run's event trace as Chrome trace-event
@@ -78,6 +90,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faults := fs.String("faults", "", "fault plan `SPEC` (inline or a file of spec lines)")
 	noRecover := fs.Bool("no-recover", false, "strip restarts from the fault plan (crashed workers stay dead)")
 	ckptEvery := fs.Float64("ckpt-every", 0, "checkpoint interval in virtual cost units (0 = default)")
+	recovery := fs.String("recovery", "", "live-driver crash recovery strategy: global or local (empty = sim driver)")
+	soak := fs.Int("soak", 0, "repeat the live run `N` times, verifying each against the sequential reference")
 	traceFile := fs.String("trace", "", "write Chrome trace-event JSON (Perfetto) to `FILE`")
 	metricsOut := fs.String("metrics-out", "", "write per-worker time-series CSV to `FILE`")
 	progress := fs.Duration("progress", 0, "print live progress every `DUR` (0 disables)")
@@ -90,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		system: *system, source: *source, eps: *eps, hetero: *hetero,
 		top: *top, stats: *stats,
 		faults: *faults, noRecover: *noRecover, ckptEvery: *ckptEvery,
+		recovery: *recovery, soak: *soak,
 		traceFile: *traceFile, metricsOut: *metricsOut, progress: *progress,
 	}); err != nil {
 		fmt.Fprintf(stderr, "arganrun: %v\n", err)
@@ -110,6 +125,8 @@ type options struct {
 	faults                string
 	noRecover             bool
 	ckptEvery             float64
+	recovery              string
+	soak                  int
 	traceFile, metricsOut string
 	progress              time.Duration
 }
@@ -155,6 +172,10 @@ func runMain(stdout, stderr io.Writer, o options) error {
 		fmt.Fprintf(stdout, "minimum spanning forest: %d edges, total weight %.1f, %d Borůvka rounds\n",
 			len(edges), total, rounds)
 		return nil
+	}
+
+	if o.recovery != "" || o.soak != 0 {
+		return runLiveSoak(stdout, o, g)
 	}
 
 	sys, err := systems.ByName(o.system)
@@ -232,6 +253,153 @@ func runMain(stdout, stderr io.Writer, o options) error {
 
 	printTop(stdout, g, env, o.app, q, o.top, o.source)
 	return nil
+}
+
+// runLiveSoak is the -recovery / -soak path: execute the application under
+// the LIVE driver (real goroutines, wall-clock fault plans) one or more
+// times, verify every run against the sequential reference, and summarize.
+// Any incorrect vertex makes the whole soak fail with a non-zero exit.
+func runLiveSoak(stdout io.Writer, o options, g *graph.Graph) error {
+	switch o.recovery {
+	case "", gap.RecoveryGlobal, gap.RecoveryLocal:
+	default:
+		return fmt.Errorf("unknown -recovery strategy %q (want global or local)", o.recovery)
+	}
+	if o.soak < 0 {
+		return fmt.Errorf("-soak must be >= 0, got %d", o.soak)
+	}
+	env := core.Env{Workers: o.n, Hetero: o.hetero}
+	frags, err := env.Fragments(g)
+	if err != nil {
+		return err
+	}
+	var plan *fault.Plan
+	if o.faults != "" {
+		if plan, err = fault.Load(o.faults); err != nil {
+			return err
+		}
+		if o.noRecover {
+			for i := range plan.Crashes {
+				plan.Crashes[i].Restart = -1
+			}
+		}
+	}
+	q := ace.Query{Source: graph.VID(o.source), Eps: o.eps}
+	cfg := gap.LiveConfig{Mode: gap.ModeGAP, Recovery: o.recovery, NoRecover: o.noRecover}
+	var rec *obs.Recorder
+	if o.traceFile != "" || o.metricsOut != "" {
+		// One recorder spans every iteration (n worker tracks plus the
+		// monitor's coordinator track): recovery spans, replay marks and —
+		// under global rollback only — epoch marks land in one export, so
+		// `grep '"name":"epoch"'` on the trace audits the strategy.
+		rec = obs.NewRecorder(o.n+1, 0)
+		cfg.Tracer = rec
+	}
+
+	// The per-iteration runner: execute one live run and count wrong
+	// vertices against the precomputed sequential reference.
+	var once func(cfg gap.LiveConfig) (*gap.LiveMetrics, int, error)
+	switch o.app {
+	case "sssp":
+		want := algorithms.SeqSSSP(g, graph.VID(o.source))
+		once = func(cfg gap.LiveConfig) (*gap.LiveMetrics, int, error) {
+			return liveSoakOnce(frags, algorithms.NewSSSP(), q, cfg, want,
+				func(got, w float64) bool { return got == w })
+		}
+	case "bfs":
+		want := algorithms.SeqBFS(g, graph.VID(o.source))
+		once = func(cfg gap.LiveConfig) (*gap.LiveMetrics, int, error) {
+			return liveSoakOnce(frags, algorithms.NewBFS(), q, cfg, want,
+				func(got, w int32) bool {
+					if w < 0 { // Seq marks unreachable -1; the engine leaves Init's MaxInt32
+						return got == math.MaxInt32
+					}
+					return got == w
+				})
+		}
+	case "wcc":
+		want := algorithms.SeqWCC(g)
+		once = func(cfg gap.LiveConfig) (*gap.LiveMetrics, int, error) {
+			return liveSoakOnce(frags, algorithms.NewWCC(), q, cfg, want,
+				func(got, w uint32) bool { return got == w })
+		}
+	case "pr":
+		want := algorithms.SeqPageRank(g, o.eps)
+		once = func(cfg gap.LiveConfig) (*gap.LiveMetrics, int, error) {
+			return liveSoakOnce(frags, algorithms.NewPageRank(), q, cfg, want,
+				func(got, w float64) bool { return math.Abs(got-w) <= 0.02*(w+1) })
+		}
+	default:
+		return fmt.Errorf("app %q does not run under the live driver (want sssp, bfs, wcc or pr)", o.app)
+	}
+
+	iters := o.soak
+	if iters < 1 {
+		iters = 1
+	}
+	var crashes, recoveries, epochs, replayed int64
+	bad := 0
+	for it := 0; it < iters; it++ {
+		c := cfg
+		if plan != nil {
+			// Re-derive the link-fault stream per iteration so a soak
+			// explores distinct (but reproducible) schedules.
+			p := *plan
+			p.Seed = plan.Seed + int64(it)
+			c.Faults = &p
+		}
+		lm, wrong, err := once(c)
+		if err != nil {
+			return fmt.Errorf("soak run %d/%d: %w", it+1, iters, err)
+		}
+		crashes += lm.Crashes
+		recoveries += lm.Recoveries
+		epochs += lm.Epochs
+		replayed += lm.Replayed
+		status := "ok"
+		if wrong > 0 {
+			status = fmt.Sprintf("%d wrong vertices", wrong)
+			bad++
+		}
+		fmt.Fprintf(stdout, "soak %d/%d [%s]: %s (wall=%v crashes=%d recoveries=%d epochs=%d replayed=%d)\n",
+			it+1, iters, lm.Recovery, status, lm.WallTime.Round(time.Millisecond),
+			lm.Crashes, lm.Recoveries, lm.Epochs, lm.Replayed)
+	}
+	fmt.Fprintf(stdout, "soak summary  : %d/%d correct; crashes=%d recoveries=%d epochs=%d replayed=%d\n",
+		iters-bad, iters, crashes, recoveries, epochs, replayed)
+	if rec != nil {
+		if o.traceFile != "" {
+			if err := writeExport(o.traceFile, rec.WriteChromeTrace); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "trace         : %s (%d tracks, %d events dropped)\n", o.traceFile, rec.Workers(), rec.Dropped())
+		}
+		if o.metricsOut != "" {
+			if err := writeExport(o.metricsOut, rec.WriteCSV); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "metrics       : %s\n", o.metricsOut)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d soak runs diverged from the sequential reference", bad, iters)
+	}
+	return nil
+}
+
+// liveSoakOnce runs one live execution and verifies it vertex-by-vertex.
+func liveSoakOnce[V any, W any](frags []*graph.Fragment, f ace.Factory[V], q ace.Query, cfg gap.LiveConfig, want []W, eq func(got V, w W) bool) (*gap.LiveMetrics, int, error) {
+	res, lm, err := gap.RunLive(frags, f, q, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	wrong := 0
+	for v := range want {
+		if !eq(res.Values[v], want[v]) {
+			wrong++
+		}
+	}
+	return lm, wrong, nil
 }
 
 // printTop recomputes the answer under Argan's defaults and prints a small

@@ -34,6 +34,9 @@ func TestBadInputsExitNonZero(t *testing.T) {
 		{"unknown_dataset", []string{"-dataset", "NOPE"}, "unknown dataset"},
 		{"bad_fault_spec", []string{"-dataset", "HW", "-scale", "0.05", "-faults", "crash=oops"}, "fault"},
 		{"unknown_system", []string{"-dataset", "HW", "-scale", "0.05", "-system", "NoSuch"}, "unknown system"},
+		{"bad_recovery", []string{"-dataset", "HW", "-scale", "0.05", "-recovery", "zonal"}, "unknown -recovery strategy"},
+		{"negative_soak", []string{"-dataset", "HW", "-scale", "0.05", "-soak", "-3"}, "-soak must be >= 0"},
+		{"live_unsupported_app", []string{"-dataset", "HW", "-scale", "0.05", "-app", "color", "-recovery", "local"}, "does not run under the live driver"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -83,5 +86,37 @@ func TestNoRecoverReportsNA(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "result: NA") || !strings.Contains(stdout, "never recovered") {
 		t.Fatalf("want NA result for unrecovered crash, got:\n%s", stdout)
+	}
+}
+
+// TestLiveSoakLocalRecovery drives the -recovery/-soak path end to end: a
+// crash-and-restart plan under localized recovery, three iterations, every
+// run verified against the sequential reference, and no epoch bumps.
+func TestLiveSoakLocalRecovery(t *testing.T) {
+	code, stdout, stderr := runCLI(
+		"-dataset", "HW", "-scale", "0.05", "-app", "sssp", "-n", "4",
+		"-recovery", "local", "-soak", "3", "-faults", "crash=1@u40+10")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s\nstdout: %s", code, stderr, stdout)
+	}
+	if !strings.Contains(stdout, "soak summary  : 3/3 correct") {
+		t.Fatalf("missing soak summary in output:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "[local]") || !strings.Contains(stdout, "epochs=0") {
+		t.Fatalf("soak lines missing local-recovery accounting:\n%s", stdout)
+	}
+}
+
+// TestLiveSoakGlobalRecovery: the same plan under the default global
+// strategy still verifies; -recovery alone (no -soak) runs once.
+func TestLiveSoakGlobalRecovery(t *testing.T) {
+	code, stdout, stderr := runCLI(
+		"-dataset", "HW", "-scale", "0.05", "-app", "wcc", "-n", "4",
+		"-recovery", "global", "-faults", "crash=0@u40+10")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s\nstdout: %s", code, stderr, stdout)
+	}
+	if !strings.Contains(stdout, "soak summary  : 1/1 correct") {
+		t.Fatalf("missing soak summary in output:\n%s", stdout)
 	}
 }

@@ -187,6 +187,27 @@ type Checkpointer interface {
 	RestoreAux(snap any)
 }
 
+// IdempotentAggregator is an optional Program extension declaring that
+// Aggregate is idempotent: folding the same incoming value into Ψ twice
+// leaves the same result as folding it once (min/max-style lattice joins).
+// Localized recovery uses this to decide how to repair a survivor that
+// ingested messages from a rolled-back sender — idempotent programs simply
+// re-ingest the replayed stream, while non-idempotent ones need Inverter.
+type IdempotentAggregator interface {
+	IdempotentAggregate() bool
+}
+
+// Inverter is an optional Program extension for accumulation-style programs
+// (sum folds such as Δ-PageRank): Invert returns cur with one previously
+// aggregated contribution removed, i.e. Invert(Aggregate(cur, in), in) ==
+// cur. Localized recovery uses it to un-apply the post-checkpoint messages a
+// rolled-back sender will re-send, so the replay cannot double-count. The
+// checkpoint delta hook: programs that are neither idempotent nor
+// invertible force the driver back to global rollback.
+type Inverter[V any] interface {
+	Invert(cur, contrib V) V
+}
+
 // Coster is an optional Program extension overriding the default update
 // cost model (deg(Y_xv) + 1 edge-scan units).
 type Coster interface {

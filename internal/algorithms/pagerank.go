@@ -148,6 +148,13 @@ func (p *PageRank) Combine(a, b float64) float64 { return a + b }
 // delta and writes only rank[local], so sweeps may be sharded.
 func (p *PageRank) ShardSafe() bool { return true }
 
+// Invert implements ace.Inverter: addition is the aggregate, so removing a
+// previously folded contribution is subtraction. Localized recovery uses it
+// to un-apply the post-checkpoint deltas a rolled-back sender re-sends; the
+// resulting (possibly negative) pending delta is parked by Update's eps
+// threshold and cancelled exactly by the replayed mass.
+func (p *PageRank) Invert(cur, contrib float64) float64 { return cur - contrib }
+
 // SnapshotAux implements ace.Checkpointer: the rank vector is mutable state
 // outside Ψ (the pending deltas), so checkpoints must capture it.
 func (p *PageRank) SnapshotAux() any { return append([]float64(nil), p.rank...) }

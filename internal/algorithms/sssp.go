@@ -158,6 +158,11 @@ func (p *SSSP) Combine(a, b float64) float64 {
 // distance and the fragment, so sweeps may be sharded across goroutines.
 func (p *SSSP) ShardSafe() bool { return true }
 
+// IdempotentAggregate implements ace.IdempotentAggregator: min is a lattice
+// join, so re-folding a replayed distance is harmless and localized recovery
+// can repair survivors by re-ingestion alone.
+func (p *SSSP) IdempotentAggregate() bool { return true }
+
 // SeqBellmanFord is the queue-based Bellman-Ford reference.
 func SeqBellmanFord(g *graph.Graph, src graph.VID) []float64 {
 	dist := make([]float64, g.NumVertices())

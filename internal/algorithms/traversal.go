@@ -114,6 +114,9 @@ func (p *BFS) Combine(a, b int32) int32 {
 // ShardSafe implements ace.ShardSafe.
 func (p *BFS) ShardSafe() bool { return true }
 
+// IdempotentAggregate implements ace.IdempotentAggregator (min fold).
+func (p *BFS) IdempotentAggregate() bool { return true }
+
 // SeqWCC labels weakly connected components with the smallest member id.
 func SeqWCC(g *graph.Graph) []graph.VID {
 	n := g.NumVertices()
@@ -230,6 +233,9 @@ func (p *WCC) Combine(a, b uint32) uint32 {
 
 // ShardSafe implements ace.ShardSafe.
 func (p *WCC) ShardSafe() bool { return true }
+
+// IdempotentAggregate implements ace.IdempotentAggregator (min-label fold).
+func (p *WCC) IdempotentAggregate() bool { return true }
 
 // Cost implements ace.Coster: WCC scans both adjacencies on directed graphs.
 func (p *WCC) Cost(f *graph.Fragment, local uint32) float64 {

@@ -45,8 +45,8 @@ type Options struct {
 	// figure.
 	Trace func(trial string) obs.Tracer
 	// JSONPath, when non-empty, makes experiments with machine-readable
-	// results (currently "perf") write them to this file in addition to
-	// the rendered rows.
+	// results (currently "perf" and "recovery") write them to this file in
+	// addition to the rendered rows.
 	JSONPath string
 }
 
@@ -107,6 +107,7 @@ func All() []Experiment {
 		{"ablation", "Extension: per-rule ablation of GAP (R1/R2/R3/tuner)", Ablation},
 		{"faults", "Extension: crash-recovery and link-fault overhead sweep", FaultSweep},
 		{"perf", "Extension: live hot-path baseline (pooled batches, intra-worker shards)", Perf},
+		{"recovery", "Extension: lost work and latency, global rollback vs localized recovery", Recovery},
 	}
 }
 

@@ -1,0 +1,77 @@
+package fault
+
+import "sort"
+
+// StormOpts shapes the chaos schedules produced by Storm. Zero values
+// select reasonable soak defaults, so fault.Storm(seed, n, StormOpts{})
+// already yields a crash-plus-link-noise storm.
+type StormOpts struct {
+	// Crashes is how many worker crashes to schedule (default 2). Crash
+	// victims are drawn with replacement, so one worker can die twice
+	// across its restarts.
+	Crashes int
+	// Span is the update-count window the crash triggers are spread
+	// over (default 2000): each crash fires after its victim's k-th
+	// update with k drawn uniformly from [1, Span]. Update-count
+	// triggers keep storms machine-independent — the same schedule
+	// bites at the same point of the computation on any host.
+	Span int64
+	// Restart is the detection-to-restart delay (ms under the live
+	// driver, cost units under sim; default 5). Negative means the
+	// victims stay dead, which the live driver treats as unrecoverable.
+	Restart float64
+	// Drop, Dup, Reorder are per-batch link-fault probabilities. Their
+	// sum is clamped to 1 (drop wins over dup over reorder, matching
+	// Injector.BatchFate's disjoint ranges).
+	Drop    float64
+	Dup     float64
+	Reorder float64
+}
+
+// Storm generates a deterministic chaos schedule: a Plan combining
+// crash/restart events with background drop/dup/reorder link noise.
+// The schedule is a pure function of (seed, workers, o) — the same
+// arguments always yield the same Plan, and the Plan's own link-fault
+// stream is seeded with the same seed — so a failing soak iteration is
+// reproducible from its seed alone.
+func Storm(seed int64, workers int, o StormOpts) *Plan {
+	if workers < 1 {
+		workers = 1
+	}
+	if o.Crashes == 0 {
+		o.Crashes = 2
+	}
+	if o.Span <= 0 {
+		o.Span = 2000
+	}
+	if o.Restart == 0 {
+		o.Restart = 5
+	}
+	if s := o.Drop + o.Dup + o.Reorder; s > 1 {
+		o.Drop, o.Dup, o.Reorder = o.Drop/s, o.Dup/s, o.Reorder/s
+	}
+	p := &Plan{
+		Seed:    seed,
+		Drop:    o.Drop,
+		Dup:     o.Dup,
+		Reorder: o.Reorder,
+	}
+	for i := 0; i < o.Crashes; i++ {
+		w := int(mix(uint64(seed), 0x57ab, uint64(i)) % uint64(workers))
+		k := 1 + int64(mix(uint64(seed), 0x57ac, uint64(i))%uint64(o.Span))
+		p.Crashes = append(p.Crashes, Crash{
+			Worker:       w,
+			AfterUpdates: k,
+			Restart:      o.Restart,
+		})
+	}
+	// Order by trigger count purely for readable String() output; the
+	// injector fires crashes by per-worker update counts regardless.
+	sort.Slice(p.Crashes, func(i, j int) bool {
+		if p.Crashes[i].AfterUpdates != p.Crashes[j].AfterUpdates {
+			return p.Crashes[i].AfterUpdates < p.Crashes[j].AfterUpdates
+		}
+		return p.Crashes[i].Worker < p.Crashes[j].Worker
+	})
+	return p
+}

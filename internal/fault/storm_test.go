@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStormDeterministic(t *testing.T) {
+	o := StormOpts{Crashes: 3, Span: 500, Restart: 10, Drop: 0.02, Dup: 0.02, Reorder: 0.05}
+	a := Storm(42, 4, o)
+	b := Storm(42, 4, o)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%s\nvs\n%s", a, b)
+	}
+	c := Storm(43, 4, o)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical plans: %s", a)
+	}
+}
+
+func TestStormShape(t *testing.T) {
+	p := Storm(7, 4, StormOpts{})
+	if len(p.Crashes) != 2 {
+		t.Fatalf("default storm scheduled %d crashes, want 2", len(p.Crashes))
+	}
+	for _, c := range p.Crashes {
+		if c.Worker < 0 || c.Worker >= 4 {
+			t.Errorf("crash victim %d out of range [0,4)", c.Worker)
+		}
+		if c.AfterUpdates < 1 || c.AfterUpdates > 2000 {
+			t.Errorf("crash trigger u%d outside default span [1,2000]", c.AfterUpdates)
+		}
+		if c.Restart != 5 {
+			t.Errorf("crash restart %v, want default 5", c.Restart)
+		}
+	}
+	if !p.HasCrashes() {
+		t.Error("storm plan reports no crashes")
+	}
+}
+
+func TestStormClampsProbabilities(t *testing.T) {
+	p := Storm(1, 2, StormOpts{Drop: 0.8, Dup: 0.8, Reorder: 0.4})
+	if s := p.Drop + p.Dup + p.Reorder; s > 1+1e-12 {
+		t.Fatalf("link-fault probabilities sum to %v > 1", s)
+	}
+	if p.Drop <= p.Reorder {
+		t.Errorf("clamp should preserve proportions: drop=%v reorder=%v", p.Drop, p.Reorder)
+	}
+}
+
+func TestStormRoundTripsThroughSpec(t *testing.T) {
+	p := Storm(99, 8, StormOpts{Crashes: 4, Drop: 0.01, Reorder: 0.03})
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", p.String(), err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("spec round-trip mismatch:\n%s\nvs\n%s", p, q)
+	}
+}

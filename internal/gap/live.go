@@ -48,6 +48,16 @@ type LiveConfig struct {
 	// crashes carry restart delays: a crashed worker then stays dead and
 	// the watchdog eventually fails the run with a descriptive error.
 	NoRecover bool
+	// Recovery selects the strategy used to survive crashes:
+	// RecoveryGlobal ("" or "global", the default) takes stop-and-sync
+	// consistent snapshots and rolls the whole cluster back; RecoveryLocal
+	// ("local") takes uncoordinated per-worker logging checkpoints and
+	// repairs only the crashed worker (survivors keep computing, the
+	// cluster epoch is never bumped). Local recovery requires the program
+	// to declare ace.IdempotentAggregator or ace.Inverter; otherwise the
+	// run silently falls back to global (see LiveMetrics.Recovery for the
+	// effective strategy).
+	Recovery string
 	// CheckpointEvery is the interval between consistent cluster
 	// snapshots when recovery is enabled. Default 50ms.
 	CheckpointEvery time.Duration
@@ -106,6 +116,14 @@ func (c LiveConfig) withDefaults() (LiveConfig, error) {
 	if c.Watchdog == 0 {
 		c.Watchdog = 30 * time.Second
 	}
+	switch c.Recovery {
+	case "":
+		c.Recovery = RecoveryGlobal
+	case RecoveryGlobal, RecoveryLocal:
+	default:
+		return c, fmt.Errorf("gap: unknown recovery strategy %q (want %q or %q)",
+			c.Recovery, RecoveryGlobal, RecoveryLocal)
+	}
 	return c, nil
 }
 
@@ -125,13 +143,34 @@ type LiveMetrics struct {
 	Crashes     int64
 	Recoveries  int64
 	Checkpoints int64
+
+	// Recovery is the effective strategy the run used (RecoveryGlobal or
+	// RecoveryLocal); it differs from the configured one when the program
+	// lacks the hooks local recovery needs.
+	Recovery string
+	// Epochs counts global rollbacks (cluster epoch bumps). Localized
+	// recoveries never bump the epoch, so this stays zero in local mode.
+	Epochs int64
+	// Replayed counts messages re-delivered from the sender-side logs to
+	// restored workers (local mode only).
+	Replayed int64
+	// RecoveryMS is the total wall-clock spent between failure detection
+	// and worker respawn, summed over recoveries (local mode only; global
+	// recoveries park the whole cluster instead).
+	RecoveryMS float64
 }
 
 // liveEnvelope is one batch in flight. The epoch tags which incarnation of
-// the cluster sent it: recovery bumps the epoch, and receivers silently
-// discard (without counting) envelopes from before the rollback.
+// the cluster sent it: a global rollback bumps the epoch, and receivers
+// silently discard (without counting) envelopes from before it. Under the
+// exactly-once layer (link faults or local recovery) the envelope also
+// carries the sender id, the sender's incarnation and a per-link sequence
+// number for dedup, reordering and replay.
 type liveEnvelope[V any] struct {
 	epoch int32
+	from  int32
+	inc   int32
+	seq   uint64
 	msgs  []ace.Message[V]
 }
 
@@ -148,6 +187,16 @@ type liveCoord struct {
 	closed   bool
 	err      error
 	progress int64 // bumped on every report; a watchdog progress signal
+
+	// Local recovery counts transport events in crash-safe atomics bumped
+	// at ship/drain time instead of worker-local deltas: a crashed
+	// goroutine's unreported deltas would unbalance the ledger forever
+	// (global mode escapes that by resetting the counts on rollback; local
+	// mode never resets). Ships are counted before the envelope becomes
+	// visible, so asent >= arecv whenever a message is in flight and
+	// quiescence cannot close early.
+	atomicCnt    bool
+	asent, arecv atomic.Int64
 }
 
 func newLiveCoord(n int) *liveCoord {
@@ -174,10 +223,32 @@ func (c *liveCoord) report(id int, idle bool, sentDelta, recvDelta int64) {
 	}
 	c.sent += sentDelta
 	c.recv += recvDelta
-	if !c.closed && c.nIdle == len(c.idle) && c.sent == c.recv {
+	sent, recv := c.sent, c.recv
+	if c.atomicCnt {
+		sent, recv = c.asent.Load(), c.arecv.Load()
+	}
+	if !c.closed && c.nIdle == len(c.idle) && sent == recv {
 		c.closed = true
 		close(c.done)
 	}
+}
+
+// claimBusy marks a worker busy from outside its goroutine (the monitor
+// claims a dead worker before restoring it, so quiescence cannot close over
+// half-restored state). Returns false when the run already ended — the
+// pre-crash converged state is then final and recovery must not touch it.
+func (c *liveCoord) claimBusy(id int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	if c.idle[id] {
+		c.idle[id] = false
+		c.nIdle--
+	}
+	c.progress++
+	return true
 }
 
 // fail aborts the run with err; the first failure wins and termination
@@ -220,13 +291,20 @@ func (c *liveCoord) reset() bool {
 func (c *liveCoord) counts() (sent, recv int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.atomicCnt {
+		return c.asent.Load(), c.arecv.Load()
+	}
 	return c.sent, c.recv
 }
 
 func (c *liveCoord) status() (idle, total int, sent, recv, progress int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.nIdle, len(c.idle), c.sent, c.recv, c.progress
+	sent, recv = c.sent, c.recv
+	if c.atomicCnt {
+		sent, recv = c.asent.Load(), c.arecv.Load()
+	}
+	return c.nIdle, len(c.idle), sent, recv, c.progress
 }
 
 // liveDriver holds one RunLive invocation's shared state.
@@ -252,6 +330,38 @@ type liveDriver[V any] struct {
 	pool   *batchPool[V]
 	pooled bool // recycle batches through the pool (off under LegacyBatches)
 	shards int  // effective intra-worker shard count (1 = serial sweep)
+
+	// Exactly-once / localized-recovery plumbing (see liverecover.go).
+	// seqOn stamps envelopes with (inc, seq) and routes drains through the
+	// dedup layer; localRec additionally logs sends, takes uncoordinated
+	// checkpoints and recovers crashed workers without a global rollback.
+	// diag maintains the per-worker transport counters the watchdog prints.
+	recovery   string // effective strategy (RecoveryGlobal / RecoveryLocal)
+	seqOn      bool
+	localRec   bool
+	diag       bool
+	mlog       *msgLog[V]
+	localMu    sync.Mutex
+	localSnaps []localSnap[V]
+	stableSent []atomic.Uint64 // [from*n+to] sender's checkpointed send seq
+	stableRecv []atomic.Uint64 // [recv*n+from] receiver's checkpointed cursor
+	snapExpInc []atomic.Int32  // [recv*n+from] expInc inside the published snapshot
+	incOf      []atomic.Int32
+	rollMu     sync.Mutex
+	rollHist   [][]rollEntry
+	noticeMu   sync.Mutex
+	noticeQ    [][]rollNotice
+	noticeFlag []atomic.Bool
+	acksOut    atomic.Int64
+	ckptReq    []atomic.Bool
+	ckptNext   int             // monitor-only round-robin pointer
+	recState   []uint8         // monitor-only: 0 none, 1 staged
+	detectAt   []time.Duration // monitor-only: failure detection time
+	wsent      []atomic.Int64
+	wrecv      []atomic.Int64
+	wacked     []atomic.Int64
+	replayed   atomic.Int64
+	recoveryNS atomic.Int64
 
 	updates, msgsSent, batches, rounds atomic.Int64
 	crashes, recoveries, checkpoints   atomic.Int64
@@ -318,7 +428,65 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 		d.states[i] = newLiveStateWith(i, frags[i], factory(), q, d.pool, tune)
 	}
 	d.shards = resolveShards(cfg.IntraParallelism, n, d.states[0].prog)
-	if d.recover {
+
+	// Recovery strategy and the exactly-once layer. Local recovery needs a
+	// program the protocol can repair survivors of (idempotent aggregation
+	// or an inverter); otherwise fall back to global rollback. The dedup
+	// layer itself is also required under link faults regardless of
+	// strategy — dup/reorder fates double- and cross-deliver batches, which
+	// only idempotent programs tolerate bare.
+	capable, invert := recoveryHooks(d.states[0].prog)
+	d.recovery = cfg.Recovery
+	if d.recovery == RecoveryLocal && !capable {
+		d.recovery = RecoveryGlobal
+	}
+	d.localRec = d.recover && d.recovery == RecoveryLocal
+	d.seqOn = d.hasLink || d.localRec
+	d.diag = d.hasCrashes || d.seqOn
+	if d.seqOn {
+		if !d.localRec {
+			invert = nil // undo logs only serve localized rollback notices
+		}
+		for i := range d.states {
+			d.states[i].rs = newRecoverState[V](n, invert)
+		}
+	}
+	if d.diag {
+		d.wsent = make([]atomic.Int64, n)
+		d.wrecv = make([]atomic.Int64, n)
+		d.wacked = make([]atomic.Int64, n)
+	}
+	switch {
+	case d.localRec:
+		d.coord.atomicCnt = true
+		d.mlog = newMsgLog[V](n)
+		d.stableSent = make([]atomic.Uint64, n*n)
+		d.stableRecv = make([]atomic.Uint64, n*n)
+		d.snapExpInc = make([]atomic.Int32, n*n)
+		d.incOf = make([]atomic.Int32, n)
+		d.rollHist = make([][]rollEntry, n)
+		d.noticeQ = make([][]rollNotice, n)
+		d.noticeFlag = make([]atomic.Bool, n)
+		d.ckptReq = make([]atomic.Bool, n)
+		d.recState = make([]uint8, n)
+		d.detectAt = make([]time.Duration, n)
+		// Checkpoint 0: every worker's freshly initialized state, so a
+		// crash before its first periodic checkpoint restores to the start.
+		d.localSnaps = make([]localSnap[V], n)
+		for i := range d.states {
+			st := d.states[i]
+			snap := localSnap[V]{
+				valid:  true,
+				base:   captureLive(st),
+				expInc: make([]int32, n),
+				bounds: make([][]incBound, n),
+			}
+			if st.rs.undo != nil {
+				snap.undo = make([][]undoRec[V], n)
+			}
+			d.localSnaps[i] = snap
+		}
+	case d.recover:
 		// Snapshot 0: the freshly initialized cluster, so a crash before
 		// the first periodic checkpoint still has a rollback target.
 		d.snaps = make([]liveSnap[V], n)
@@ -359,6 +527,10 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 		Crashes:     d.crashes.Load(),
 		Recoveries:  d.recoveries.Load(),
 		Checkpoints: d.checkpoints.Load(),
+		Recovery:    d.recovery,
+		Epochs:      int64(d.ctrl.epoch.Load()),
+		Replayed:    d.replayed.Load(),
+		RecoveryMS:  float64(d.recoveryNS.Load()) / 1e6,
 	}
 	return res, m, nil
 }
@@ -430,13 +602,27 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 	// received: after h_in they are recycled into the driver's pool (the
 	// senders' takeOut draws replacements from it), closing the
 	// zero-allocation loop. Legacy mode skips recycling to stay a faithful
-	// pre-pooling baseline.
-	ingest := func(msgs []ace.Message[V]) {
-		localRecv += int64(len(msgs))
-		recvCum += int64(len(msgs))
-		st.ingest(msgs)
+	// pre-pooling baseline. Every drained envelope is counted as received —
+	// even ones the exactly-once layer then drops or buffers — because the
+	// termination ledger balances transport deliveries, not applications.
+	ingest := func(env liveEnvelope[V]) {
+		k := int64(len(env.msgs))
+		if d.coord.atomicCnt {
+			d.coord.arecv.Add(k)
+		} else {
+			localRecv += k
+		}
+		recvCum += k
+		if d.diag {
+			d.wrecv[id].Add(k)
+		}
+		if st.rs != nil {
+			st.seqIngest(env, d.pool, d.pooled)
+			return
+		}
+		st.ingest(env.msgs)
 		if d.pooled {
-			d.pool.put(msgs)
+			d.pool.put(env.msgs)
 		}
 	}
 	drain := func() int {
@@ -451,7 +637,7 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 					}
 					continue
 				}
-				ingest(env.msgs)
+				ingest(env)
 				got++
 			default:
 				return got
@@ -459,16 +645,50 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 		}
 	}
 
-	// send ships one batch to peer j, counting it only once it is actually
-	// in the mailbox. A full peer mailbox (the peer may be dead) is
-	// retried with exponential backoff while draining our own mailbox so
-	// mutual sends cannot deadlock; a recovery in progress drops the batch
-	// (the rollback re-derives it).
-	send := func(j int, msgs []ace.Message[V]) {
-		if len(msgs) == 0 {
+	// stamp wraps a batch for the wire; under the exactly-once layer it
+	// draws the next per-link sequence number and (in local mode) retains a
+	// copy in the sender-side log before the batch ever becomes visible.
+	stamp := func(j int, msgs []ace.Message[V]) liveEnvelope[V] {
+		env := liveEnvelope[V]{epoch: myEpoch, from: int32(id), msgs: msgs}
+		if rs := st.rs; rs != nil {
+			rs.sendSeq[j]++
+			env.seq = rs.sendSeq[j]
+			env.inc = rs.myInc
+			if d.mlog != nil {
+				d.mlog.append(id, j, env.seq, msgs)
+			}
+		}
+		return env
+	}
+	// countSent books a shipped envelope. In local mode the count lands in
+	// the coordinator's crash-safe atomics before the envelope is inserted,
+	// so quiescence can never close over an uncounted in-flight message.
+	countSent := func(k int64) {
+		if d.coord.atomicCnt {
+			d.coord.asent.Add(k)
+		} else {
+			localSent += k
+		}
+		sentCum += k
+		d.msgsSent.Add(k)
+		d.batches.Add(1)
+		if d.diag {
+			d.wsent[id].Add(k)
+		}
+	}
+
+	// send ships one stamped envelope to peer j. A full peer mailbox (the
+	// peer may be dead) is retried with exponential backoff while draining
+	// our own mailbox so mutual sends cannot deadlock; a global recovery in
+	// progress drops the batch (the rollback re-derives it). While blocked,
+	// the worker keeps servicing rollback notices — a survivor wedged on a
+	// dead peer's full mailbox must still ack, or local recovery would
+	// deadlock.
+	send := func(j int, env liveEnvelope[V]) {
+		if len(env.msgs) == 0 {
 			return
 		}
-		env := liveEnvelope[V]{epoch: myEpoch, msgs: msgs}
+		countSent(int64(len(env.msgs)))
 		backoff := liveSendBackoff
 		for {
 			if d.ctrl.phase.Load() == ctrlRecover {
@@ -476,14 +696,13 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 			}
 			select {
 			case d.chans[j] <- env:
-				localSent += int64(len(msgs))
-				sentCum += int64(len(msgs))
-				d.msgsSent.Add(int64(len(msgs)))
-				d.batches.Add(1)
 				return
 			case <-d.coord.done:
 				return
 			default:
+			}
+			if d.localRec {
+				d.drainNotices(st)
 			}
 			if drain() == 0 {
 				beat()
@@ -513,7 +732,7 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 				if len(hold[j]) > 0 {
 					hb := hold[j]
 					hold[j] = nil
-					send(j, hb)
+					send(j, stamp(j, hb))
 				}
 			}
 		}
@@ -572,42 +791,47 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 						// Sleeping inline here would stall heartbeats,
 						// park checks and every other peer's flush for
 						// the whole retry delay.
-						localSent += int64(len(msgs))
-						sentCum += int64(len(msgs))
-						d.msgsSent.Add(int64(len(msgs)))
-						d.batches.Add(1)
-						d.retransmit(j, msgs, myEpoch)
+						env := stamp(j, msgs)
+						countSent(int64(len(msgs)))
+						d.retransmit(j, env)
 						sentFresh = true
 					case f.Dup:
 						// Copy before the first send: the receiver may
 						// recycle the original while we still read it.
-						var cp []ace.Message[V]
+						// Both copies carry the same sequence number, so
+						// the dedup layer (when on) drops the second.
+						env := stamp(j, msgs)
+						cp := env
 						if d.pooled {
-							cp = append(d.pool.get(), msgs...)
+							cp.msgs = append(d.pool.get(), msgs...)
 						} else {
-							cp = append([]ace.Message[V](nil), msgs...)
+							cp.msgs = append([]ace.Message[V](nil), msgs...)
 						}
-						send(j, msgs)
+						send(j, env)
 						send(j, cp)
 						sentFresh = true
 					case f.Reorder:
+						// Held batches stay unstamped and uncounted: the
+						// sequence number is drawn at actual ship time, so
+						// a crash loses nothing the checkpoint replay
+						// would miss (held mass is re-derived from Ψ).
 						hold[j] = append(hold[j], msgs...)
 						if d.pooled {
 							d.pool.put(msgs)
 						}
 					default:
-						send(j, msgs)
+						send(j, stamp(j, msgs))
 						sentFresh = true
 					}
 				} else {
-					send(j, msgs)
+					send(j, stamp(j, msgs))
 					sentFresh = true
 				}
 			}
 			if hold != nil && len(hold[j]) > 0 && (sentFresh || final) {
 				hb := hold[j]
 				hold[j] = nil
-				send(j, hb)
+				send(j, stamp(j, hb))
 			}
 		}
 	}
@@ -625,6 +849,34 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 		}
 	}
 
+	// serviceLocal is the localized-recovery safe point: process any
+	// rollback notices from the monitor, then honor a pending checkpoint
+	// request. Checkpoints are taken inline — no barrier, no park — after
+	// flushing held batches so the snapshot can never strand an unstamped
+	// message. No-op outside local mode.
+	serviceLocal := func() {
+		if !d.localRec {
+			return
+		}
+		d.drainNotices(st)
+		if d.ckptReq[id].Load() {
+			d.ckptReq[id].Store(false)
+			for j := range hold {
+				if len(hold[j]) > 0 {
+					hb := hold[j]
+					hold[j] = nil
+					send(j, stamp(j, hb))
+				}
+			}
+			d.takeLocalCkpt(st)
+			if tr != nil {
+				t := ts()
+				tr.Mark(id, obs.MarkCkpt, t)
+				tr.Sample(id, obs.GaugeLogSize, t, float64(d.mlog.retainedFrom(id)))
+			}
+		}
+	}
+
 	for {
 		if pauseCheck() {
 			return
@@ -632,6 +884,7 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 		if crashed() {
 			return
 		}
+		serviceLocal()
 		beat()
 		// One LocalEval round: ingest, iterate with periodic indicator
 		// checks, flush.
@@ -659,6 +912,7 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 			if crashed() {
 				return true
 			}
+			serviceLocal()
 			if d.hasSlow {
 				if f := d.inj.SlowFactor(id, nowMS()); f > 1 {
 					time.Sleep(time.Duration((f - 1) * float64(100*time.Microsecond)))
@@ -738,7 +992,7 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 				if tr != nil {
 					tr.Mark(id, obs.MarkBusy, ts())
 				}
-				ingest(env.msgs)
+				ingest(env)
 				break idleWait
 			case <-d.coord.done:
 				return
@@ -749,6 +1003,14 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 				}
 				if crashed() {
 					return
+				}
+				serviceLocal()
+				if !st.active.Empty() {
+					// A rollback notice un-applied contributions and
+					// re-activated their vertices: go process them.
+					lastIdle = false
+					d.coord.report(id, false, 0, 0)
+					break idleWait
 				}
 				if !lastIdle {
 					// A rollback put restored work back on our plate.
@@ -762,10 +1024,12 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 // retransmit delivers a "dropped" batch after the plan's retry delay
 // without blocking the worker that flushed it. The caller already counted
 // the batch as sent, so termination cannot be declared while it is in
-// flight. A recovery while the retransmitter sleeps bumps the epoch (and
-// the coordinator reset wiped the count), so delivery is abandoned — the
-// rollback re-derives the batch.
-func (d *liveDriver[V]) retransmit(to int, msgs []ace.Message[V], epoch int32) {
+// flight. A global recovery while the retransmitter sleeps bumps the epoch
+// (and the coordinator reset wiped the count), so delivery is abandoned —
+// the rollback re-derives the batch. Under local recovery the epoch never
+// moves and the phase never leaves ctrlRun, so delivery always completes;
+// the dedup layer discards it if the restore already replayed the batch.
+func (d *liveDriver[V]) retransmit(to int, env liveEnvelope[V]) {
 	d.retransmits.Add(1)
 	d.wg.Add(1)
 	go func() {
@@ -779,11 +1043,11 @@ func (d *liveDriver[V]) retransmit(to int, msgs []ace.Message[V], epoch int32) {
 		}
 		backoff := liveSendBackoff
 		for {
-			if d.ctrl.epoch.Load() != epoch || d.ctrl.phase.Load() == ctrlRecover {
+			if d.ctrl.epoch.Load() != env.epoch || d.ctrl.phase.Load() == ctrlRecover {
 				return
 			}
 			select {
-			case d.chans[to] <- liveEnvelope[V]{epoch: epoch, msgs: msgs}:
+			case d.chans[to] <- env:
 				return
 			case <-d.coord.done:
 				return

@@ -87,6 +87,14 @@ type liveSnap[V any] struct {
 	aux    any
 	active []uint32
 	out    [][]ace.Message[V]
+
+	// Sequence state of the exactly-once layer, captured only when it is
+	// on. Global snapshots are taken at a quiescent barrier (sent == recv),
+	// where the reorder buffers are provably empty and cursors match send
+	// sequences; local snapshots are taken at a worker-local safe point and
+	// buffered gaps are simply dropped — the retained log replays them.
+	sendSeq []uint64
+	cursor  []uint64
 }
 
 func captureLive[V any](st *liveState[V]) liveSnap[V] {
@@ -100,6 +108,10 @@ func captureLive[V any](st *liveState[V]) liveSnap[V] {
 	}
 	for j := range st.out {
 		s.out[j] = append([]ace.Message[V](nil), st.out[j].msgs...)
+	}
+	if rs := st.rs; rs != nil {
+		s.sendSeq = append([]uint64(nil), rs.sendSeq...)
+		s.cursor = append([]uint64(nil), rs.cursor...)
 	}
 	return s
 }
@@ -115,6 +127,13 @@ func restoreLive[V any](st *liveState[V], s *liveSnap[V]) {
 	st.active.Reset(s.active)
 	for j := range st.out {
 		st.restoreOut(j, s.out[j])
+	}
+	if rs := st.rs; rs != nil && s.sendSeq != nil {
+		copy(rs.sendSeq, s.sendSeq)
+		copy(rs.cursor, s.cursor)
+		for i := range rs.robuf {
+			rs.robuf[i] = nil
+		}
 	}
 }
 
@@ -137,6 +156,17 @@ func (d *liveDriver[V]) monitor() {
 	tk := time.NewTicker(tick)
 	defer tk.Stop()
 
+	// Local recovery sequences uncoordinated checkpoints instead of
+	// parking the cluster: one worker is asked per slice so every worker
+	// snapshots about once per CheckpointEvery.
+	ckptEvery := d.cfg.CheckpointEvery
+	if d.localRec && d.n > 0 {
+		ckptEvery = d.cfg.CheckpointEvery / time.Duration(d.n)
+		if ckptEvery < time.Millisecond {
+			ckptEvery = time.Millisecond
+		}
+	}
+
 	lastCkpt := sinceFn(d.start)
 	var lastProg [3]int64
 	progSince := sinceFn(d.start)
@@ -152,15 +182,25 @@ func (d *liveDriver[V]) monitor() {
 			// Deaths can also be detected mid-checkpoint, so recovery keys
 			// off the dead count, not just freshly detected deaths.
 			d.detectDead(now)
+			d.resurrectStalled(now)
 			if d.recover && d.ctrl.numDead() > 0 && !d.ctrl.isUnrecoverable() {
-				if d.runRecovery() {
+				recovered := false
+				if d.localRec {
+					recovered = d.runLocalRecovery()
+				} else {
+					recovered = d.runRecovery()
+				}
+				if recovered {
 					lastCkpt = sinceFn(d.start)
 					progSince = lastCkpt
 				}
 			}
 		}
-		if d.recover && d.ctrl.numDead() == 0 && now-lastCkpt >= d.cfg.CheckpointEvery {
-			if d.runCheckpoint() {
+		if d.recover && d.ctrl.numDead() == 0 && now-lastCkpt >= ckptEvery {
+			if d.localRec {
+				d.requestLocalCkpt()
+				lastCkpt = now
+			} else if d.runCheckpoint() {
 				lastCkpt = sinceFn(d.start)
 			}
 		}
@@ -173,8 +213,9 @@ func (d *liveDriver[V]) monitor() {
 			} else if now-progSince > d.cfg.Watchdog {
 				idle, total, sent, recv, _ := d.coord.status()
 				d.coord.fail(fmt.Errorf(
-					"gap: live run stuck for %v: %d/%d workers idle, %d dead, %d messages unaccounted (sent=%d recv=%d)",
-					d.cfg.Watchdog, idle, total, d.ctrl.numDead(), sent-recv, sent, recv))
+					"gap: live run stuck for %v: %d/%d workers idle, %d dead, %d messages unaccounted (sent=%d recv=%d)%s",
+					d.cfg.Watchdog, idle, total, d.ctrl.numDead(), sent-recv, sent, recv,
+					d.stuckDetail()))
 				return
 			}
 		}
@@ -203,6 +244,42 @@ func (d *liveDriver[V]) detectDead(now time.Duration) int {
 	}
 	d.ctrl.mu.Unlock()
 	return newDead
+}
+
+// resurrectStalled clears death marks that turn out to be heartbeat false
+// positives: a worker that was detected dead without ever announcing a
+// crash, but whose beat has since resumed, was merely stalled (a GC pause
+// or CPU starvation under machine load), not dead. Un-marking it keeps a
+// transient scheduler stall from escalating into an unrecoverable run.
+// Staged workers are never resurrected — once rollback staging starts the
+// goroutine is assumed gone and a second writer would race.
+func (d *liveDriver[V]) resurrectStalled(now time.Duration) {
+	d.ctrl.mu.Lock()
+	for i := range d.ctrl.dead {
+		if !d.ctrl.dead[i] || d.ctrl.restart[i] != liveRestartUnknown {
+			continue
+		}
+		if d.recState != nil && d.recState[i] != 0 {
+			continue
+		}
+		if now-time.Duration(d.ctrl.beats[i].Load()) <= d.cfg.HeartbeatTimeout {
+			d.ctrl.dead[i] = false
+			d.ctrl.nDead--
+		}
+	}
+	d.ctrl.mu.Unlock()
+}
+
+// deathGrace is how long an unannounced death may stay undecided before the
+// run is declared unrecoverable: several heartbeat windows, so a stalled
+// goroutine has time to resume beating and be resurrected, yet a truly
+// wedged worker still hands the run to the watchdog promptly.
+func (d *liveDriver[V]) deathGrace() time.Duration {
+	g := 4 * d.cfg.HeartbeatTimeout
+	if g < 200*time.Millisecond {
+		g = 200 * time.Millisecond
+	}
+	return g
 }
 
 // runCheckpoint takes a consistent cluster snapshot: ask every worker to
@@ -292,18 +369,29 @@ func (d *liveDriver[V]) runRecovery() bool {
 		time.Sleep(100 * time.Microsecond)
 	}
 
-	// Every dead worker must have announced a restart; otherwise it is
-	// permanently dead (or a false positive) and this run cannot recover.
+	// Every dead worker must have announced a restart before the rollback
+	// may proceed. An announced permanent death (restart < 0) makes the run
+	// unrecoverable. An unannounced one is undecided: it is either a
+	// heartbeat false positive — the goroutine is alive, so restoring under
+	// it would race — or a wedged worker; defer the rollback until the
+	// grace window resolves it (resurrection or unrecoverable).
+	now := sinceFn(d.start)
 	d.ctrl.mu.Lock()
 	var deads []int
 	restartMS := 0.0
-	recoverable := true
+	recoverable, pending := true, false
 	for i, dd := range d.ctrl.dead {
 		if !dd {
 			continue
 		}
 		deads = append(deads, i)
-		if r := d.ctrl.restart[i]; r < 0 {
+		if r := d.ctrl.restart[i]; r == liveRestartUnknown {
+			if now-time.Duration(d.ctrl.beats[i].Load()) <= d.deathGrace() {
+				pending = true
+			} else {
+				recoverable = false
+			}
+		} else if r < 0 {
 			recoverable = false
 		} else if r > restartMS {
 			restartMS = r
@@ -311,13 +399,16 @@ func (d *liveDriver[V]) runRecovery() bool {
 	}
 	d.ctrl.mu.Unlock()
 	if !recoverable {
-		// Permanently dead (or unannounced) worker: the run cannot
+		// Permanently dead (or silent beyond grace) worker: the run cannot
 		// recover; stop re-parking the cluster and let the watchdog fail
 		// it with a descriptive error.
 		d.ctrl.mu.Lock()
 		d.ctrl.unrecoverable = true
 		d.ctrl.mu.Unlock()
 		return false
+	}
+	if pending {
+		return false // retry next tick, after resurrection had its chance
 	}
 	if len(deads) == 0 {
 		return false
@@ -332,17 +423,22 @@ func (d *liveDriver[V]) runRecovery() bool {
 		return false // run ended under us
 	}
 	epoch := d.ctrl.epoch.Add(1)
+	if tr != nil {
+		// The epoch mark is the soak harness's witness that a global
+		// rollback happened; localized recoveries never emit it.
+		tr.Mark(d.n, obs.MarkEpoch, ts())
+	}
 	d.recoveries.Add(1)
 	if restartMS > 0 {
 		time.Sleep(time.Duration(restartMS * float64(time.Millisecond)))
 	}
-	now := int64(sinceFn(d.start))
+	nowNS := int64(sinceFn(d.start))
 	d.ctrl.mu.Lock()
 	for _, i := range deads {
 		d.ctrl.dead[i] = false
 		d.ctrl.nDead--
 		d.ctrl.restart[i] = liveRestartUnknown
-		d.ctrl.beats[i].Store(now)
+		d.ctrl.beats[i].Store(nowNS)
 	}
 	d.ctrl.mu.Unlock()
 	for _, i := range deads {

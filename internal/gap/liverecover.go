@@ -1,0 +1,791 @@
+package gap
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"argan/internal/ace"
+	"argan/internal/obs"
+)
+
+// Localized recovery (LiveConfig.Recovery: "local").
+//
+// The global strategy in livefault.go stops the whole cluster at a
+// consistent barrier for every checkpoint and rolls every fragment back when
+// one worker dies. The localized strategy keeps the survivors computing:
+//
+//   - Uncoordinated per-worker checkpoints: the monitor round-robins a
+//     checkpoint request to one worker at a time; the worker snapshots its
+//     own fragment state (Ψ, aux, active set, out-accumulators, sequence
+//     cursors, undo log) inline at its next safe point. No barrier, no park.
+//   - Sender-side message logging: every outbound batch is stamped with
+//     (incarnation, sender, seq) at ship time and a copy is retained in a
+//     driver-level per-link log until both endpoints' checkpoints commit it.
+//   - Exactly-once ingestion: receivers keep a per-sender cursor, drop
+//     duplicate sequence numbers and reorder-buffer gaps. This layer is also
+//     active (in either recovery mode) whenever the fault plan injects link
+//     faults, because dup/reorder fates are only safe for idempotent
+//     aggregation — Δ-PageRank's accumulative h_in is not.
+//
+// When worker w dies, the monitor: bumps w's incarnation, truncates w's
+// outgoing log back to its last checkpoint (the committed prefix), notifies
+// every live peer — survivors un-apply (ace.Inverter) or tolerate
+// (ace.IdempotentAggregator) w's uncommitted contributions and lower their
+// cursors — waits for all acks, restores w's last checkpoint, replays the
+// logged batches w lost since that checkpoint straight into its state, and
+// respawns the goroutine. The cluster epoch is never bumped and no survivor
+// loses post-checkpoint work.
+
+// Recovery strategies accepted by LiveConfig.Recovery.
+const (
+	// RecoveryGlobal is PR 3's stop-and-sync checkpoints with whole-cluster
+	// rollback; the default, and the fallback for programs that declare
+	// neither ace.IdempotentAggregator nor ace.Inverter.
+	RecoveryGlobal = "global"
+	// RecoveryLocal is per-worker logging checkpoints with survivor-local
+	// repair and message replay.
+	RecoveryLocal = "local"
+)
+
+// liveLogSoftCap is the retained-batch count across the whole message log
+// above which the monitor asks every live worker to checkpoint out of turn,
+// so log retention (bounded by checkpoint lag) is pulled back down.
+const liveLogSoftCap = 4096
+
+// incBound records one rollback of a sender: streams of incarnations older
+// than inc are committed only up to stable — later sequence numbers from
+// those incarnations were rolled back and must not be accepted.
+type incBound struct {
+	inc    int32
+	stable uint64
+}
+
+// undoHit is one applied contribution: Aggregate(psi[local], val) reported a
+// change. Inverting it restores the pre-aggregation value.
+type undoHit[V any] struct {
+	local uint32
+	val   V
+}
+
+// undoRec groups the applied contributions of one logged batch, keyed by the
+// batch's sequence number so a rollback notice can un-apply exactly the
+// uncommitted suffix.
+type undoRec[V any] struct {
+	seq  uint64
+	hits []undoHit[V]
+}
+
+// rollNotice tells a survivor that sender rolled back: its streams older
+// than inc are committed only up to stable.
+type rollNotice struct {
+	sender int
+	inc    int32
+	stable uint64
+}
+
+// rollEntry is the monitor's record of one rollback of a sender, with the
+// per-receiver stable cut (the sender's checkpointed send sequence toward
+// each peer). Restores use it to repair snapshots taken before the rollback.
+type rollEntry struct {
+	inc    int32
+	stable []uint64
+}
+
+// recoverState is one worker's half of the exactly-once / localized-recovery
+// protocol. It is owned by whoever owns the liveState (the worker goroutine,
+// or the monitor during a restore).
+type recoverState[V any] struct {
+	myInc   int32    // this worker's current incarnation (stamped on sends)
+	sendSeq []uint64 // last sequence number shipped to each peer
+	expInc  []int32  // expected incarnation per sender
+	cursor  []uint64 // highest contiguously applied sequence per sender
+	robuf   []map[uint64][]ace.Message[V]
+	bounds  [][]incBound // acceptance bounds for old-incarnation envelopes
+	// undo logs applied contributions per sender for inversion on rollback;
+	// nil for idempotent programs (re-application is harmless) and outside
+	// local recovery (global rollback restores receivers wholesale).
+	undo   [][]undoRec[V]
+	invert func(cur, contrib V) V
+}
+
+func newRecoverState[V any](n int, invert func(cur, contrib V) V) *recoverState[V] {
+	rs := &recoverState[V]{
+		sendSeq: make([]uint64, n),
+		expInc:  make([]int32, n),
+		cursor:  make([]uint64, n),
+		robuf:   make([]map[uint64][]ace.Message[V], n),
+		bounds:  make([][]incBound, n),
+	}
+	if invert != nil {
+		rs.undo = make([][]undoRec[V], n)
+		rs.invert = invert
+	}
+	return rs
+}
+
+// boundLimit returns the highest sequence number still acceptable from an
+// envelope of incarnation inc of sender s: the minimum stable cut over every
+// rollback that superseded that incarnation.
+func (rs *recoverState[V]) boundLimit(s int, inc int32) uint64 {
+	limit := ^uint64(0)
+	for _, b := range rs.bounds[s] {
+		if b.inc > inc && b.stable < limit {
+			limit = b.stable
+		}
+	}
+	return limit
+}
+
+// recoveryHooks probes the program's capability for localized recovery:
+// idempotent aggregation tolerates re-delivery outright; an Inverter lets
+// survivors un-apply uncommitted contributions. Programs with neither force
+// the driver back to global rollback.
+func recoveryHooks[V any](prog ace.Program[V]) (capable bool, invert func(cur, contrib V) V) {
+	if ia, ok := any(prog).(ace.IdempotentAggregator); ok && ia.IdempotentAggregate() {
+		return true, nil
+	}
+	if iv, ok := any(prog).(ace.Inverter[V]); ok {
+		return true, iv.Invert
+	}
+	return false, nil
+}
+
+// applyFrom is h_in for one sequenced batch: aggregate every message,
+// re-activate dependents, and (when inverting) record the applied
+// contributions under the batch's sequence number.
+func (st *liveState[V]) applyFrom(s int, seq uint64, msgs []ace.Message[V]) {
+	rs := st.rs
+	var hits []undoHit[V]
+	for _, m := range msgs {
+		lv, ok := st.local(m.V)
+		if !ok {
+			continue
+		}
+		nv, ch := st.prog.Aggregate(st.psi[lv], m.Val)
+		if !ch {
+			continue
+		}
+		if rs.undo != nil {
+			hits = append(hits, undoHit[V]{local: lv, val: m.Val})
+		}
+		st.psi[lv] = nv
+		if st.deps == ace.DepSelf {
+			if st.frag.IsOwned(lv) {
+				st.active.Push(lv)
+			}
+		} else {
+			st.activateDeps(lv)
+		}
+	}
+	if rs.undo != nil && len(hits) > 0 {
+		rs.undo[s] = append(rs.undo[s], undoRec[V]{seq: seq, hits: hits})
+	}
+}
+
+// seqIngest routes one drained envelope through the exactly-once layer:
+// duplicates are dropped, gaps are reorder-buffered, in-order batches are
+// applied (draining any buffered successors). The caller has already counted
+// the envelope as received — the termination ledger counts transport
+// deliveries, not applications.
+func (st *liveState[V]) seqIngest(env liveEnvelope[V], pool *batchPool[V], pooled bool) {
+	rs := st.rs
+	s := int(env.from)
+	recycle := func(m []ace.Message[V]) {
+		if pooled {
+			pool.put(m)
+		}
+	}
+	if env.inc != rs.expInc[s] {
+		if env.inc > rs.expInc[s] {
+			// Protocol violation (a restarted sender ships only after every
+			// survivor acked its rollback); drop defensively.
+			recycle(env.msgs)
+			return
+		}
+		// Old incarnation: only its committed prefix survives the rollback —
+		// everything past the stable cut is re-derived by the restarted
+		// sender and must not be double-applied.
+		if env.seq > rs.boundLimit(s, env.inc) {
+			recycle(env.msgs)
+			return
+		}
+	}
+	switch {
+	case env.seq <= rs.cursor[s]:
+		recycle(env.msgs) // duplicate
+	case env.seq == rs.cursor[s]+1:
+		st.applyFrom(s, env.seq, env.msgs)
+		recycle(env.msgs)
+		rs.cursor[s] = env.seq
+		for {
+			m, ok := rs.robuf[s][rs.cursor[s]+1]
+			if !ok {
+				break
+			}
+			delete(rs.robuf[s], rs.cursor[s]+1)
+			rs.cursor[s]++
+			st.applyFrom(s, rs.cursor[s], m)
+			recycle(m)
+		}
+	default:
+		if rs.robuf[s] == nil {
+			rs.robuf[s] = make(map[uint64][]ace.Message[V])
+		}
+		if _, dup := rs.robuf[s][env.seq]; dup {
+			recycle(env.msgs)
+		} else {
+			rs.robuf[s][env.seq] = env.msgs
+		}
+	}
+}
+
+// rollbackSender applies one rollback notice: record the acceptance bound,
+// drop buffered uncommitted batches, un-apply uncommitted contributions
+// (inverting programs), and lower the cursor to the stable cut so the
+// restarted sender's re-derived stream is accepted. Idempotent per (sender,
+// inc) — a restore may re-deliver a notice the snapshot already processed.
+func (st *liveState[V]) rollbackSender(s int, inc int32, stable uint64) {
+	rs := st.rs
+	if rs.expInc[s] >= inc {
+		return
+	}
+	rs.expInc[s] = inc
+	rs.bounds[s] = append(rs.bounds[s], incBound{inc: inc, stable: stable})
+	for seq := range rs.robuf[s] {
+		if seq > stable {
+			delete(rs.robuf[s], seq)
+		}
+	}
+	if rs.undo != nil {
+		keep := rs.undo[s][:0]
+		for _, rec := range rs.undo[s] {
+			if rec.seq <= stable {
+				keep = append(keep, rec)
+				continue
+			}
+			for _, h := range rec.hits {
+				st.psi[h.local] = rs.invert(st.psi[h.local], h.val)
+				if st.deps == ace.DepSelf {
+					if st.frag.IsOwned(h.local) {
+						st.active.Push(h.local)
+					}
+				} else {
+					st.activateDeps(h.local)
+				}
+			}
+		}
+		rs.undo[s] = keep
+	}
+	if rs.cursor[s] > stable {
+		rs.cursor[s] = stable
+	}
+}
+
+// loggedBatch is one retained copy of a shipped batch.
+type loggedBatch[V any] struct {
+	seq  uint64
+	msgs []ace.Message[V]
+}
+
+// msgLog is the driver-level sender-side message log: rows[from*n+to] holds
+// the retained batches of one link in ascending sequence order. Senders
+// append at ship time; checkpoints prune the committed prefix; the monitor
+// truncates the uncommitted suffix on a rollback and reads the retained
+// suffix for replay.
+type msgLog[V any] struct {
+	mu    sync.Mutex
+	n     int
+	rows  [][]loggedBatch[V]
+	total int
+}
+
+func newMsgLog[V any](n int) *msgLog[V] {
+	return &msgLog[V]{n: n, rows: make([][]loggedBatch[V], n*n)}
+}
+
+func (l *msgLog[V]) append(from, to int, seq uint64, msgs []ace.Message[V]) {
+	cp := append([]ace.Message[V](nil), msgs...)
+	l.mu.Lock()
+	k := from*l.n + to
+	l.rows[k] = append(l.rows[k], loggedBatch[V]{seq: seq, msgs: cp})
+	l.total++
+	l.mu.Unlock()
+}
+
+// truncate drops every batch from sender past its per-receiver stable cut:
+// the restarted incarnation re-derives and re-logs that suffix.
+func (l *msgLog[V]) truncate(from int, stable []uint64) {
+	l.mu.Lock()
+	for to := 0; to < l.n; to++ {
+		k := from*l.n + to
+		row := l.rows[k]
+		i := len(row)
+		for i > 0 && row[i-1].seq > stable[to] {
+			i--
+		}
+		l.total -= len(row) - i
+		for j := i; j < len(row); j++ {
+			row[j] = loggedBatch[V]{}
+		}
+		l.rows[k] = row[:i]
+	}
+	l.mu.Unlock()
+}
+
+// prune discards the committed prefix of one link (seq <= bound).
+func (l *msgLog[V]) prune(from, to int, bound uint64) {
+	l.mu.Lock()
+	k := from*l.n + to
+	row := l.rows[k]
+	i := 0
+	for i < len(row) && row[i].seq <= bound {
+		i++
+	}
+	if i > 0 {
+		l.total -= i
+		l.rows[k] = row[i:]
+	}
+	l.mu.Unlock()
+}
+
+// after returns the retained batches of one link past cursor. The returned
+// header is a copy; the entries themselves are immutable once appended, so
+// the caller may read them while the sender keeps appending.
+func (l *msgLog[V]) after(from, to int, cursor uint64) []loggedBatch[V] {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	row := l.rows[from*l.n+to]
+	i := 0
+	for i < len(row) && row[i].seq <= cursor {
+		i++
+	}
+	return row[i:len(row):len(row)]
+}
+
+// retainedFrom counts the batches retained across one sender's rows.
+func (l *msgLog[V]) retainedFrom(from int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for to := 0; to < l.n; to++ {
+		n += len(l.rows[from*l.n+to])
+	}
+	return n
+}
+
+func (l *msgLog[V]) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// localSnap is one worker's uncoordinated checkpoint: the fragment snapshot
+// (including sequence state) plus the receive-side protocol state needed to
+// repair it against rollbacks that happen after it was taken.
+type localSnap[V any] struct {
+	valid  bool
+	base   liveSnap[V]
+	expInc []int32
+	bounds [][]incBound
+	undo   [][]undoRec[V]
+}
+
+// takeLocalCkpt snapshots the calling worker's state inline (no barrier, no
+// park) and publishes it together with the stable cursors that let peers
+// prune their logs. Called only from the worker's own safe points, so the
+// state is quiescent: no half-applied batch, no half-flushed accumulator.
+func (d *liveDriver[V]) takeLocalCkpt(st *liveState[V]) {
+	id := st.id
+	rs := st.rs
+	n := d.n
+	// Prune the undo log first: contributions at or below the sender's own
+	// checkpoint can never be rolled back (a sender never restores past its
+	// last checkpoint, and stableSent only advances).
+	if rs.undo != nil {
+		for s := 0; s < n; s++ {
+			if s == id || len(rs.undo[s]) == 0 {
+				continue
+			}
+			floor := d.stableSent[s*n+id].Load()
+			keep := rs.undo[s][:0]
+			for _, rec := range rs.undo[s] {
+				if rec.seq > floor {
+					keep = append(keep, rec)
+				}
+			}
+			rs.undo[s] = keep
+		}
+	}
+	snap := localSnap[V]{
+		valid:  true,
+		base:   captureLive(st),
+		expInc: append([]int32(nil), rs.expInc...),
+		bounds: make([][]incBound, n),
+	}
+	for s := 0; s < n; s++ {
+		snap.bounds[s] = append([]incBound(nil), rs.bounds[s]...)
+	}
+	if rs.undo != nil {
+		snap.undo = make([][]undoRec[V], n)
+		for s := 0; s < n; s++ {
+			// undoRec.hits slices are immutable after creation, so sharing
+			// them between the live log and the snapshot is safe.
+			snap.undo[s] = append([]undoRec[V](nil), rs.undo[s]...)
+		}
+	}
+	d.localMu.Lock()
+	d.localSnaps[id] = snap
+	d.localMu.Unlock()
+	// Publish the stable cursors. Order matters for pruners: snapExpInc is
+	// stored last and read first, so a reader that sees the new incarnation
+	// view is guaranteed to also see the matching (or newer) cursors.
+	for j := 0; j < n; j++ {
+		d.stableSent[id*n+j].Store(rs.sendSeq[j])
+		d.stableRecv[id*n+j].Store(rs.cursor[j])
+		d.snapExpInc[id*n+j].Store(rs.expInc[j])
+	}
+	d.pruneLog(id)
+	d.checkpoints.Add(1)
+}
+
+// pruneLog discards the committed prefix of every outgoing row of sender:
+// batches the receiver's published checkpoint has absorbed — unless a
+// rollback of the sender newer than that checkpoint exposes the receiver to
+// a deeper restore cursor, in which case the prune floor is clamped to the
+// rollback's stable cut.
+func (d *liveDriver[V]) pruneLog(sender int) {
+	n := d.n
+	for j := 0; j < n; j++ {
+		if j == sender {
+			continue
+		}
+		// Read snapExpInc before stableRecv (the writer stores stableRecv
+		// first): seeing a new incarnation view implies the matching cursor
+		// is visible too, so the clamp below can never be skipped stale.
+		sx := d.snapExpInc[j*n+sender].Load()
+		bound := d.stableRecv[j*n+sender].Load()
+		d.rollMu.Lock()
+		for _, e := range d.rollHist[sender] {
+			if e.inc > sx && e.stable[j] < bound {
+				bound = e.stable[j]
+			}
+		}
+		d.rollMu.Unlock()
+		d.mlog.prune(sender, j, bound)
+	}
+}
+
+// drainNotices processes any pending rollback notices for st's worker and
+// acks them. Returns the number processed. Callable from any of the worker's
+// safe points, including the send retry loop (a survivor blocked on a dead
+// peer's full mailbox must still ack, or recovery would deadlock).
+func (d *liveDriver[V]) drainNotices(st *liveState[V]) int {
+	id := st.id
+	if !d.noticeFlag[id].Load() {
+		return 0
+	}
+	d.noticeMu.Lock()
+	ns := d.noticeQ[id]
+	d.noticeQ[id] = nil
+	d.noticeFlag[id].Store(false)
+	d.noticeMu.Unlock()
+	for _, nt := range ns {
+		st.rollbackSender(nt.sender, nt.inc, nt.stable)
+	}
+	if len(ns) > 0 {
+		d.acksOut.Add(int64(-len(ns)))
+		if d.diag {
+			d.wacked[id].Add(int64(len(ns)))
+		}
+	}
+	return len(ns)
+}
+
+// requestLocalCkpt asks the next live worker (round-robin) to checkpoint at
+// its next safe point; when the message log has outgrown its soft cap, every
+// live worker is asked at once so retention is pulled back down.
+func (d *liveDriver[V]) requestLocalCkpt() {
+	if d.mlog.size() > liveLogSoftCap {
+		d.ctrl.mu.Lock()
+		for i := 0; i < d.n; i++ {
+			if !d.ctrl.dead[i] {
+				d.ckptReq[i].Store(true)
+			}
+		}
+		d.ctrl.mu.Unlock()
+		return
+	}
+	for probe := 0; probe < d.n; probe++ {
+		w := d.ckptNext
+		d.ckptNext = (d.ckptNext + 1) % d.n
+		d.ctrl.mu.Lock()
+		dead := d.ctrl.dead[w]
+		d.ctrl.mu.Unlock()
+		if !dead {
+			d.ckptReq[w].Store(true)
+			return
+		}
+	}
+}
+
+// stageLocalDead runs phase A of a localized recovery for a newly detected
+// death: claim the worker busy so termination cannot race the restore, bump
+// its incarnation, truncate its uncommitted log suffix, record the rollback,
+// and notify every live peer. Returns false when the run is already over or
+// the death is unrecoverable.
+func (d *liveDriver[V]) stageLocalDead(w int) bool {
+	d.ctrl.mu.Lock()
+	r := d.ctrl.restart[w]
+	d.ctrl.mu.Unlock()
+	if r == liveRestartUnknown {
+		// Never announced: either a heartbeat false positive (a stalled
+		// goroutine whose beat will resume, letting resurrectStalled clear
+		// the mark) or a genuinely wedged worker. Restoring under a
+		// possibly-live goroutine would race, so wait the grace window out
+		// before condemning the run.
+		if sinceFn(d.start)-time.Duration(d.ctrl.beats[w].Load()) <= d.deathGrace() {
+			return false
+		}
+		d.ctrl.mu.Lock()
+		d.ctrl.unrecoverable = true
+		d.ctrl.mu.Unlock()
+		return false
+	}
+	if r < 0 {
+		// Announced permanent death: hand the run to the watchdog.
+		d.ctrl.mu.Lock()
+		d.ctrl.unrecoverable = true
+		d.ctrl.mu.Unlock()
+		return false
+	}
+	if !d.coord.claimBusy(w) {
+		return false // quiescence already closed: pre-crash state is final
+	}
+	d.detectAt[w] = sinceFn(d.start)
+	// The dead worker can no longer ack notices queued to it.
+	d.noticeMu.Lock()
+	if k := len(d.noticeQ[w]); k > 0 {
+		d.noticeQ[w] = nil
+		d.acksOut.Add(int64(-k))
+	}
+	d.noticeFlag[w].Store(false)
+	d.noticeMu.Unlock()
+	inc := d.incOf[w].Add(1)
+	stable := make([]uint64, d.n)
+	for j := 0; j < d.n; j++ {
+		stable[j] = d.stableSent[w*d.n+j].Load()
+	}
+	d.mlog.truncate(w, stable)
+	d.rollMu.Lock()
+	d.rollHist[w] = append(d.rollHist[w], rollEntry{inc: inc, stable: stable})
+	d.rollMu.Unlock()
+	d.ctrl.mu.Lock()
+	for j := 0; j < d.n; j++ {
+		announcedDead := d.ctrl.dead[j] && d.ctrl.restart[j] != liveRestartUnknown
+		if j == w || announcedDead || d.recState[j] != 0 {
+			// Announced-dead or staged peers are repaired at their own
+			// restore via the rollback history instead of a notice. An
+			// unannounced-dead peer still gets one: it is either a stalled
+			// goroutine that will resurrect, resume draining and ack (it
+			// never restores, so the history would not repair it), or truly
+			// wedged — in which case the grace window fails the run anyway.
+			continue
+		}
+		d.noticeMu.Lock()
+		d.noticeQ[j] = append(d.noticeQ[j], rollNotice{sender: w, inc: inc, stable: stable[j]})
+		d.noticeFlag[j].Store(true)
+		d.acksOut.Add(1)
+		d.noticeMu.Unlock()
+	}
+	d.ctrl.mu.Unlock()
+	d.recState[w] = 1
+	return true
+}
+
+// restoreLocal rolls worker w back to its own last checkpoint and repairs
+// the snapshot against every peer rollback that happened after it was taken
+// (the snapshot predates those notices, so they are re-applied here from the
+// rollback history). The monitor owns w's state: the goroutine is gone.
+func (d *liveDriver[V]) restoreLocal(w int) {
+	st := d.states[w]
+	rs := st.rs
+	d.localMu.Lock()
+	snap := d.localSnaps[w]
+	d.localMu.Unlock()
+	restoreLive(st, &snap.base)
+	copy(rs.expInc, snap.expInc)
+	for s := 0; s < d.n; s++ {
+		rs.bounds[s] = append(rs.bounds[s][:0], snap.bounds[s]...)
+	}
+	if rs.undo != nil {
+		for s := 0; s < d.n; s++ {
+			rs.undo[s] = append(rs.undo[s][:0], snap.undo[s]...)
+		}
+	}
+	d.rollMu.Lock()
+	for s := 0; s < d.n; s++ {
+		if s == w {
+			continue
+		}
+		for _, e := range d.rollHist[s] {
+			if e.inc > rs.expInc[s] {
+				st.rollbackSender(s, e.inc, e.stable[w])
+			}
+		}
+	}
+	d.rollMu.Unlock()
+	rs.myInc = d.incOf[w].Load()
+}
+
+// replayInto re-applies the logged batches worker w lost since its restored
+// cursors, straight into its state through the same h_in path a live drain
+// would use. Replayed messages are not counted in the termination ledger —
+// their original deliveries already balanced it. Returns messages replayed.
+func (d *liveDriver[V]) replayInto(w int) int64 {
+	st := d.states[w]
+	rs := st.rs
+	tr := d.cfg.Tracer
+	var total int64
+	for s := 0; s < d.n; s++ {
+		if s == w {
+			continue
+		}
+		entries := d.mlog.after(s, w, rs.cursor[s])
+		if len(entries) == 0 {
+			continue
+		}
+		for _, e := range entries {
+			if e.seq != rs.cursor[s]+1 {
+				break // gap: the rest is still in flight, the drain path applies it
+			}
+			st.applyFrom(s, e.seq, e.msgs)
+			rs.cursor[s] = e.seq
+			total += int64(len(e.msgs))
+		}
+		if tr != nil {
+			tr.Mark(s, obs.MarkReplay, float64(sinceFn(d.start))/1e3)
+		}
+	}
+	return total
+}
+
+// runLocalRecovery is the monitor's per-tick localized-recovery step:
+// stage any newly detected deaths (phase A), wait for every survivor ack
+// (phase B, non-blocking — re-entered next tick), then restore, replay and
+// respawn each staged worker whose restart delay has elapsed (phase C).
+// Returns true when at least one worker was respawned.
+func (d *liveDriver[V]) runLocalRecovery() bool {
+	tr := d.cfg.Tracer
+	ts := func() float64 { return float64(sinceFn(d.start)) / 1e3 }
+	d.ctrl.mu.Lock()
+	var fresh []int
+	for i, dd := range d.ctrl.dead {
+		if dd && d.recState[i] == 0 {
+			fresh = append(fresh, i)
+		}
+	}
+	d.ctrl.mu.Unlock()
+	for _, w := range fresh {
+		d.ctrl.mu.Lock()
+		unannounced := d.ctrl.restart[w] == liveRestartUnknown
+		d.ctrl.mu.Unlock()
+		if unannounced && sinceFn(d.start)-time.Duration(d.ctrl.beats[w].Load()) <= d.deathGrace() {
+			continue // undecided: resurrection or grace expiry resolves it
+		}
+		if !d.stageLocalDead(w) {
+			return false
+		}
+	}
+	if out := d.acksOut.Load(); out != 0 {
+		if tr != nil {
+			tr.Sample(d.n, obs.GaugeAcksOut, ts(), float64(out))
+		}
+		return false
+	}
+	revived := false
+	for w := 0; w < d.n; w++ {
+		if d.recState[w] != 1 {
+			continue
+		}
+		d.ctrl.mu.Lock()
+		restartMS := d.ctrl.restart[w]
+		d.ctrl.mu.Unlock()
+		if restartMS > 0 && sinceFn(d.start)-d.detectAt[w] < time.Duration(restartMS*float64(time.Millisecond)) {
+			continue // restart delay not elapsed; retry next tick
+		}
+		if tr != nil {
+			tr.SpanBegin(d.n, obs.PhaseRecovery, ts())
+		}
+		d.restoreLocal(w)
+		if tr != nil {
+			tr.SpanBegin(d.n, obs.PhaseReplay, ts())
+		}
+		replayed := d.replayInto(w)
+		if tr != nil {
+			t1 := ts()
+			tr.SpanEnd(d.n, obs.PhaseReplay, t1)
+			tr.Count(d.n, obs.CounterReplayed, t1, replayed)
+			tr.Sample(d.n, obs.GaugeLogSize, t1, float64(d.mlog.size()))
+		}
+		d.replayed.Add(replayed)
+		now := sinceFn(d.start)
+		d.recoveryNS.Add(int64(now - d.detectAt[w]))
+		d.ctrl.mu.Lock()
+		d.ctrl.dead[w] = false
+		d.ctrl.nDead--
+		d.ctrl.restart[w] = liveRestartUnknown
+		d.ctrl.beats[w].Store(int64(now))
+		d.ctrl.mu.Unlock()
+		d.recState[w] = 0
+		d.recoveries.Add(1)
+		if tr != nil {
+			tr.Mark(w, obs.MarkRestart, ts())
+			tr.SpanEnd(d.n, obs.PhaseRecovery, ts())
+		}
+		d.wg.Add(1)
+		go d.worker(d.states[w], 0) // the epoch never bumps under local recovery
+		revived = true
+	}
+	return revived
+}
+
+// stuckDetail renders the per-worker diagnosis appended to the watchdog's
+// stuck-run error: transport counters, last-heartbeat ages, death/staging
+// status, log retention and outstanding acks — enough to read a chaos-CI
+// failure from the log alone.
+func (d *liveDriver[V]) stuckDetail() string {
+	if !d.diag {
+		return ""
+	}
+	var b strings.Builder
+	now := sinceFn(d.start)
+	d.ctrl.mu.Lock()
+	dead := append([]bool(nil), d.ctrl.dead...)
+	restart := append([]float64(nil), d.ctrl.restart...)
+	d.ctrl.mu.Unlock()
+	for i := 0; i < d.n; i++ {
+		age := now - time.Duration(d.ctrl.beats[i].Load())
+		status := "live"
+		if dead[i] {
+			status = "dead"
+			if restart[i] == liveRestartUnknown {
+				status = "dead(unannounced)"
+			}
+			if d.recState != nil && d.recState[i] != 0 {
+				status = "dead(staged)"
+			}
+		}
+		fmt.Fprintf(&b, "\n  worker %d [%s]: sent=%d recv=%d acked=%d beat=%.1fms ago",
+			i, status, d.wsent[i].Load(), d.wrecv[i].Load(), d.wacked[i].Load(),
+			float64(age)/1e6)
+		if d.mlog != nil {
+			fmt.Fprintf(&b, " log=%d", d.mlog.retainedFrom(i))
+		}
+	}
+	if d.localRec {
+		fmt.Fprintf(&b, "\n  acks outstanding=%d", d.acksOut.Load())
+	}
+	return b.String()
+}

@@ -79,6 +79,12 @@ type liveState[V any] struct {
 
 	out []liveOutAcc[V]
 
+	// rs is the exactly-once ingestion and localized-recovery state (per-peer
+	// sequence cursors, reorder buffers, sender incarnations, undo log). nil
+	// unless the live driver runs with link faults or Recovery: local — the
+	// default pipeline carries no sequencing overhead.
+	rs *recoverState[V]
+
 	pool   *batchPool[V]
 	tune   liveTuning
 	lookup []uint32 // global id -> local id + 1; 0 = not present (pooled path)

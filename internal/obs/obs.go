@@ -33,8 +33,12 @@ const (
 	PhaseRecovery
 	// PhaseCheckpoint spans one consistent-snapshot checkpoint.
 	PhaseCheckpoint
+	// PhaseReplay spans a localized recovery's message replay: from the
+	// first survivor replaying its logged batches to the restored worker
+	// until the last replayer drains (coordinator track).
+	PhaseReplay
 
-	numPhases = int(PhaseCheckpoint) + 1
+	numPhases = int(PhaseReplay) + 1
 )
 
 func (p Phase) String() string {
@@ -53,6 +57,8 @@ func (p Phase) String() string {
 		return "recovery"
 	case PhaseCheckpoint:
 		return "checkpoint"
+	case PhaseReplay:
+		return "replay"
 	}
 	return "phase?"
 }
@@ -71,8 +77,11 @@ const (
 	CounterMsgsRecv
 	// CounterFlushes counts h_out batches.
 	CounterFlushes
+	// CounterReplayed counts logged batches re-delivered to a restored
+	// worker by localized recovery.
+	CounterReplayed
 
-	numCounters = int(CounterFlushes) + 1
+	numCounters = int(CounterReplayed) + 1
 )
 
 func (c Counter) String() string {
@@ -87,6 +96,8 @@ func (c Counter) String() string {
 		return "msgs_recv"
 	case CounterFlushes:
 		return "flushes"
+	case CounterReplayed:
+		return "replayed"
 	}
 	return "counter?"
 }
@@ -112,8 +123,14 @@ const (
 	// GaugeCandidates is the number of sweep candidates the adjustment
 	// scanned (k for GAwD, the record count for GA).
 	GaugeCandidates
+	// GaugeLogSize is the number of batches retained in a worker's
+	// sender-side message log at a sample point (localized recovery).
+	GaugeLogSize
+	// GaugeAcksOut is the number of survivor undo acknowledgements the
+	// monitor is still waiting for during a localized recovery.
+	GaugeAcksOut
 
-	numGauges = int(GaugeCandidates) + 1
+	numGauges = int(GaugeAcksOut) + 1
 )
 
 func (g Gauge) String() string {
@@ -132,6 +149,10 @@ func (g Gauge) String() string {
 		return "tw_real"
 	case GaugeCandidates:
 		return "candidates"
+	case GaugeLogSize:
+		return "log_size"
+	case GaugeAcksOut:
+		return "acks_out"
 	}
 	return "gauge?"
 }
@@ -159,8 +180,15 @@ const (
 	MarkRestart
 	// MarkCkpt fires when the worker's state is captured in a checkpoint.
 	MarkCkpt
+	// MarkReplay fires when a survivor finishes replaying its logged
+	// batches to a restored worker (localized recovery).
+	MarkReplay
+	// MarkEpoch fires on the coordinator track when a global rollback bumps
+	// the cluster epoch; localized recoveries never emit it, which is how
+	// the chaos soak asserts "zero global epoch bumps".
+	MarkEpoch
 
-	numMarks = int(MarkCkpt) + 1
+	numMarks = int(MarkEpoch) + 1
 )
 
 func (m Mark) String() string {
@@ -183,6 +211,10 @@ func (m Mark) String() string {
 		return "restart"
 	case MarkCkpt:
 		return "ckpt"
+	case MarkReplay:
+		return "replay"
+	case MarkEpoch:
+		return "epoch"
 	}
 	return "mark?"
 }
