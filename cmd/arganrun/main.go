@@ -29,6 +29,14 @@
 //	                   re-derived per iteration), verify every run against
 //	                   the sequential reference, and print a soak summary.
 //	                   Any mismatch makes the exit code non-zero.
+//	-mem-budget BYTES  bound the live driver's memory (k/m/g suffixes, e.g.
+//	                   64m). Recovery logs, checkpoints and reorder buffers
+//	                   are accounted against the budget; under pressure the
+//	                   driver pages logs and checkpoints to the spill dir,
+//	                   forces early checkpoints, backpressures senders and
+//	                   finally streams edge partitions from disk — instead
+//	                   of OOMing. Each soak iteration gets a fresh governor.
+//	-spill-dir DIR     where spilled state lives (default: the OS temp dir).
 //
 // Observability (applies to the ACE applications, not -stats/-app mst):
 //
@@ -55,6 +63,8 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"argan/internal/ace"
@@ -63,6 +73,7 @@ import (
 	"argan/internal/fault"
 	"argan/internal/gap"
 	"argan/internal/graph"
+	"argan/internal/mem"
 	"argan/internal/obs"
 	"argan/internal/systems"
 )
@@ -92,10 +103,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ckptEvery := fs.Float64("ckpt-every", 0, "checkpoint interval in virtual cost units (0 = default)")
 	recovery := fs.String("recovery", "", "live-driver crash recovery strategy: global or local (empty = sim driver)")
 	soak := fs.Int("soak", 0, "repeat the live run `N` times, verifying each against the sequential reference")
+	memBudget := fs.String("mem-budget", "", "live-driver memory budget in `BYTES` (k/m/g suffixes; empty = unbounded)")
+	spillDir := fs.String("spill-dir", "", "directory for spilled logs, checkpoints and edges (default: the OS temp dir)")
 	traceFile := fs.String("trace", "", "write Chrome trace-event JSON (Perfetto) to `FILE`")
 	metricsOut := fs.String("metrics-out", "", "write per-worker time-series CSV to `FILE`")
 	progress := fs.Duration("progress", 0, "print live progress every `DUR` (0 disables)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		fmt.Fprintf(stderr, "arganrun: -mem-budget: %v\n", err)
 		return 2
 	}
 
@@ -105,6 +123,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		top: *top, stats: *stats,
 		faults: *faults, noRecover: *noRecover, ckptEvery: *ckptEvery,
 		recovery: *recovery, soak: *soak,
+		memBudget: budget, spillDir: *spillDir,
 		traceFile: *traceFile, metricsOut: *metricsOut, progress: *progress,
 	}); err != nil {
 		fmt.Fprintf(stderr, "arganrun: %v\n", err)
@@ -127,8 +146,32 @@ type options struct {
 	ckptEvery             float64
 	recovery              string
 	soak                  int
+	memBudget             int64
+	spillDir              string
 	traceFile, metricsOut string
 	progress              time.Duration
+}
+
+// parseBytes reads a byte count with an optional k/m/g (KiB/MiB/GiB) suffix.
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 67108864, 64m, 1g)", s)
+	}
+	return v * mult, nil
 }
 
 func runMain(stdout, stderr io.Writer, o options) error {
@@ -337,7 +380,9 @@ func runLiveSoak(stdout io.Writer, o options, g *graph.Graph) error {
 	if iters < 1 {
 		iters = 1
 	}
+	governed := o.memBudget > 0 || o.spillDir != ""
 	var crashes, recoveries, epochs, replayed int64
+	var memPeak, spilled, replayedDisk, forcedCkpts int64
 	bad := 0
 	for it := 0; it < iters; it++ {
 		c := cfg
@@ -348,7 +393,24 @@ func runLiveSoak(stdout io.Writer, o options, g *graph.Graph) error {
 			p.Seed = plan.Seed + int64(it)
 			c.Faults = &p
 		}
+		var gov *mem.Governor
+		if governed {
+			// A fresh governor per iteration: budgets, spill files and peak
+			// accounting must not leak across runs.
+			gov = mem.NewGovernor(o.memBudget, o.spillDir)
+			c.Mem = gov
+		}
 		lm, wrong, err := once(c)
+		if gov != nil {
+			gov.Close()
+			// Fragments are shared across iterations; a StageStream run may
+			// have left their edge payloads on disk.
+			for _, f := range frags {
+				if _, uerr := f.UnspillEdges(); uerr != nil && err == nil {
+					err = uerr
+				}
+			}
+		}
 		if err != nil {
 			return fmt.Errorf("soak run %d/%d: %w", it+1, iters, err)
 		}
@@ -356,6 +418,12 @@ func runLiveSoak(stdout io.Writer, o options, g *graph.Graph) error {
 		recoveries += lm.Recoveries
 		epochs += lm.Epochs
 		replayed += lm.Replayed
+		if lm.MemPeakBytes > memPeak {
+			memPeak = lm.MemPeakBytes
+		}
+		spilled += lm.SpilledBytes
+		replayedDisk += lm.ReplayedFromDisk
+		forcedCkpts += lm.ForcedCkpts
 		status := "ok"
 		if wrong > 0 {
 			status = fmt.Sprintf("%d wrong vertices", wrong)
@@ -364,9 +432,17 @@ func runLiveSoak(stdout io.Writer, o options, g *graph.Graph) error {
 		fmt.Fprintf(stdout, "soak %d/%d [%s]: %s (wall=%v crashes=%d recoveries=%d epochs=%d replayed=%d)\n",
 			it+1, iters, lm.Recovery, status, lm.WallTime.Round(time.Millisecond),
 			lm.Crashes, lm.Recoveries, lm.Epochs, lm.Replayed)
+		if gov != nil {
+			fmt.Fprintf(stdout, "  mem: peak=%d spilled=%d replayed-from-disk=%d forced-ckpts=%d throttles=%d edge-spills=%d\n",
+				lm.MemPeakBytes, lm.SpilledBytes, lm.ReplayedFromDisk, lm.ForcedCkpts, lm.Throttles, lm.EdgeSpills)
+		}
 	}
 	fmt.Fprintf(stdout, "soak summary  : %d/%d correct; crashes=%d recoveries=%d epochs=%d replayed=%d\n",
 		iters-bad, iters, crashes, recoveries, epochs, replayed)
+	if governed {
+		fmt.Fprintf(stdout, "mem summary   : budget=%d peak=%d spilled=%d replayed-from-disk=%d forced-ckpts=%d\n",
+			o.memBudget, memPeak, spilled, replayedDisk, forcedCkpts)
+	}
 	if rec != nil {
 		if o.traceFile != "" {
 			if err := writeExport(o.traceFile, rec.WriteChromeTrace); err != nil {

@@ -108,6 +108,7 @@ func All() []Experiment {
 		{"faults", "Extension: crash-recovery and link-fault overhead sweep", FaultSweep},
 		{"perf", "Extension: live hot-path baseline (pooled batches, intra-worker shards)", Perf},
 		{"recovery", "Extension: lost work and latency, global rollback vs localized recovery", Recovery},
+		{"memory", "Extension: wall-clock vs memory cap — spill tier, backpressure, degradation ladder", Memory},
 	}
 }
 

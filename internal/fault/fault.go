@@ -48,11 +48,22 @@ type Slowdown struct {
 	Factor   float64
 }
 
+// Squeeze injects synthetic memory pressure: Bytes of phantom usage are
+// charged to the run's memory governor during [At, At+Duration), driving it
+// up the degradation ladder without allocating anything. Written
+// "squeeze=T:DUR:B" in specs.
+type Squeeze struct {
+	At       float64
+	Duration float64
+	Bytes    int64
+}
+
 // Plan is a complete, deterministic fault schedule for one run.
 type Plan struct {
 	Seed      int64
 	Crashes   []Crash
 	Slowdowns []Slowdown
+	Squeezes  []Squeeze
 
 	// Per-batch link fault probabilities in [0,1]. The fate of the k-th
 	// batch on link (i→j) is a pure function of (Seed, i, j, k), so a plan
@@ -94,7 +105,8 @@ func (p *Plan) HasLinkFaults() bool {
 
 // Empty reports whether the plan injects nothing at all.
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.Crashes) == 0 && len(p.Slowdowns) == 0 && !p.HasLinkFaults())
+	return p == nil || (len(p.Crashes) == 0 && len(p.Slowdowns) == 0 &&
+		len(p.Squeezes) == 0 && !p.HasLinkFaults())
 }
 
 // String renders the plan in the spec grammar accepted by Parse, so
@@ -122,6 +134,10 @@ func (p *Plan) String() string {
 	for _, s := range p.Slowdowns {
 		parts = append(parts, fmt.Sprintf("slow=%d@%s:%s:%s",
 			s.Worker, ftoa(s.At), ftoa(s.Duration), ftoa(s.Factor)))
+	}
+	for _, s := range p.Squeezes {
+		parts = append(parts, fmt.Sprintf("squeeze=%s:%s:%d",
+			ftoa(s.At), ftoa(s.Duration), s.Bytes))
 	}
 	if p.Drop > 0 {
 		parts = append(parts, "drop="+ftoa(p.Drop))
@@ -160,6 +176,7 @@ func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 //	crash=W@T[+R]          worker W crashes at time T, restarts after R
 //	crash=W@uN[+R]         worker W crashes after its N-th update
 //	slow=W@T:DUR:F         worker W runs F× slower during [T, T+DUR)
+//	squeeze=T:DUR:B        B bytes of synthetic memory pressure in [T, T+DUR)
 //	drop=P dup=P reorder=P per-batch link fault probabilities
 //	retry=D                retransmit delay for dropped batches
 //
@@ -189,6 +206,8 @@ func Parse(spec string) (*Plan, error) {
 			err = parseCrash(p, val)
 		case "slow":
 			err = parseSlow(p, val)
+		case "squeeze":
+			err = parseSqueeze(p, val)
 		case "drop":
 			if strings.Contains(val, ">") {
 				err = parseLinkDrop(p, val)
@@ -287,6 +306,26 @@ func parseSlow(p *Plan, val string) error {
 		return fmt.Errorf("bad factor %q (want >= 1)", f[2])
 	}
 	p.Slowdowns = append(p.Slowdowns, s)
+	return nil
+}
+
+func parseSqueeze(p *Plan, val string) error {
+	f := strings.Split(val, ":")
+	if len(f) != 3 {
+		return fmt.Errorf("want T:DUR:B")
+	}
+	var s Squeeze
+	var err error
+	if s.At, err = strconv.ParseFloat(f[0], 64); err != nil || s.At < 0 {
+		return fmt.Errorf("bad start time %q", f[0])
+	}
+	if s.Duration, err = strconv.ParseFloat(f[1], 64); err != nil || s.Duration <= 0 {
+		return fmt.Errorf("bad duration %q", f[1])
+	}
+	if s.Bytes, err = strconv.ParseInt(f[2], 10, 64); err != nil || s.Bytes <= 0 {
+		return fmt.Errorf("bad byte count %q", f[2])
+	}
+	p.Squeezes = append(p.Squeezes, s)
 	return nil
 }
 
@@ -437,6 +476,21 @@ func (in *Injector) SlowFactor(worker int, now float64) float64 {
 		}
 	}
 	return f
+}
+
+// SqueezeBytes returns the synthetic memory pressure in effect at time now:
+// the sum of all active squeeze windows (0 when none).
+func (in *Injector) SqueezeBytes(now float64) int64 {
+	if in.plan == nil {
+		return 0
+	}
+	var b int64
+	for _, s := range in.plan.Squeezes {
+		if now >= s.At && now < s.At+s.Duration {
+			b += s.Bytes
+		}
+	}
+	return b
 }
 
 // BatchFate draws the deterministic fate of the next batch on link

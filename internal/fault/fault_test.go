@@ -40,6 +40,39 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 }
 
+func TestParseSqueeze(t *testing.T) {
+	p, err := Parse("squeeze=50:200:1048576; squeeze=300:100:2048")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Squeezes) != 2 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if s := p.Squeezes[0]; s.At != 50 || s.Duration != 200 || s.Bytes != 1<<20 {
+		t.Fatalf("squeeze[0] = %+v", s)
+	}
+	if p.Empty() {
+		t.Fatal("plan with squeezes must not be Empty")
+	}
+	p2, err := Parse(p.String())
+	if err != nil || p.String() != p2.String() {
+		t.Fatalf("round trip: %q != %q (%v)", p.String(), p2.String(), err)
+	}
+	in := NewInjector(p)
+	if got := in.SqueezeBytes(25); got != 0 {
+		t.Fatalf("SqueezeBytes(25) = %d, want 0", got)
+	}
+	if got := in.SqueezeBytes(100); got != 1<<20 {
+		t.Fatalf("SqueezeBytes(100) = %d, want %d", got, 1<<20)
+	}
+	if got := in.SqueezeBytes(310); got != 2048 {
+		t.Fatalf("SqueezeBytes(310) = %d, want 2048", got)
+	}
+	if got := in.SqueezeBytes(500); got != 0 {
+		t.Fatalf("SqueezeBytes(500) = %d, want 0", got)
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	for _, spec := range []string{
 		"bogus",
@@ -52,6 +85,10 @@ func TestParseErrors(t *testing.T) {
 		"slow=1@5",
 		"slow=1@5:0:2",
 		"slow=1@5:10:0.5",
+		"squeeze=5:10",
+		"squeeze=-1:10:100",
+		"squeeze=5:0:100",
+		"squeeze=5:10:0",
 		"drop=1.5",
 		"dup=-0.1",
 		"retry=-1",

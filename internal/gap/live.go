@@ -2,6 +2,7 @@ package gap
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"runtime/pprof"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 	"argan/internal/ace"
 	"argan/internal/fault"
 	"argan/internal/graph"
+	"argan/internal/mem"
 	"argan/internal/obs"
 )
 
@@ -90,6 +92,20 @@ type LiveConfig struct {
 	// pipeline (append-only accumulators); isolates the per-algorithm
 	// combiner's contribution in benchmarks.
 	NoCombine bool
+	// Mem attaches a memory governor to the run: the recovery logs, local
+	// checkpoints, batch pool, reorder buffers and fragment edge payloads
+	// register with it, and the driver degrades through the governor's
+	// ladder (spill, forced checkpoints, sender backpressure, edge
+	// streaming) instead of growing without bound. nil (the default) leaves
+	// the run ungoverned; a governor with budget <= 0 measures only. One
+	// governor serves one run — do not reuse across runs.
+	Mem *mem.Governor
+	// LogBytesSoftCap bounds the bytes of sender-side log entries retained
+	// toward any single receiver: past it the monitor forces the slowest
+	// receiver to checkpoint out of turn so its peers can prune. 0 resolves
+	// to a quarter of the governor's budget (when one is attached and
+	// bounded); < 0 disables the cap.
+	LogBytesSoftCap int64
 }
 
 func (c LiveConfig) withDefaults() (LiveConfig, error) {
@@ -123,6 +139,12 @@ func (c LiveConfig) withDefaults() (LiveConfig, error) {
 	default:
 		return c, fmt.Errorf("gap: unknown recovery strategy %q (want %q or %q)",
 			c.Recovery, RecoveryGlobal, RecoveryLocal)
+	}
+	if c.LogBytesSoftCap == 0 && c.Mem.Budget() > 0 {
+		c.LogBytesSoftCap = c.Mem.Budget() / 4
+	}
+	if c.LogBytesSoftCap < 0 {
+		c.LogBytesSoftCap = 0
 	}
 	return c, nil
 }
@@ -158,6 +180,16 @@ type LiveMetrics struct {
 	// and worker respawn, summed over recoveries (local mode only; global
 	// recoveries park the whole cluster instead).
 	RecoveryMS float64
+
+	// Memory-governance accounting (zero when no governor is attached).
+	MemPeakBytes     int64 // governor high-water mark of accounted + injected bytes
+	SpilledBytes     int64 // cumulative bytes written to the spill tier
+	ReplayedFromDisk int64 // replayed messages read back from spilled log entries
+	ForcedCkpts      int64 // checkpoints forced by the retention cap / pressure ladder
+	Throttles        int64 // sender flushes delayed by backpressure
+	EdgeSpills       int64 // fragments whose edge partitions were paged to disk
+	EtaReseeds       int64 // per-worker granularity reseeds after recovery
+	LogPeakBytes     int64 // high-water retained bytes across the message log
 }
 
 // liveEnvelope is one batch in flight. The epoch tags which incarnation of
@@ -363,6 +395,25 @@ type liveDriver[V any] struct {
 	replayed   atomic.Int64
 	recoveryNS atomic.Int64
 
+	// Memory governance (see livespill.go). gov is nil on ungoverned runs;
+	// every accounting site is nil-safe.
+	gov          *mem.Governor
+	logCap       int64
+	logPressure  atomic.Bool // some receiver's retained log exceeds logCap
+	vSize        int64 // encoded bytes of one V (estimate when non-fixed)
+	wireEst      int64 // accounted bytes per logged/buffered message
+	snapSp       *mem.Spiller // checkpoint pages (nil = ckpt spilling off)
+	fragAcct     *mem.Account
+	ckptAcct     *mem.Account
+	ckptBytes    []int64 // resident cost of each worker's current snapshot
+	edgeSpillReq []atomic.Bool
+	ckEvery      []atomic.Int32 // per-worker effective CheckEvery (η reseed)
+	forcedCkpts  atomic.Int64
+	throttles    atomic.Int64
+	edgeSpills   atomic.Int64
+	etaReseeds   atomic.Int64
+	replayedDisk atomic.Int64
+
 	updates, msgsSent, batches, rounds atomic.Int64
 	crashes, recoveries, checkpoints   atomic.Int64
 	retransmits                        atomic.Int64
@@ -373,6 +424,9 @@ const (
 	liveParkPoll    = 50 * time.Microsecond
 	liveSendBackoff = 50 * time.Microsecond
 	liveSendBackMax = 2 * time.Millisecond
+	// liveThrottleSleep is the per-flush backpressure pause applied to
+	// senders at StageThrottle and beyond.
+	liveThrottleSleep = 200 * time.Microsecond
 )
 
 // RunLive executes the program over the fragments with one goroutine per
@@ -495,6 +549,61 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 		}
 	}
 
+	// Memory governance: size the wire estimates and register the governed
+	// components. Accounting sites are nil-safe, so the ungoverned default
+	// path pays one nil check per site.
+	d.gov = cfg.Mem
+	d.logCap = cfg.LogBytesSoftCap
+	wire := msgWireSize[V]()
+	d.wireEst = msgWireEstimate
+	if wire > 0 {
+		d.wireEst = int64(wire)
+	}
+	d.vSize = 16
+	if v := binary.Size(*new(V)); v > 0 {
+		d.vSize = int64(v)
+	}
+	if d.gov != nil {
+		d.pool.acct = d.gov.Account("pool")
+		d.pool.wire = d.wireEst
+		d.fragAcct = d.gov.Account("edges")
+		var resident int64
+		for _, f := range frags {
+			resident += f.EdgesResidentBytes()
+		}
+		d.fragAcct.Add(resident)
+		d.edgeSpillReq = make([]atomic.Bool, n)
+		if d.seqOn {
+			for i := range d.states {
+				d.states[i].rs.acct = d.gov.Account("robuf")
+				d.states[i].rs.wire = d.wireEst
+			}
+		}
+	}
+	if d.localRec {
+		d.ckEvery = make([]atomic.Int32, n)
+		for i := range d.ckEvery {
+			d.ckEvery[i].Store(int32(cfg.CheckEvery))
+		}
+		if d.gov != nil || d.logCap > 0 {
+			d.mlog.configure(d.gov, wire, d.logCap)
+		}
+		if d.gov != nil {
+			d.ckptAcct = d.gov.Account("ckpt")
+			d.ckptBytes = make([]int64, n)
+			for i := range d.localSnaps {
+				c := snapResidentBytes(&d.localSnaps[i].base, d.vSize, d.wireEst)
+				d.ckptAcct.Add(c)
+				d.ckptBytes[i] = c
+			}
+			if d.gov.Budget() > 0 && wire > 0 {
+				if sp, err := d.gov.NewSpiller("ckpt"); err == nil {
+					d.snapSp = sp
+				}
+			}
+		}
+	}
+
 	d.start = nowFn()
 	d.wg.Add(1)
 	go d.monitor()
@@ -531,6 +640,18 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 		Epochs:      int64(d.ctrl.epoch.Load()),
 		Replayed:    d.replayed.Load(),
 		RecoveryMS:  float64(d.recoveryNS.Load()) / 1e6,
+
+		MemPeakBytes:     d.gov.Peak(),
+		SpilledBytes:     d.gov.SpillWritten(),
+		ReplayedFromDisk: d.replayedDisk.Load(),
+		ForcedCkpts:      d.forcedCkpts.Load(),
+		Throttles:        d.throttles.Load(),
+		EdgeSpills:       d.edgeSpills.Load(),
+		EtaReseeds:       d.etaReseeds.Load(),
+	}
+	if d.mlog != nil {
+		_, _, peak := d.mlog.bytes()
+		m.LogPeakBytes = peak
 	}
 	return res, m, nil
 }
@@ -839,13 +960,53 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 	// func) closes the span so an early return on a finished run cannot
 	// leave it open.
 	flushAll := flushAllInner
+	if (d.gov != nil && d.gov.Budget() > 0) || d.logCap > 0 {
+		inner := flushAll
+		flushAll = func(final bool) {
+			// Rung 2: backpressure. A pressured run pauses its senders
+			// before each flush so receivers and the checkpoint ladder can
+			// catch up; draining first keeps the pause from growing our own
+			// mailbox. Log-retention pressure (rung 1 overshooting its byte
+			// cap) applies the same brake.
+			if d.gov.Stage() >= mem.StageThrottle || d.logPressure.Load() {
+				drain()
+				beat()
+				time.Sleep(liveThrottleSleep)
+				d.throttles.Add(1)
+			}
+			inner(final)
+		}
+	}
 	if tr != nil {
+		prev := flushAll
 		flushAll = func(final bool) {
 			setPhase("h_out")
 			tr.SpanBegin(id, obs.PhaseHout, ts())
-			flushAllInner(final)
+			prev(final)
 			tr.SpanEnd(id, obs.PhaseHout, ts())
 			setPhase("local_eval")
+		}
+	}
+
+	// serviceMem honors a pending edge-streaming request (degradation rung
+	// 3) at the worker's safe points: the fragment's edge payloads page to
+	// disk and every adjacency read goes through the spilled accessors until
+	// the caller unspills after the run. Index arrays stay resident.
+	serviceMem := func() {
+		if d.edgeSpillReq == nil || !d.edgeSpillReq[id].Load() {
+			return
+		}
+		d.edgeSpillReq[id].Store(false)
+		if st.frag.EdgesSpilled() {
+			return
+		}
+		if freed, err := st.frag.SpillEdges(d.gov.SpillDir()); err == nil && freed > 0 {
+			d.fragAcct.Add(-freed)
+			d.gov.NoteSpill(freed)
+			d.edgeSpills.Add(1)
+			if tr != nil {
+				tr.Mark(id, obs.MarkSpill, ts())
+			}
 		}
 	}
 
@@ -885,7 +1046,16 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 			return
 		}
 		serviceLocal()
+		serviceMem()
 		beat()
+		// Effective check granularity: recovery may have reseeded this
+		// worker's η toward finer checks (see runLocalRecovery).
+		ce := cfg.CheckEvery
+		if d.ckEvery != nil {
+			if v := int(d.ckEvery[id].Load()); v > 0 {
+				ce = v
+			}
+		}
 		// One LocalEval round: ingest, iterate with periodic indicator
 		// checks, flush.
 		var sent0, recv0 int64
@@ -913,6 +1083,7 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 				return true
 			}
 			serviceLocal()
+			serviceMem()
 			if d.hasSlow {
 				if f := d.inj.SlowFactor(id, nowMS()); f > 1 {
 					time.Sleep(time.Duration((f - 1) * float64(100*time.Microsecond)))
@@ -934,7 +1105,7 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 			// indicator check (with its R3 flush) runs after every wave;
 			// the eager flushing propagates deltas sooner and measurably
 			// shortens convergence.
-			wave := cfg.CheckEvery
+			wave := ce
 			if wave > liveWaveCap {
 				wave = liveWaveCap
 			}
@@ -958,7 +1129,7 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 					d.updCount[id].Add(1)
 				}
 				steps++
-				if steps%cfg.CheckEvery == 0 {
+				if steps%ce == 0 {
 					if checkStep() {
 						return
 					}
@@ -976,7 +1147,12 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 		}
 		// Idle transition: report and block for more input. The timeout
 		// keeps the heartbeat alive and lets the worker notice parks (and
-		// due time-triggered crashes) while idle.
+		// due time-triggered crashes) while idle. The recovery-reseeded
+		// check granularity snaps back to the configured bound here — the
+		// replayed backlog it was finer for has drained.
+		if d.ckEvery != nil {
+			d.ckEvery[id].Store(int32(cfg.CheckEvery))
+		}
 		lastIdle = true
 		d.coord.report(id, true, localSent, localRecv)
 		localSent, localRecv = 0, 0
@@ -1005,6 +1181,7 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 					return
 				}
 				serviceLocal()
+				serviceMem()
 				if !st.active.Empty() {
 					// A rollback notice un-applied contributions and
 					// re-activated their vertices: go process them.

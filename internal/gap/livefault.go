@@ -134,6 +134,7 @@ func restoreLive[V any](st *liveState[V], s *liveSnap[V]) {
 		for i := range rs.robuf {
 			rs.robuf[i] = nil
 		}
+		rs.resetBuf()
 	}
 }
 
@@ -178,6 +179,9 @@ func (d *liveDriver[V]) monitor() {
 		}
 		now := sinceFn(d.start)
 
+		if d.gov != nil || (d.localRec && d.logCap > 0) {
+			d.memTick(now)
+		}
 		if d.hasCrashes {
 			// Deaths can also be detected mid-checkpoint, so recovery keys
 			// off the dead count, not just freshly detected deaths.
@@ -273,11 +277,17 @@ func (d *liveDriver[V]) resurrectStalled(now time.Duration) {
 // deathGrace is how long an unannounced death may stay undecided before the
 // run is declared unrecoverable: several heartbeat windows, so a stalled
 // goroutine has time to resume beating and be resurrected, yet a truly
-// wedged worker still hands the run to the watchdog promptly.
+// wedged worker still hands the run to the watchdog promptly. Governed runs
+// get a wider window — spill I/O under a tight budget makes benign
+// hundreds-of-milliseconds stalls far more likely than in RAM-only runs.
 func (d *liveDriver[V]) deathGrace() time.Duration {
 	g := 4 * d.cfg.HeartbeatTimeout
-	if g < 200*time.Millisecond {
-		g = 200 * time.Millisecond
+	min := 200 * time.Millisecond
+	if d.gov != nil && d.gov.Budget() > 0 {
+		min = 500 * time.Millisecond
+	}
+	if g < min {
+		g = min
 	}
 	return g
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"argan/internal/ace"
+	"argan/internal/mem"
 	"argan/internal/obs"
 )
 
@@ -108,6 +109,32 @@ type recoverState[V any] struct {
 	// local recovery (global rollback restores receivers wholesale).
 	undo   [][]undoRec[V]
 	invert func(cur, contrib V) V
+
+	// Reorder-buffer accounting under a memory governor: bufMsgs counts the
+	// messages currently held across robuf, acct carries their estimated
+	// bytes. nil acct (the ungoverned default) makes both no-ops.
+	acct    *mem.Account
+	wire    int64
+	bufMsgs int64
+}
+
+// noteBuf adjusts the reorder-buffer accounting by dm messages.
+func (rs *recoverState[V]) noteBuf(dm int) {
+	if rs.acct == nil || dm == 0 {
+		return
+	}
+	rs.bufMsgs += int64(dm)
+	rs.acct.Add(int64(dm) * rs.wire)
+}
+
+// resetBuf zeroes the accounting after the buffers were dropped wholesale
+// (a restore clears every reorder buffer).
+func (rs *recoverState[V]) resetBuf() {
+	if rs.acct == nil || rs.bufMsgs == 0 {
+		return
+	}
+	rs.acct.Add(-rs.bufMsgs * rs.wire)
+	rs.bufMsgs = 0
 }
 
 func newRecoverState[V any](n int, invert func(cur, contrib V) V) *recoverState[V] {
@@ -225,6 +252,7 @@ func (st *liveState[V]) seqIngest(env liveEnvelope[V], pool *batchPool[V], poole
 				break
 			}
 			delete(rs.robuf[s], rs.cursor[s]+1)
+			rs.noteBuf(-len(m))
 			rs.cursor[s]++
 			st.applyFrom(s, rs.cursor[s], m)
 			recycle(m)
@@ -237,6 +265,7 @@ func (st *liveState[V]) seqIngest(env liveEnvelope[V], pool *batchPool[V], poole
 			recycle(env.msgs)
 		} else {
 			rs.robuf[s][env.seq] = env.msgs
+			rs.noteBuf(len(env.msgs))
 		}
 	}
 }
@@ -253,9 +282,10 @@ func (st *liveState[V]) rollbackSender(s int, inc int32, stable uint64) {
 	}
 	rs.expInc[s] = inc
 	rs.bounds[s] = append(rs.bounds[s], incBound{inc: inc, stable: stable})
-	for seq := range rs.robuf[s] {
+	for seq, m := range rs.robuf[s] {
 		if seq > stable {
 			delete(rs.robuf[s], seq)
+			rs.noteBuf(-len(m))
 		}
 	}
 	if rs.undo != nil {
@@ -283,35 +313,177 @@ func (st *liveState[V]) rollbackSender(s int, inc int32, stable uint64) {
 	}
 }
 
-// loggedBatch is one retained copy of a shipped batch.
+// loggedBatch is one retained copy of a shipped batch. A spilled entry has
+// paged its payload to the spill tier: msgs is nil and (off, n) address the
+// record; readers resolve it through msgLog.fetch.
 type loggedBatch[V any] struct {
-	seq  uint64
-	msgs []ace.Message[V]
+	seq     uint64
+	msgs    []ace.Message[V]
+	n       int
+	spilled bool
+	off     int64
 }
 
 // msgLog is the driver-level sender-side message log: rows[from*n+to] holds
 // the retained batches of one link in ascending sequence order. Senders
 // append at ship time; checkpoints prune the committed prefix; the monitor
 // truncates the uncommitted suffix on a rollback and reads the retained
-// suffix for replay.
+// suffix for replay. Under a memory governor the log also keeps byte
+// accounting and pages its oldest resident entries to the spill tier when
+// the degradation ladder (or the retention byte cap) calls for it.
 type msgLog[V any] struct {
 	mu    sync.Mutex
 	n     int
 	rows  [][]loggedBatch[V]
 	total int
+
+	// Memory governance (set once by configure, before the run starts).
+	acct *mem.Account
+	gov  *mem.Governor
+	sp   *mem.Spiller
+	wire int64 // exact encoded bytes per message (0 = spilling disabled)
+	est  int64 // accounting bytes per message
+
+	ramBytes  int64 // accounted cost of resident entries (guarded by mu)
+	diskBytes int64 // encoded bytes of spilled entries still referenced
+	peakRet   int64 // high-water mark of ramBytes+diskBytes
+	capBytes  int64 // per-receiver retention soft cap (0 = uncapped)
 }
 
 func newMsgLog[V any](n int) *msgLog[V] {
-	return &msgLog[V]{n: n, rows: make([][]loggedBatch[V], n*n)}
+	return &msgLog[V]{n: n, rows: make([][]loggedBatch[V], n*n), est: msgWireEstimate}
 }
+
+// configure attaches the governor's accounting (and, when the budget is
+// bounded and the value type has a fixed wire size, a spill file) to the
+// log. Must be called before any append.
+func (l *msgLog[V]) configure(gov *mem.Governor, wire int, capBytes int64) {
+	l.acct = gov.Account("msglog")
+	l.gov = gov
+	l.capBytes = capBytes
+	if wire > 0 {
+		l.wire = int64(wire)
+		l.est = int64(wire)
+		if gov.Budget() > 0 {
+			if sp, err := gov.NewSpiller("msglog"); err == nil {
+				l.sp = sp
+			}
+		}
+	}
+}
+
+// ramCost is the accounted RAM cost of one resident n-message entry.
+func (l *msgLog[V]) ramCost(n int) int64 { return int64(n)*l.est + logEntryOverhead }
+
+// diskCost is the encoded size of one spilled n-message entry.
+func (l *msgLog[V]) diskCost(n int) int64 { return int64(n) * l.wire }
 
 func (l *msgLog[V]) append(from, to int, seq uint64, msgs []ace.Message[V]) {
 	cp := append([]ace.Message[V](nil), msgs...)
+	cost := l.ramCost(len(cp))
 	l.mu.Lock()
 	k := from*l.n + to
-	l.rows[k] = append(l.rows[k], loggedBatch[V]{seq: seq, msgs: cp})
+	l.rows[k] = append(l.rows[k], loggedBatch[V]{seq: seq, msgs: cp, n: len(cp)})
 	l.total++
+	l.ramBytes += cost
+	if t := l.ramBytes + l.diskBytes; t > l.peakRet {
+		l.peakRet = t
+	}
+	l.acct.Add(cost)
+	l.spillToTargetLocked()
 	l.mu.Unlock()
+}
+
+// spillQuantum bounds the encoded bytes one spillToTargetLocked call may
+// write. Paging happens synchronously inside the sender's append, between
+// two heartbeats: an unbounded pass under a tight budget could stall the
+// worker past the heartbeat timeout and read as a death. Residual pressure
+// is drained by the next appends instead.
+const spillQuantum = 256 << 10
+
+// spillToTargetLocked pages the oldest resident entries to the spill tier
+// until the resident cost drops to the stage's target: half under StageCkpt
+// (or past the retention cap), everything under StageThrottle and beyond.
+// Rows are drained round-robin, oldest entry first, so no link monopolizes
+// the tier. Encoding failures leave the entry resident — spilling is an
+// optimization, retention correctness never depends on it.
+func (l *msgLog[V]) spillToTargetLocked() {
+	if l.sp == nil {
+		return
+	}
+	target := int64(-1)
+	switch l.gov.Stage() {
+	case mem.StageCkpt:
+		target = l.ramBytes / 2
+	case mem.StageThrottle, mem.StageStream:
+		target = 0
+	}
+	if l.capBytes > 0 && l.ramBytes > l.capBytes && (target < 0 || target > l.capBytes/2) {
+		target = l.capBytes / 2
+	}
+	if target < 0 || l.ramBytes <= target {
+		return
+	}
+	written := int64(0)
+	for l.ramBytes > target && written < spillQuantum {
+		paged := false
+		for k := range l.rows {
+			if l.ramBytes <= target || written >= spillQuantum {
+				break
+			}
+			row := l.rows[k]
+			for i := range row {
+				if row[i].spilled {
+					continue
+				}
+				p, err := encodeMsgs(row[i].msgs)
+				if err != nil {
+					return
+				}
+				off, err := l.sp.Append(p)
+				if err != nil {
+					return
+				}
+				written += int64(len(p))
+				cost := l.ramCost(row[i].n)
+				row[i].spilled = true
+				row[i].off = off
+				row[i].msgs = nil
+				l.ramBytes -= cost
+				l.diskBytes += l.diskCost(row[i].n)
+				l.acct.Add(-cost)
+				paged = true
+				break // oldest resident entry of this row, then next row
+			}
+		}
+		if !paged {
+			return
+		}
+	}
+}
+
+// fetch resolves one entry's messages, reading spilled entries back from the
+// tier. Safe without the log mutex: entry headers handed out by after are
+// copies, payloads and spill records are immutable once written.
+func (l *msgLog[V]) fetch(e loggedBatch[V]) ([]ace.Message[V], error) {
+	if !e.spilled {
+		return e.msgs, nil
+	}
+	return decodeMsgs[V](l.sp, e.off, e.n, int(l.wire))
+}
+
+// dropLocked releases one entry's accounting (RAM or spill tier).
+func (l *msgLog[V]) dropLocked(e *loggedBatch[V]) {
+	if e.spilled {
+		c := l.diskCost(e.n)
+		l.diskBytes -= c
+		l.sp.Release(c)
+	} else {
+		c := l.ramCost(e.n)
+		l.ramBytes -= c
+		l.acct.Add(-c)
+	}
+	e.msgs = nil
 }
 
 // truncate drops every batch from sender past its per-receiver stable cut:
@@ -327,6 +499,7 @@ func (l *msgLog[V]) truncate(from int, stable []uint64) {
 		}
 		l.total -= len(row) - i
 		for j := i; j < len(row); j++ {
+			l.dropLocked(&row[j])
 			row[j] = loggedBatch[V]{}
 		}
 		l.rows[k] = row[:i]
@@ -341,6 +514,7 @@ func (l *msgLog[V]) prune(from, to int, bound uint64) {
 	row := l.rows[k]
 	i := 0
 	for i < len(row) && row[i].seq <= bound {
+		l.dropLocked(&row[i])
 		i++
 	}
 	if i > 0 {
@@ -350,9 +524,11 @@ func (l *msgLog[V]) prune(from, to int, bound uint64) {
 	l.mu.Unlock()
 }
 
-// after returns the retained batches of one link past cursor. The returned
-// header is a copy; the entries themselves are immutable once appended, so
-// the caller may read them while the sender keeps appending.
+// after returns the retained batches of one link past cursor as header
+// copies: payloads and spill records are immutable once written, but the log
+// may page an entry out in place while the caller iterates, so the headers
+// themselves must be snapshotted under the mutex. Callers resolve payloads
+// through fetch.
 func (l *msgLog[V]) after(from, to int, cursor uint64) []loggedBatch[V] {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -361,7 +537,37 @@ func (l *msgLog[V]) after(from, to int, cursor uint64) []loggedBatch[V] {
 	for i < len(row) && row[i].seq <= cursor {
 		i++
 	}
-	return row[i:len(row):len(row)]
+	if i == len(row) {
+		return nil
+	}
+	return append([]loggedBatch[V](nil), row[i:]...)
+}
+
+// retainedToward sums the retained bytes (RAM and spilled) of every row
+// shipping to receiver to — the quantity a slow-to-checkpoint receiver
+// grows, and what LogBytesSoftCap bounds.
+func (l *msgLog[V]) retainedToward(to int) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var b int64
+	for from := 0; from < l.n; from++ {
+		for _, e := range l.rows[from*l.n+to] {
+			if e.spilled {
+				b += l.diskCost(e.n)
+			} else {
+				b += l.ramCost(e.n)
+			}
+		}
+	}
+	return b
+}
+
+// bytes reports the log's current RAM cost, spilled bytes and the high-water
+// mark of total retention.
+func (l *msgLog[V]) bytes() (ram, disk, peak int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ramBytes, l.diskBytes, l.peakRet
 }
 
 // retainedFrom counts the batches retained across one sender's rows.
@@ -390,6 +596,10 @@ type localSnap[V any] struct {
 	expInc []int32
 	bounds [][]incBound
 	undo   [][]undoRec[V]
+	// page holds the bulky snapshot parts when they were paged to the spill
+	// tier at checkpoint time (base.psi/active/out are then nil); restores
+	// materialize it back without consuming it.
+	page *snapPage
 }
 
 // takeLocalCkpt snapshots the calling worker's state inline (no barrier, no
@@ -435,9 +645,30 @@ func (d *liveDriver[V]) takeLocalCkpt(st *liveState[V]) {
 			snap.undo[s] = append([]undoRec[V](nil), rs.undo[s]...)
 		}
 	}
+	// Account the snapshot and, under memory pressure, page its bulky parts
+	// (Ψ, active set, out-accumulators) to the spill tier; the repair state
+	// stays resident. The superseded snapshot's page is released.
+	cost := snapResidentBytes(&snap.base, d.vSize, d.wireEst)
+	if d.snapSp != nil && d.gov.Stage() >= mem.StageCkpt {
+		if pg, err := spillSnap(d.snapSp, &snap.base); err == nil {
+			snap.page = pg
+			cost = 0
+			if tr := d.cfg.Tracer; tr != nil {
+				tr.Mark(id, obs.MarkSpill, float64(sinceFn(d.start))/1e3)
+			}
+		}
+	}
 	d.localMu.Lock()
+	old := d.localSnaps[id]
 	d.localSnaps[id] = snap
 	d.localMu.Unlock()
+	if old.page != nil {
+		old.page.sp.Release(old.page.size)
+	}
+	if d.ckptBytes != nil {
+		d.ckptAcct.Add(cost - d.ckptBytes[id])
+		d.ckptBytes[id] = cost
+	}
 	// Publish the stable cursors. Order matters for pruners: snapExpInc is
 	// stored last and read first, so a reader that sees the new incarnation
 	// view is guaranteed to also see the matching (or newer) cursors.
@@ -608,12 +839,22 @@ func (d *liveDriver[V]) stageLocalDead(w int) bool {
 // the snapshot against every peer rollback that happened after it was taken
 // (the snapshot predates those notices, so they are re-applied here from the
 // rollback history). The monitor owns w's state: the goroutine is gone.
-func (d *liveDriver[V]) restoreLocal(w int) {
+// Returns false when a paged checkpoint cannot be read back — the run is
+// then failed with a descriptive error.
+func (d *liveDriver[V]) restoreLocal(w int) bool {
 	st := d.states[w]
 	rs := st.rs
 	d.localMu.Lock()
 	snap := d.localSnaps[w]
 	d.localMu.Unlock()
+	if snap.page != nil {
+		// The local copy materializes the page; the stored snapshot keeps
+		// only the page reference, so later restores re-read it.
+		if err := unspillSnap(snap.page, &snap.base); err != nil {
+			d.coord.fail(fmt.Errorf("gap: restore worker %d from spilled checkpoint: %w", w, err))
+			return false
+		}
+	}
 	restoreLive(st, &snap.base)
 	copy(rs.expInc, snap.expInc)
 	for s := 0; s < d.n; s++ {
@@ -637,6 +878,7 @@ func (d *liveDriver[V]) restoreLocal(w int) {
 	}
 	d.rollMu.Unlock()
 	rs.myInc = d.incOf[w].Load()
+	return true
 }
 
 // replayInto re-applies the logged batches worker w lost since its restored
@@ -660,9 +902,17 @@ func (d *liveDriver[V]) replayInto(w int) int64 {
 			if e.seq != rs.cursor[s]+1 {
 				break // gap: the rest is still in flight, the drain path applies it
 			}
-			st.applyFrom(s, e.seq, e.msgs)
+			msgs, err := d.mlog.fetch(e)
+			if err != nil {
+				d.coord.fail(fmt.Errorf("gap: replay worker %d from spilled log: %w", w, err))
+				return total
+			}
+			st.applyFrom(s, e.seq, msgs)
+			if e.spilled {
+				d.replayedDisk.Add(int64(e.n))
+			}
 			rs.cursor[s] = e.seq
-			total += int64(len(e.msgs))
+			total += int64(len(msgs))
 		}
 		if tr != nil {
 			tr.Mark(s, obs.MarkReplay, float64(sinceFn(d.start))/1e3)
@@ -718,7 +968,9 @@ func (d *liveDriver[V]) runLocalRecovery() bool {
 		if tr != nil {
 			tr.SpanBegin(d.n, obs.PhaseRecovery, ts())
 		}
-		d.restoreLocal(w)
+		if !d.restoreLocal(w) {
+			return false
+		}
 		if tr != nil {
 			tr.SpanBegin(d.n, obs.PhaseReplay, ts())
 		}
@@ -732,6 +984,27 @@ func (d *liveDriver[V]) runLocalRecovery() bool {
 		d.replayed.Add(replayed)
 		now := sinceFn(d.start)
 		d.recoveryNS.Add(int64(now - d.detectAt[w]))
+		// Straggler-aware η reseed: a worker restarting into a deep replayed
+		// backlog (or after a long recovery) re-enters with a finer check
+		// granularity so it interleaves draining and flushing instead of
+		// burning a full coarse wave on stale state; its next idle transition
+		// restores the configured bound.
+		if d.ckEvery != nil && d.cfg.CheckEvery > 1 {
+			ce := d.ckEvery[w].Load()
+			for ce > 8 && replayed >= int64(ce)*4 {
+				ce /= 2
+			}
+			if ce > 8 && float64(now-d.detectAt[w]) > 100*float64(time.Millisecond) {
+				ce /= 2
+			}
+			if ce != d.ckEvery[w].Load() {
+				d.ckEvery[w].Store(ce)
+				d.etaReseeds.Add(1)
+				if tr != nil {
+					tr.Sample(w, obs.GaugeEta, ts(), float64(ce))
+				}
+			}
+		}
 		d.ctrl.mu.Lock()
 		d.ctrl.dead[w] = false
 		d.ctrl.nDead--

@@ -9,6 +9,7 @@ import (
 
 	"argan/internal/ace"
 	"argan/internal/graph"
+	"argan/internal/mem"
 	"argan/internal/obs"
 )
 
@@ -21,6 +22,13 @@ import (
 type batchPool[V any] struct {
 	mu   sync.Mutex
 	free [][]ace.Message[V]
+
+	// Free-list accounting under a memory governor (nil acct = ungoverned):
+	// held tracks the bytes parked in free so the governor sees pooled
+	// capacity as pressure it can shed via trim.
+	acct *mem.Account
+	wire int64
+	held int64
 }
 
 // batchPoolCap bounds the free list; overflow batches are left to the GC.
@@ -32,6 +40,11 @@ func (bp *batchPool[V]) get() []ace.Message[V] {
 		s := bp.free[n-1]
 		bp.free[n-1] = nil
 		bp.free = bp.free[:n-1]
+		if bp.acct != nil {
+			b := int64(cap(s)) * bp.wire
+			bp.held -= b
+			bp.acct.Add(-b)
+		}
 		bp.mu.Unlock()
 		return s
 	}
@@ -46,6 +59,26 @@ func (bp *batchPool[V]) put(s []ace.Message[V]) {
 	bp.mu.Lock()
 	if len(bp.free) < batchPoolCap {
 		bp.free = append(bp.free, s[:0])
+		if bp.acct != nil {
+			b := int64(cap(s)) * bp.wire
+			bp.held += b
+			bp.acct.Add(b)
+		}
+	}
+	bp.mu.Unlock()
+}
+
+// trim releases the free list under memory pressure; batches in flight are
+// untouched and the pool refills organically once pressure clears.
+func (bp *batchPool[V]) trim() {
+	bp.mu.Lock()
+	for i := range bp.free {
+		bp.free[i] = nil
+	}
+	bp.free = bp.free[:0]
+	if bp.acct != nil && bp.held != 0 {
+		bp.acct.Add(-bp.held)
+		bp.held = 0
 	}
 	bp.mu.Unlock()
 }

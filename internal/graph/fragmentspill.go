@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// edgeSpill records where a fragment's edge payload lives once it has been
+// paged out. The CSR index arrays stay resident (8 bytes per local vertex);
+// only the target/weight arrays — the bulk of a fragment at 12 bytes per arc
+// per direction — move to disk. Records are immutable once written, so
+// concurrent reads through os.File.ReadAt need no locking.
+type edgeSpill struct {
+	f    *os.File
+	path string
+
+	outToOff, outWOff int64
+	inToOff, inWOff   int64
+	outArcs, inArcs   int
+	shared            bool // in-arrays aliased out-arrays before spilling
+}
+
+// EdgesSpilled reports whether the fragment's edge payload lives on disk.
+func (f *Fragment) EdgesSpilled() bool { return f.espill != nil }
+
+// EdgesResidentBytes returns the RAM held by the fragment's edge payload
+// (the part SpillEdges can free); zero while spilled.
+func (f *Fragment) EdgesResidentBytes() int64 {
+	if f.espill != nil {
+		return 0
+	}
+	b := int64(len(f.outTo))*4 + int64(len(f.outW))*8
+	if !f.edgesShared() {
+		b += int64(len(f.inTo))*4 + int64(len(f.inW))*8
+	}
+	return b
+}
+
+func (f *Fragment) edgesShared() bool {
+	return len(f.inTo) > 0 && len(f.outTo) > 0 && &f.inTo[0] == &f.outTo[0]
+}
+
+// SpillEdges writes the fragment's edge target/weight arrays to a fresh file
+// in dir and drops the in-RAM copies, freeing ~12 bytes per arc per stored
+// direction. Adjacency accessors keep working, reading from disk on demand
+// (StageStream of the degradation ladder: slower, never dead). The caller
+// must ensure no accessor runs concurrently with the transition — in the
+// live driver only the owning worker calls this, at a wave boundary.
+// Returns the bytes freed; a no-op (0, nil) when already spilled.
+func (f *Fragment) SpillEdges(dir string) (int64, error) {
+	if f.espill != nil {
+		return 0, nil
+	}
+	freed := f.EdgesResidentBytes()
+	file, err := os.CreateTemp(dir, fmt.Sprintf("argan-edges-w%d-*.bin", f.worker))
+	if err != nil {
+		return 0, fmt.Errorf("graph: create edge spill: %w", err)
+	}
+	es := &edgeSpill{f: file, path: file.Name(), outArcs: len(f.outTo), inArcs: len(f.inTo), shared: f.edgesShared()}
+	bw := bufio.NewWriter(file)
+	off := int64(0)
+	put := func(data any, bytes int64) int64 {
+		o := off
+		if err == nil {
+			err = WriteLE(bw, data)
+		}
+		off += bytes
+		return o
+	}
+	es.outToOff = put(f.outTo, int64(len(f.outTo))*4)
+	es.outWOff = put(f.outW, int64(len(f.outW))*8)
+	if es.shared {
+		es.inToOff, es.inWOff = es.outToOff, es.outWOff
+	} else {
+		es.inToOff = put(f.inTo, int64(len(f.inTo))*4)
+		es.inWOff = put(f.inW, int64(len(f.inW))*8)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		file.Close()
+		os.Remove(es.path)
+		return 0, fmt.Errorf("graph: spill edges of worker %d: %w", f.worker, err)
+	}
+	f.outTo, f.outW, f.inTo, f.inW = nil, nil, nil, nil
+	f.espill = es
+	return freed, nil
+}
+
+// UnspillEdges reloads the edge payload into RAM and removes the spill file.
+// Returns the bytes brought back; a no-op (0, nil) when not spilled.
+func (f *Fragment) UnspillEdges() (int64, error) {
+	es := f.espill
+	if es == nil {
+		return 0, nil
+	}
+	if _, err := es.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("graph: unspill edges of worker %d: %w", f.worker, err)
+	}
+	br := bufio.NewReader(es.f)
+	outTo := make([]uint32, es.outArcs)
+	outW := make([]float64, es.outArcs)
+	var err error
+	if err = ReadLE(br, outTo); err == nil {
+		err = ReadLE(br, outW)
+	}
+	inTo, inW := outTo, outW
+	if !es.shared {
+		inTo = make([]uint32, es.inArcs)
+		inW = make([]float64, es.inArcs)
+		if err == nil {
+			err = ReadLE(br, inTo)
+		}
+		if err == nil {
+			err = ReadLE(br, inW)
+		}
+	}
+	if err != nil {
+		return 0, fmt.Errorf("graph: unspill edges of worker %d: %w", f.worker, err)
+	}
+	f.outTo, f.outW, f.inTo, f.inW = outTo, outW, inTo, inW
+	f.espill = nil
+	es.f.Close()
+	os.Remove(es.path)
+	return f.EdgesResidentBytes(), nil
+}
+
+// readU32 loads the element range [lo, hi) of a spilled uint32 array.
+func (es *edgeSpill) readU32(base, lo, hi int64) []uint32 {
+	out := make([]uint32, hi-lo)
+	if len(out) == 0 {
+		return out
+	}
+	sr := io.NewSectionReader(es.f, base+4*lo, 4*(hi-lo))
+	if err := ReadLE(sr, out); err != nil {
+		panic(fmt.Sprintf("graph: spilled adjacency read [%d,%d) from %s failed: %v", lo, hi, es.path, err))
+	}
+	return out
+}
+
+// readF64 loads the element range [lo, hi) of a spilled float64 array.
+func (es *edgeSpill) readF64(base, lo, hi int64) []float64 {
+	out := make([]float64, hi-lo)
+	if len(out) == 0 {
+		return out
+	}
+	sr := io.NewSectionReader(es.f, base+8*lo, 8*(hi-lo))
+	if err := ReadLE(sr, out); err != nil {
+		panic(fmt.Sprintf("graph: spilled adjacency read [%d,%d) from %s failed: %v", lo, hi, es.path, err))
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"testing"
+)
+
+// snapshotAdjacency copies every accessor result for later comparison.
+type fragAdj struct {
+	outN [][]uint32
+	outW [][]float64
+	inN  [][]uint32
+	inW  [][]float64
+}
+
+func captureAdj(f *Fragment) fragAdj {
+	nl := f.NumLocal()
+	a := fragAdj{
+		outN: make([][]uint32, nl), outW: make([][]float64, nl),
+		inN: make([][]uint32, nl), inW: make([][]float64, nl),
+	}
+	for l := 0; l < nl; l++ {
+		a.outN[l] = append([]uint32{}, f.OutNeighbors(uint32(l))...)
+		a.outW[l] = append([]float64{}, f.OutWeights(uint32(l))...)
+		a.inN[l] = append([]uint32{}, f.InNeighbors(uint32(l))...)
+		a.inW[l] = append([]float64{}, f.InWeights(uint32(l))...)
+	}
+	return a
+}
+
+func assertAdjEqual(t *testing.T, want, got fragAdj, when string) {
+	t.Helper()
+	for l := range want.outN {
+		if len(want.outN[l]) != len(got.outN[l]) {
+			t.Fatalf("%s: out-degree of local %d changed: %d -> %d", when, l, len(want.outN[l]), len(got.outN[l]))
+		}
+		for i := range want.outN[l] {
+			if want.outN[l][i] != got.outN[l][i] || want.outW[l][i] != got.outW[l][i] {
+				t.Fatalf("%s: out-adjacency of local %d diverges at %d", when, l, i)
+			}
+		}
+		if len(want.inN[l]) != len(got.inN[l]) {
+			t.Fatalf("%s: in-degree of local %d changed: %d -> %d", when, l, len(want.inN[l]), len(got.inN[l]))
+		}
+		for i := range want.inN[l] {
+			if want.inN[l][i] != got.inN[l][i] || want.inW[l][i] != got.inW[l][i] {
+				t.Fatalf("%s: in-adjacency of local %d diverges at %d", when, l, i)
+			}
+		}
+	}
+}
+
+func TestFragmentSpillEdges(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		g := PowerLaw(GenConfig{N: 200, M: 900, Directed: directed, Seed: 11, MaxW: 5})
+		frags, err := BuildFragments(g, hashOwner(g.NumVertices(), 3), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range frags {
+			want := captureAdj(f)
+			resident := f.EdgesResidentBytes()
+			if resident <= 0 {
+				t.Fatalf("EdgesResidentBytes = %d, want > 0", resident)
+			}
+			arcs := f.NumArcs()
+
+			freed, err := f.SpillEdges(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if freed != resident {
+				t.Fatalf("freed %d bytes, resident said %d", freed, resident)
+			}
+			if !f.EdgesSpilled() || f.EdgesResidentBytes() != 0 {
+				t.Fatal("fragment should report spilled with zero resident bytes")
+			}
+			if f.NumArcs() != arcs {
+				t.Fatalf("NumArcs changed across spill: %d -> %d", arcs, f.NumArcs())
+			}
+			assertAdjEqual(t, want, captureAdj(f), "spilled")
+
+			// Double-spill is a no-op.
+			if freed2, err := f.SpillEdges(t.TempDir()); err != nil || freed2 != 0 {
+				t.Fatalf("second SpillEdges = (%d, %v), want (0, nil)", freed2, err)
+			}
+
+			back, err := f.UnspillEdges()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back != resident {
+				t.Fatalf("unspill restored %d bytes, want %d", back, resident)
+			}
+			if f.EdgesSpilled() {
+				t.Fatal("fragment should be resident after unspill")
+			}
+			assertAdjEqual(t, want, captureAdj(f), "unspilled")
+
+			if back2, err := f.UnspillEdges(); err != nil || back2 != 0 {
+				t.Fatalf("second UnspillEdges = (%d, %v), want (0, nil)", back2, err)
+			}
+		}
+	}
+}
+
+func TestFragmentSpillConcurrentReads(t *testing.T) {
+	g := PowerLaw(GenConfig{N: 150, M: 700, Directed: true, Seed: 5, MaxW: 3})
+	frags, err := BuildFragments(g, hashOwner(g.NumVertices(), 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := frags[0]
+	want := captureAdj(f)
+	if _, err := f.SpillEdges(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer f.UnspillEdges()
+	done := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		go func() {
+			for rep := 0; rep < 20; rep++ {
+				for l := 0; l < f.NumLocal(); l++ {
+					adj := f.OutNeighbors(uint32(l))
+					for i, u := range adj {
+						if u != want.outN[l][i] {
+							done <- errMismatch(l, i)
+							return
+						}
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type mismatchErr struct{ l, i int }
+
+func (e mismatchErr) Error() string {
+	return "spilled read mismatch"
+}
+
+func errMismatch(l, i int) error { return mismatchErr{l, i} }

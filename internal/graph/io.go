@@ -68,6 +68,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 					if err != nil {
 						return nil, fmt.Errorf("graph: line %d: bad n: %v", lineNo, err)
 					}
+					if x < 0 {
+						return nil, fmt.Errorf("graph: line %d: header declares negative n=%d", lineNo, x)
+					}
 					n = x
 				}
 			}
@@ -122,14 +125,80 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	b := NewBuilder(n, directed)
 	b.edges = edges
 	for _, a := range labels {
-		if int(a.v) < n {
-			b.SetLabel(a.v, a.l)
+		if int(a.v) >= n {
+			return nil, fmt.Errorf("graph: label assigned to vertex %d out of range for n=%d", a.v, n)
 		}
+		b.SetLabel(a.v, a.l)
 	}
 	return b.Build()
 }
 
 const binMagic = uint32(0x41524732) // "ARG2"
+
+// WriteLE writes data in the repo's canonical little-endian binary form. It
+// is the serialization seam shared by the graph codec, the fragment edge
+// spill files, and the live driver's spilled recovery logs/checkpoints: one
+// encoding, one place to change it.
+func WriteLE(w io.Writer, data any) error {
+	return binary.Write(w, binary.LittleEndian, data)
+}
+
+// ReadLE reads data written by WriteLE.
+func ReadLE(r io.Reader, data any) error {
+	return binary.Read(r, binary.LittleEndian, data)
+}
+
+// readerSize reports the number of bytes remaining in r when that is cheap
+// to learn (files, byte/string readers, anything seekable). ok is false for
+// plain streams.
+func readerSize(r io.Reader) (size int64, ok bool) {
+	switch v := r.(type) {
+	case interface{ Len() int }: // bytes.Reader, strings.Reader, bytes.Buffer
+		return int64(v.Len()), true
+	case io.Seeker:
+		cur, err1 := v.Seek(0, io.SeekCurrent)
+		end, err2 := v.Seek(0, io.SeekEnd)
+		if err1 != nil || err2 != nil {
+			return 0, false
+		}
+		if _, err := v.Seek(cur, io.SeekStart); err != nil {
+			return 0, false
+		}
+		return end - cur, true
+	}
+	return 0, false
+}
+
+// readSliceLE reads count fixed-size elements into a fresh slice. When the
+// input may be shorter than the header claims (sized=false, so the caller
+// could not pre-validate), it reads in bounded chunks and grows the result
+// incrementally, so a corrupt header that declares billions of elements
+// fails fast with a truncation error instead of one huge up-front
+// allocation.
+func readSliceLE[T int32 | int64 | uint32 | float64](r io.Reader, count int, sized bool, what string) ([]T, error) {
+	if count == 0 {
+		return []T{}, nil
+	}
+	if sized {
+		out := make([]T, count)
+		if err := ReadLE(r, out); err != nil {
+			return nil, fmt.Errorf("graph: reading %s (%d entries): %w", what, count, err)
+		}
+		return out, nil
+	}
+	const chunk = 1 << 16
+	out := make([]T, 0, min(count, chunk))
+	buf := make([]T, min(count, chunk))
+	for read := 0; read < count; {
+		c := min(count-read, chunk)
+		if err := ReadLE(r, buf[:c]); err != nil {
+			return nil, fmt.Errorf("graph: %s truncated after %d of %d entries: %w", what, read, count, err)
+		}
+		out = append(out, buf[:c]...)
+		read += c
+	}
+	return out, nil
+}
 
 // WriteBinary writes a compact binary encoding (little-endian), much faster
 // to reload than the text form for large graphs.
@@ -143,22 +212,20 @@ func WriteBinary(w io.Writer, g *Graph) error {
 		flags |= 2
 	}
 	hdr := []uint32{binMagic, flags, uint32(g.n), uint32(len(g.outTo))}
-	for _, x := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, x); err != nil {
-			return err
-		}
-	}
-	if err := binary.Write(bw, binary.LittleEndian, g.outIndex); err != nil {
+	if err := WriteLE(bw, hdr); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.outTo); err != nil {
+	if err := WriteLE(bw, g.outIndex); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.outW); err != nil {
+	if err := WriteLE(bw, g.outTo); err != nil {
+		return err
+	}
+	if err := WriteLE(bw, g.outW); err != nil {
 		return err
 	}
 	if g.labels != nil {
-		if err := binary.Write(bw, binary.LittleEndian, g.labels); err != nil {
+		if err := WriteLE(bw, g.labels); err != nil {
 			return err
 		}
 	}
@@ -166,36 +233,59 @@ func WriteBinary(w io.Writer, g *Graph) error {
 }
 
 // ReadBinary parses the format written by WriteBinary, reconstructing the
-// reverse adjacency.
+// reverse adjacency. The header counts are validated against the reader's
+// size (when it is knowable) before anything is allocated, and the CSR
+// structure is validated after decoding, so truncated or corrupt inputs
+// produce descriptive errors instead of huge allocations or silent short
+// reads.
 func ReadBinary(r io.Reader) (*Graph, error) {
+	size, sized := readerSize(r)
 	br := bufio.NewReader(r)
 	var hdr [4]uint32
-	for i := range hdr {
-		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
-			return nil, err
-		}
+	if err := ReadLE(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: binary header: %w", err)
 	}
 	if hdr[0] != binMagic {
 		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
 	}
-	g := &Graph{n: int(hdr[2]), directed: hdr[1]&1 != 0}
-	m := int(hdr[3])
-	g.outIndex = make([]int64, g.n+1)
-	g.outTo = make([]VID, m)
-	g.outW = make([]float64, m)
-	if err := binary.Read(br, binary.LittleEndian, g.outIndex); err != nil {
+	n, m := int(hdr[2]), int(hdr[3])
+	need := int64(16) + 8*int64(n+1) + 12*int64(m)
+	if hdr[1]&2 != 0 {
+		need += 4 * int64(n)
+	}
+	if sized && size < need {
+		return nil, fmt.Errorf("graph: binary header declares n=%d m=%d requiring %d bytes, input has only %d", n, m, need, size)
+	}
+	g := &Graph{n: n, directed: hdr[1]&1 != 0}
+	var err error
+	if g.outIndex, err = readSliceLE[int64](br, n+1, sized, "out-index"); err != nil {
 		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.outTo); err != nil {
+	if g.outTo, err = readSliceLE[VID](br, m, sized, "arc targets"); err != nil {
 		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.outW); err != nil {
+	if g.outW, err = readSliceLE[float64](br, m, sized, "arc weights"); err != nil {
 		return nil, err
 	}
 	if hdr[1]&2 != 0 {
-		g.labels = make([]int32, g.n)
-		if err := binary.Read(br, binary.LittleEndian, g.labels); err != nil {
+		if g.labels, err = readSliceLE[int32](br, n, sized, "labels"); err != nil {
 			return nil, err
+		}
+	}
+	if g.outIndex[0] != 0 {
+		return nil, fmt.Errorf("graph: corrupt CSR: index[0] = %d, want 0", g.outIndex[0])
+	}
+	for v := 0; v < n; v++ {
+		if g.outIndex[v+1] < g.outIndex[v] {
+			return nil, fmt.Errorf("graph: corrupt CSR: index decreases at vertex %d (%d -> %d)", v, g.outIndex[v], g.outIndex[v+1])
+		}
+	}
+	if g.outIndex[n] != int64(m) {
+		return nil, fmt.Errorf("graph: corrupt CSR: index covers %d arcs, header declares %d", g.outIndex[n], m)
+	}
+	for i, t := range g.outTo {
+		if int(t) >= n {
+			return nil, fmt.Errorf("graph: corrupt CSR: arc %d targets vertex %d >= n=%d", i, t, n)
 		}
 	}
 	if g.directed {

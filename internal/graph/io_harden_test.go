@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+// corruptHeader builds a binary blob with the given header and no payload.
+func corruptHeader(t *testing.T, flags, n, m uint32) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteLE(&buf, []uint32{binMagic, flags, n, m}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadBinaryHugeHeaderSizedReader(t *testing.T) {
+	// A header claiming two billion arcs over a 16-byte input must be
+	// rejected up front, before any allocation.
+	blob := corruptHeader(t, 1, 1000, 2_000_000_000)
+	_, err := ReadBinary(bytes.NewReader(blob))
+	if err == nil {
+		t.Fatal("want size-validation error")
+	}
+	if !strings.Contains(err.Error(), "requiring") {
+		t.Fatalf("want descriptive size error, got: %v", err)
+	}
+}
+
+func TestReadBinaryHugeHeaderUnsizedReader(t *testing.T) {
+	// Behind a plain stream the size is unknowable; the chunked reader must
+	// fail fast on truncation without allocating the declared two billion
+	// entries.
+	blob := corruptHeader(t, 1, 1000, 2_000_000_000)
+	_, err := ReadBinary(io.MultiReader(bytes.NewReader(blob)))
+	if err == nil {
+		t.Fatal("want truncation error")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("want truncation error, got: %v", err)
+	}
+}
+
+func TestReadBinaryTruncatedPayload(t *testing.T) {
+	g := Uniform(GenConfig{N: 50, M: 200, Directed: true, Seed: 3, MaxW: 2})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for _, cut := range []int{len(whole) / 4, len(whole) / 2, len(whole) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(whole[:cut])); err == nil {
+			t.Fatalf("want error for input truncated to %d of %d bytes", cut, len(whole))
+		}
+	}
+}
+
+func TestReadBinaryCorruptCSR(t *testing.T) {
+	g := Chain(10, true)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	// Out-of-range arc target: outTo starts after header + index.
+	toOff := 16 + 8*(g.NumVertices()+1)
+	bad := append([]byte{}, blob...)
+	binary.LittleEndian.PutUint32(bad[toOff:], uint32(g.NumVertices())+7)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "targets vertex") {
+		t.Fatalf("want arc-target error, got: %v", err)
+	}
+
+	// Decreasing index.
+	bad = append([]byte{}, blob...)
+	binary.LittleEndian.PutUint64(bad[16+8:], uint64(1<<40))
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatalf("want corrupt-index error, got nil")
+	}
+
+	// index[n] disagreeing with the header's arc count (still monotone).
+	bad = append([]byte{}, blob...)
+	lastIdx := 16 + 8*g.NumVertices()
+	binary.LittleEndian.PutUint64(bad[lastIdx:], uint64(g.NumEdges()+1))
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "header declares") {
+		t.Fatalf("want index/header mismatch error, got: %v", err)
+	}
+}
+
+func TestReadEdgeListNegativeN(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("# argan directed=true n=-5 labeled=false\n")); err == nil {
+		t.Fatal("want negative-n error")
+	}
+}
+
+func TestReadEdgeListLabelOutOfRange(t *testing.T) {
+	src := "# argan directed=true n=2 labeled=true\nl 9 3\n0 1 1\n"
+	if _, err := ReadEdgeList(strings.NewReader(src)); err == nil {
+		t.Fatal("want label-range error")
+	}
+}
+
+func TestReadEdgeListEdgeOutOfRange(t *testing.T) {
+	src := "# argan directed=true n=2 labeled=false\n0 7 1\n"
+	if _, err := ReadEdgeList(strings.NewReader(src)); err == nil {
+		t.Fatal("want edge-range error")
+	}
+}
+
+func TestLECodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := []uint32{1, 2, 3, 0xFFFFFFFF}
+	if err := WriteLE(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint32, len(in))
+	if err := ReadLE(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("LE round-trip mismatch at %d", i)
+		}
+	}
+}

@@ -129,8 +129,17 @@ const (
 	// GaugeAcksOut is the number of survivor undo acknowledgements the
 	// monitor is still waiting for during a localized recovery.
 	GaugeAcksOut
+	// GaugeMemUsed is the memory governor's accounted RAM usage in bytes
+	// (including injected synthetic pressure), sampled by the monitor.
+	GaugeMemUsed
+	// GaugeMemSpilled is the bytes of governed state currently resident on
+	// the spill tier (recovery logs, checkpoints, fragment edges).
+	GaugeMemSpilled
+	// GaugeMemStage is the governor's degradation-ladder stage (0 = ok,
+	// 1 = forced-checkpoint, 2 = sender throttle, 3 = edge streaming).
+	GaugeMemStage
 
-	numGauges = int(GaugeAcksOut) + 1
+	numGauges = int(GaugeMemStage) + 1
 )
 
 func (g Gauge) String() string {
@@ -153,6 +162,12 @@ func (g Gauge) String() string {
 		return "log_size"
 	case GaugeAcksOut:
 		return "acks_out"
+	case GaugeMemUsed:
+		return "mem_used"
+	case GaugeMemSpilled:
+		return "mem_spilled"
+	case GaugeMemStage:
+		return "mem_stage"
 	}
 	return "gauge?"
 }
@@ -187,8 +202,11 @@ const (
 	// the cluster epoch; localized recoveries never emit it, which is how
 	// the chaos soak asserts "zero global epoch bumps".
 	MarkEpoch
+	// MarkSpill fires on a worker's track when governed state pages out to
+	// the spill tier (log entries, a checkpoint, or the fragment's edges).
+	MarkSpill
 
-	numMarks = int(MarkEpoch) + 1
+	numMarks = int(MarkSpill) + 1
 )
 
 func (m Mark) String() string {
@@ -215,6 +233,8 @@ func (m Mark) String() string {
 		return "replay"
 	case MarkEpoch:
 		return "epoch"
+	case MarkSpill:
+		return "spill"
 	}
 	return "mark?"
 }
