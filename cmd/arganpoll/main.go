@@ -1,0 +1,178 @@
+// Command arganpoll scrapes a telemetry-plane endpoint (arganrun -serve),
+// validates the Prometheus exposition format strictly, and evaluates
+// threshold checks against the scraped samples — a monitoring-style probe
+// for CI and cron.
+//
+// Usage:
+//
+//	arganpoll -url http://127.0.0.1:9090/metrics
+//	arganpoll -url http://host:9090/metrics \
+//	    -check 'argan_run_unrecoverable==0' \
+//	    -check 'argan_dropped_events_total<1000' \
+//	    -check 'argan_runs_failed_total<=0'
+//
+// A check is SERIES OP VALUE with OP one of == != < <= > >=. SERIES is the
+// exact series string (labels sorted by name, e.g.
+// argan_updates_total{worker="0"}); a bare family name whose series all
+// carry labels is evaluated as the sum over the family.
+//
+// Exit codes: 0 all good; 2 lint violation or failed check; 3 scrape or
+// usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"argan/internal/obs/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("arganpoll", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "", "metrics endpoint to scrape (e.g. http://127.0.0.1:9090/metrics)")
+	timeout := fs.Duration("timeout", 5*time.Second, "scrape timeout")
+	quiet := fs.Bool("quiet", false, "print only failures")
+	var checks multiFlag
+	fs.Var(&checks, "check", "threshold `EXPR` (SERIES OP VALUE); repeatable")
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+	if *url == "" {
+		fmt.Fprintln(stderr, "arganpoll: -url is required")
+		return 3
+	}
+	parsed := make([]check, 0, len(checks))
+	for _, c := range checks {
+		ck, err := parseCheck(c)
+		if err != nil {
+			fmt.Fprintf(stderr, "arganpoll: %v\n", err)
+			return 3
+		}
+		parsed = append(parsed, ck)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(*url)
+	if err != nil {
+		fmt.Fprintf(stderr, "arganpoll: scrape failed: %v\n", err)
+		return 3
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "arganpoll: scrape returned %s\n", resp.Status)
+		return 3
+	}
+	samples, err := serve.ParseSamples(resp.Body)
+	if err != nil {
+		fmt.Fprintf(stderr, "arganpoll: %v\n", err)
+		return 2
+	}
+	if !*quiet {
+		fmt.Fprintf(stdout, "ok: exposition valid (%d series)\n", len(samples))
+	}
+	failed := 0
+	for _, ck := range parsed {
+		v, ok := lookup(samples, ck.series)
+		switch {
+		case !ok:
+			fmt.Fprintf(stdout, "FAIL: %s — no such series\n", ck)
+			failed++
+		case !ck.holds(v):
+			fmt.Fprintf(stdout, "FAIL: %s — value %s\n", ck, strconv.FormatFloat(v, 'g', -1, 64))
+			failed++
+		default:
+			if !*quiet {
+				fmt.Fprintf(stdout, "ok: %s (value %s)\n", ck, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stdout, "%d of %d checks failed\n", failed, len(parsed))
+		return 2
+	}
+	return 0
+}
+
+type check struct {
+	series string
+	op     string
+	value  float64
+}
+
+func (c check) String() string {
+	return c.series + c.op + strconv.FormatFloat(c.value, 'g', -1, 64)
+}
+
+func (c check) holds(v float64) bool {
+	switch c.op {
+	case "==":
+		return v == c.value
+	case "!=":
+		return v != c.value
+	case "<":
+		return v < c.value
+	case "<=":
+		return v <= c.value
+	case ">":
+		return v > c.value
+	case ">=":
+		return v >= c.value
+	}
+	return false
+}
+
+// checkRe splits SERIES OP VALUE; the series part is validated by lookup
+// against the actually-scraped names, so it is matched loosely here.
+var checkRe = regexp.MustCompile(`^\s*(.+?)\s*(==|!=|<=|>=|<|>)\s*([^=<>\s].*?)\s*$`)
+
+func parseCheck(s string) (check, error) {
+	m := checkRe.FindStringSubmatch(s)
+	if m == nil {
+		return check{}, fmt.Errorf("bad check %q (want SERIES OP VALUE)", s)
+	}
+	v, err := strconv.ParseFloat(m[3], 64)
+	if err != nil {
+		return check{}, fmt.Errorf("bad check %q: value %q is not a number", s, m[3])
+	}
+	return check{series: m[1], op: m[2], value: v}, nil
+}
+
+// lookup resolves a check's series: exact match first, then — for a bare
+// family name — the sum over every labeled series of that family.
+func lookup(samples map[string]float64, series string) (float64, bool) {
+	if v, ok := samples[series]; ok {
+		return v, true
+	}
+	if strings.ContainsRune(series, '{') {
+		return 0, false
+	}
+	sum, any := 0.0, false
+	for k, v := range samples {
+		if strings.HasPrefix(k, series+"{") {
+			sum += v
+			any = true
+		}
+	}
+	return sum, any
+}

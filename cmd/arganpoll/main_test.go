@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const goodDoc = `# HELP argan_run_running A live run is currently executing (0/1).
+# TYPE argan_run_running gauge
+argan_run_running 1
+# HELP argan_updates_total Update-function invocations.
+# TYPE argan_updates_total counter
+argan_updates_total{worker="0"} 5
+argan_updates_total{worker="1"} 7
+`
+
+func serveDoc(t *testing.T, doc string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, doc)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestScrapeOK(t *testing.T) {
+	srv := serveDoc(t, goodDoc)
+	code, out, _ := runCLI(t, "-url", srv.URL,
+		"-check", "argan_run_running==1",
+		"-check", `argan_updates_total{worker="0"}>=5`,
+		"-check", "argan_updates_total==12", // family sum
+	)
+	if code != 0 {
+		t.Fatalf("exit %d, out:\n%s", code, out)
+	}
+	if !strings.Contains(out, "exposition valid") {
+		t.Errorf("missing validity line: %s", out)
+	}
+}
+
+func TestCheckFails(t *testing.T) {
+	srv := serveDoc(t, goodDoc)
+	code, out, _ := runCLI(t, "-url", srv.URL, "-check", "argan_run_running==0")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; out:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL: argan_run_running==0") {
+		t.Errorf("missing FAIL line: %s", out)
+	}
+}
+
+func TestMissingSeriesFails(t *testing.T) {
+	srv := serveDoc(t, goodDoc)
+	code, out, _ := runCLI(t, "-url", srv.URL, "-check", "argan_nope<1")
+	if code != 2 || !strings.Contains(out, "no such series") {
+		t.Fatalf("exit %d out %q", code, out)
+	}
+}
+
+func TestLintFailure(t *testing.T) {
+	srv := serveDoc(t, "argan_untyped_sample 1\n")
+	code, _, errb := runCLI(t, "-url", srv.URL)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (stderr %q)", code, errb)
+	}
+	if !strings.Contains(errb, "lint") {
+		t.Errorf("stderr lacks lint diagnosis: %q", errb)
+	}
+}
+
+func TestScrapeError(t *testing.T) {
+	code, _, _ := runCLI(t, "-url", "http://127.0.0.1:1/metrics", "-timeout", "200ms")
+	if code != 3 {
+		t.Fatalf("exit %d, want 3", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 3 {
+		t.Fatal("missing -url must exit 3")
+	}
+	srv := serveDoc(t, goodDoc)
+	if code, _, _ := runCLI(t, "-url", srv.URL, "-check", "nonsense"); code != 3 {
+		t.Fatal("bad check must exit 3")
+	}
+	if code, _, _ := runCLI(t, "-url", srv.URL, "-check", "a==b"); code != 3 {
+		t.Fatal("non-numeric value must exit 3")
+	}
+}
+
+func TestParseCheck(t *testing.T) {
+	ck, err := parseCheck(` argan_x{worker="0"} <= 10 `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.series != `argan_x{worker="0"}` || ck.op != "<=" || ck.value != 10 {
+		t.Fatalf("parsed %+v", ck)
+	}
+	if !ck.holds(10) || ck.holds(11) {
+		t.Error("holds() wrong")
+	}
+}

@@ -52,8 +52,20 @@
 //	                   active-set size, mailbox depth and cumulative
 //	                   counters — the input for Fig. 7/8-style plots.
 //	-progress DUR      while the run executes, print a live progress line
-//	                   (virtual time, busy workers, updates, backlog)
-//	                   every DUR (e.g. -progress 500ms).
+//	                   (virtual time, busy workers, updates, backlog, and —
+//	                   under a governed live run — memory stage and spilled
+//	                   bytes) every DUR (e.g. -progress 500ms). Warns when
+//	                   the trace ring dropped events.
+//	-serve ADDR        start the telemetry plane on ADDR (e.g. :9090 or
+//	                   127.0.0.1:0) for the duration of the run: Prometheus
+//	                   /metrics, JSON /status, /healthz + /readyz wired to
+//	                   the live control plane, and /debug/pprof. The server
+//	                   spans every soak iteration.
+//	-report FILE       after the run, write the critical-path straggler
+//	                   attribution report (per-worker compute/merge/wait/
+//	                   replay/spill/throttle shares, straggler chain) as
+//	                   text to FILE ("-" = stdout).
+//	-report-json FILE  the same report as JSON ("-" = stdout).
 package main
 
 import (
@@ -65,6 +77,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"argan/internal/ace"
@@ -75,6 +88,8 @@ import (
 	"argan/internal/graph"
 	"argan/internal/mem"
 	"argan/internal/obs"
+	"argan/internal/obs/crit"
+	"argan/internal/obs/serve"
 	"argan/internal/systems"
 )
 
@@ -108,6 +123,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceFile := fs.String("trace", "", "write Chrome trace-event JSON (Perfetto) to `FILE`")
 	metricsOut := fs.String("metrics-out", "", "write per-worker time-series CSV to `FILE`")
 	progress := fs.Duration("progress", 0, "print live progress every `DUR` (0 disables)")
+	serveAddr := fs.String("serve", "", "serve /metrics, /status, /healthz, /readyz and /debug/pprof on `ADDR` while the run executes")
+	report := fs.String("report", "", "write the straggler attribution report as text to `FILE` (\"-\" = stdout)")
+	reportJSON := fs.String("report-json", "", "write the straggler attribution report as JSON to `FILE` (\"-\" = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -125,6 +143,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		recovery: *recovery, soak: *soak,
 		memBudget: budget, spillDir: *spillDir,
 		traceFile: *traceFile, metricsOut: *metricsOut, progress: *progress,
+		serveAddr: *serveAddr, report: *report, reportJSON: *reportJSON,
 	}); err != nil {
 		fmt.Fprintf(stderr, "arganrun: %v\n", err)
 		return 1
@@ -150,6 +169,14 @@ type options struct {
 	spillDir              string
 	traceFile, metricsOut string
 	progress              time.Duration
+	serveAddr             string
+	report, reportJSON    string
+}
+
+// wantsRecorder reports whether any observability sink needs a trace.
+func (o options) wantsRecorder() bool {
+	return o.traceFile != "" || o.metricsOut != "" || o.progress > 0 ||
+		o.serveAddr != "" || o.report != "" || o.reportJSON != ""
 }
 
 // parseBytes reads a byte count with an optional k/m/g (KiB/MiB/GiB) suffix.
@@ -218,7 +245,7 @@ func runMain(stdout, stderr io.Writer, o options) error {
 	}
 
 	if o.recovery != "" || o.soak != 0 {
-		return runLiveSoak(stdout, o, g)
+		return runLiveSoak(stdout, stderr, o, g)
 	}
 
 	sys, err := systems.ByName(o.system)
@@ -254,9 +281,16 @@ func runMain(stdout, stderr io.Writer, o options) error {
 		cfg.FT.CheckpointEvery = o.ckptEvery
 	}
 	var rec *obs.Recorder
-	if o.traceFile != "" || o.metricsOut != "" || o.progress > 0 {
+	if o.wantsRecorder() {
 		rec = obs.NewRecorder(o.n, 0)
 		cfg.Tracer = rec
+	}
+	if o.serveAddr != "" {
+		srv, err := startTelemetry(stdout, o, rec, nil, "sim")
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
 	}
 	m, err := runJob(stderr, job, frags, q, cfg, rec, o.progress)
 	if err != nil {
@@ -274,6 +308,9 @@ func runMain(stdout, stderr io.Writer, o options) error {
 				return err
 			}
 			fmt.Fprintf(stdout, "metrics       : %s\n", o.metricsOut)
+		}
+		if err := writeReports(stdout, rec, o); err != nil {
+			return err
 		}
 	}
 	if !m.Converged {
@@ -302,7 +339,7 @@ func runMain(stdout, stderr io.Writer, o options) error {
 // the LIVE driver (real goroutines, wall-clock fault plans) one or more
 // times, verify every run against the sequential reference, and summarize.
 // Any incorrect vertex makes the whole soak fail with a non-zero exit.
-func runLiveSoak(stdout io.Writer, o options, g *graph.Graph) error {
+func runLiveSoak(stdout, stderr io.Writer, o options, g *graph.Graph) error {
 	switch o.recovery {
 	case "", gap.RecoveryGlobal, gap.RecoveryLocal:
 	default:
@@ -330,13 +367,51 @@ func runLiveSoak(stdout io.Writer, o options, g *graph.Graph) error {
 	q := ace.Query{Source: graph.VID(o.source), Eps: o.eps}
 	cfg := gap.LiveConfig{Mode: gap.ModeGAP, Recovery: o.recovery, NoRecover: o.noRecover}
 	var rec *obs.Recorder
-	if o.traceFile != "" || o.metricsOut != "" {
+	if o.wantsRecorder() {
 		// One recorder spans every iteration (n worker tracks plus the
 		// monitor's coordinator track): recovery spans, replay marks and —
 		// under global rollback only — epoch marks land in one export, so
 		// `grep '"name":"epoch"'` on the trace audits the strategy.
 		rec = obs.NewRecorder(o.n+1, 0)
 		cfg.Tracer = rec
+	}
+	// The health tracker outlives individual iterations, so /healthz and
+	// /readyz report continuously across the soak.
+	health := &gap.HealthTracker{}
+	cfg.Health = health
+	var iterDone int64 // completed soak iterations, for the telemetry plane
+	if o.serveAddr != "" {
+		srv, err := startTelemetry(stdout, o, rec, health, "live")
+		if err != nil {
+			return err
+		}
+		if err := srv.RegisterMetric(serve.Metric{
+			Name: "argan_soak_iterations_total",
+			Help: "Soak iterations finished under this process.",
+			Type: "counter",
+			Collect: func() []serve.Sample {
+				return []serve.Sample{{Value: float64(atomic.LoadInt64(&iterDone))}}
+			},
+		}); err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
+	if o.progress > 0 && rec != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(o.progress)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					printLiveProgress(stderr, rec, health)
+				}
+			}
+		}()
 	}
 
 	// The per-iteration runner: execute one live run and count wrong
@@ -436,6 +511,7 @@ func runLiveSoak(stdout io.Writer, o options, g *graph.Graph) error {
 			fmt.Fprintf(stdout, "  mem: peak=%d spilled=%d replayed-from-disk=%d forced-ckpts=%d throttles=%d edge-spills=%d\n",
 				lm.MemPeakBytes, lm.SpilledBytes, lm.ReplayedFromDisk, lm.ForcedCkpts, lm.Throttles, lm.EdgeSpills)
 		}
+		atomic.AddInt64(&iterDone, 1)
 	}
 	fmt.Fprintf(stdout, "soak summary  : %d/%d correct; crashes=%d recoveries=%d epochs=%d replayed=%d\n",
 		iters-bad, iters, crashes, recoveries, epochs, replayed)
@@ -444,6 +520,9 @@ func runLiveSoak(stdout io.Writer, o options, g *graph.Graph) error {
 			o.memBudget, memPeak, spilled, replayedDisk, forcedCkpts)
 	}
 	if rec != nil {
+		if d := rec.Dropped(); d > 0 {
+			fmt.Fprintf(stdout, "WARNING: the trace ring dropped %d events; exports and reports are missing the oldest data\n", d)
+		}
 		if o.traceFile != "" {
 			if err := writeExport(o.traceFile, rec.WriteChromeTrace); err != nil {
 				return err
@@ -455,6 +534,9 @@ func runLiveSoak(stdout io.Writer, o options, g *graph.Graph) error {
 				return err
 			}
 			fmt.Fprintf(stdout, "metrics       : %s\n", o.metricsOut)
+		}
+		if err := writeReports(stdout, rec, o); err != nil {
+			return err
 		}
 	}
 	if bad > 0 {
@@ -615,7 +697,110 @@ func printProgress(stderr io.Writer, rec *obs.Recorder) {
 	if etaLo <= etaHi {
 		line += fmt.Sprintf(" eta=[%.0f..%.0f]", etaLo, etaHi)
 	}
+	if st.Dropped > 0 {
+		line += fmt.Sprintf(" DROPPED=%d(!)", st.Dropped)
+	}
 	fmt.Fprintln(stderr, line)
+}
+
+// printLiveProgress renders one live-soak status line: recorder snapshot
+// plus the control plane's health view (governor stage, spilled bytes,
+// watchdog progress age).
+func printLiveProgress(stderr io.Writer, rec *obs.Recorder, health *gap.HealthTracker) {
+	st := rec.Snapshot()
+	var upd, msgs int64
+	busy := 0
+	etaLo, etaHi := math.Inf(1), math.Inf(-1)
+	for _, w := range st.Workers {
+		upd += w.Updates
+		msgs += w.MsgsSent
+		if !w.Idle {
+			busy++
+		}
+		if w.HasEta {
+			etaLo = math.Min(etaLo, w.Eta)
+			etaHi = math.Max(etaHi, w.Eta)
+		}
+	}
+	h := health.Health()
+	line := fmt.Sprintf("progress: busy=%d/%d updates=%d msgs=%d dead=%d epoch=%d age=%v",
+		busy, len(st.Workers), upd, msgs, h.Dead, h.Epoch, h.ProgressAge.Round(time.Millisecond))
+	if etaLo <= etaHi {
+		line += fmt.Sprintf(" eta=[%.0f..%.0f]", etaLo, etaHi)
+	}
+	if h.MemStage != "" {
+		line += fmt.Sprintf(" stage=%s spilled=%d", h.MemStage, h.SpilledBytes)
+	}
+	if st.Dropped > 0 {
+		line += fmt.Sprintf(" DROPPED=%d(!)", st.Dropped)
+	}
+	fmt.Fprintln(stderr, line)
+}
+
+// startTelemetry brings up the telemetry plane and points it at this run.
+func startTelemetry(stdout io.Writer, o options, rec *obs.Recorder, health *gap.HealthTracker, driver string) (*serve.Server, error) {
+	srv := serve.New()
+	srv.SetRecorder(rec)
+	if health != nil {
+		srv.SetHealth(func() serve.Health {
+			h := health.Health()
+			return serve.Health{
+				Running: h.Running, Completed: h.Completed, Failed: h.Failed, Err: h.Err,
+				Workers: h.Workers, Idle: h.Idle, Dead: h.Dead,
+				Unrecoverable: h.Unrecoverable, Epoch: h.Epoch, Recovery: h.Recovery,
+				Sent: h.Sent, Recv: h.Recv, Updates: h.Updates,
+				ProgressAge: h.ProgressAge, Watchdog: h.Watchdog,
+				MemStage: h.MemStage, SpilledBytes: h.SpilledBytes,
+				UpdatedAt: h.UpdatedAt,
+			}
+		})
+	}
+	info := map[string]string{
+		"app": o.app, "system": o.system, "driver": driver,
+		"workers": strconv.Itoa(o.n),
+	}
+	if o.dataset != "" {
+		info["dataset"] = o.dataset
+	}
+	if o.file != "" {
+		info["graph"] = o.file
+	}
+	if o.recovery != "" {
+		info["recovery"] = o.recovery
+	}
+	srv.SetRunInfo(info)
+	addr, err := srv.Start(o.serveAddr)
+	if err != nil {
+		return nil, fmt.Errorf("-serve %s: %w", o.serveAddr, err)
+	}
+	fmt.Fprintf(stdout, "telemetry     : http://%s/metrics (also /status /healthz /readyz /debug/pprof)\n", addr)
+	return srv, nil
+}
+
+// writeReports runs the critical-path analyzer over the retained trace and
+// writes the requested renderings ("-" = stdout).
+func writeReports(stdout io.Writer, rec *obs.Recorder, o options) error {
+	if o.report == "" && o.reportJSON == "" {
+		return nil
+	}
+	r := crit.Analyze(rec)
+	emit := func(path string, write func(io.Writer) error, label string) error {
+		if path == "" {
+			return nil
+		}
+		if path == "-" {
+			return write(stdout)
+		}
+		if err := writeExport(path, write); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%-14s: %s\n", label, path)
+		return nil
+	}
+	if err := emit(o.report, r.WriteText, "report"); err != nil {
+		return err
+	}
+	return emit(o.reportJSON, r.WriteJSON, "report-json")
 }
 
 // writeExport writes one exporter's output to path.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -104,6 +105,59 @@ func TestLiveSoakLocalRecovery(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "[local]") || !strings.Contains(stdout, "epochs=0") {
 		t.Fatalf("soak lines missing local-recovery accounting:\n%s", stdout)
+	}
+}
+
+// TestSimReportFlags: a plain sim run with both report sinks must print the
+// text report to stdout and write parseable JSON to the file.
+func TestSimReportFlags(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "attr.json")
+	code, stdout, stderr := runCLI(
+		"-dataset", "HW", "-scale", "0.05", "-app", "sssp", "-n", "4",
+		"-report", "-", "-report-json", jsonPath)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "straggler attribution: window") ||
+		!strings.Contains(stdout, "straggler: worker ") {
+		t.Fatalf("stdout missing attribution report:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "report-json   : "+jsonPath) {
+		t.Fatalf("stdout missing report-json confirmation line:\n%s", stdout)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Workers   []struct{ Coverage float64 } `json:"workers"`
+		Straggler int                          `json:"straggler"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if len(doc.Workers) != 4 {
+		t.Fatalf("report has %d workers, want 4", len(doc.Workers))
+	}
+	for i, w := range doc.Workers {
+		if w.Coverage < 0.95 {
+			t.Errorf("worker %d coverage %.4f < 0.95", i, w.Coverage)
+		}
+	}
+}
+
+// TestServeTelemetry: -serve on an ephemeral port must announce the endpoint
+// and stay compatible with both drivers (sim here, live soak elsewhere).
+func TestServeTelemetry(t *testing.T) {
+	code, stdout, stderr := runCLI(
+		"-dataset", "HW", "-scale", "0.05", "-app", "wcc",
+		"-serve", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "telemetry     : http://127.0.0.1:") ||
+		!strings.Contains(stdout, "/metrics") {
+		t.Fatalf("stdout missing telemetry endpoint line:\n%s", stdout)
 	}
 }
 

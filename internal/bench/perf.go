@@ -12,6 +12,8 @@ import (
 	"argan/internal/core"
 	"argan/internal/gap"
 	"argan/internal/graph"
+	"argan/internal/obs"
+	"argan/internal/obs/crit"
 )
 
 // perfShards is the intra-worker shard count the perf experiment measures
@@ -30,6 +32,13 @@ type PerfConfigResult struct {
 	Updates  int64     `json:"updates"`
 	MsgsSent int64     `json:"msgs_sent"`
 	Batches  int64     `json:"batches"`
+
+	// Attribution maps bucket name (compute, merge, wait, ...) to its
+	// fraction of the total worker-time window, measured on one traced
+	// rep run after the timed reps so the ring buffer never perturbs the
+	// wall-clock numbers. Straggler is that rep's busiest worker.
+	Attribution map[string]float64 `json:"attribution,omitempty"`
+	Straggler   int                `json:"straggler"`
 }
 
 // PerfReport is the machine-readable result of the perf experiment,
@@ -122,8 +131,28 @@ func Perf(o Options) error {
 			r.Updates, r.MsgsSent, r.Batches = lm.Updates, lm.MsgsSent, lm.Batches
 			values[c.name] = res.Values
 		}
+		// One extra traced rep attributes the window without contaminating
+		// the timed reps above with recorder overhead.
+		tcfg := c.cfg
+		recorder := obs.NewRecorder(perfWorkers+1, 0)
+		tcfg.Tracer = recorder
+		if _, _, err := gap.RunLive(frags, algorithms.NewPageRank(), prq, tcfg); err != nil {
+			return fmt.Errorf("perf %s (traced): %v", c.name, err)
+		}
+		ar := crit.Analyze(recorder)
+		r.Straggler = ar.Straggler
+		if denom := float64(len(ar.Workers)) * ar.Wall; denom > 0 {
+			r.Attribution = make(map[string]float64, crit.NumBuckets)
+			for i, n := range crit.BucketNames() {
+				r.Attribution[n] = ar.Totals[i] / denom
+			}
+		}
 		rep.Configs = append(rep.Configs, r)
 		fmt.Fprintf(o.Out, "%-16s %10.1f %12d %12d %10d\n", r.Name, r.BestMS, r.Updates, r.MsgsSent, r.Batches)
+		if r.Attribution != nil {
+			fmt.Fprintf(o.Out, "%-16s   attribution: compute=%.0f%% merge=%.0f%% wait=%.0f%% (straggler: worker %d)\n",
+				"", 100*r.Attribution["compute"], 100*r.Attribution["merge"], 100*r.Attribution["wait"], r.Straggler)
+		}
 	}
 	best := func(name string) float64 {
 		for _, c := range rep.Configs {

@@ -106,6 +106,11 @@ type LiveConfig struct {
 	// to a quarter of the governor's budget (when one is attached and
 	// bounded); < 0 disables the cap.
 	LogBytesSoftCap int64
+	// Health, when non-nil, receives per-tick control-plane health
+	// snapshots (worker liveness, watchdog progress age, governor stage)
+	// for the telemetry plane's /healthz and /readyz endpoints. One tracker
+	// may span many runs — arganrun reuses it across soak iterations.
+	Health *HealthTracker
 }
 
 func (c LiveConfig) withDefaults() (LiveConfig, error) {
@@ -604,6 +609,7 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 		}
 	}
 
+	cfg.Health.runStarted(n, d.recovery, cfg.Watchdog)
 	d.start = nowFn()
 	d.wg.Add(1)
 	go d.monitor()
@@ -614,8 +620,10 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 	d.wg.Wait()
 	wall := sinceFn(d.start)
 	if err := d.coord.failure(); err != nil {
+		cfg.Health.runEnded(err)
 		return nil, nil, err
 	}
+	cfg.Health.runEnded(nil)
 
 	res := &Result[V]{Values: make([]V, frags[0].GlobalVertices())}
 	for _, st := range d.states {
@@ -695,6 +703,9 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 	var ev *waveEval[V] // sharded local evaluation (IntraParallelism > 1)
 	if d.shards > 1 {
 		ev = newWaveEval(st, d.shards)
+		if tr != nil {
+			ev.tr, ev.ts, ev.id = tr, ts, id
+		}
 	}
 
 	beat := func() { d.ctrl.beats[id].Store(int64(sinceFn(d.start))) }
@@ -971,7 +982,13 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 			if d.gov.Stage() >= mem.StageThrottle || d.logPressure.Load() {
 				drain()
 				beat()
+				if tr != nil {
+					tr.SpanBegin(id, obs.PhaseThrottle, ts())
+				}
 				time.Sleep(liveThrottleSleep)
+				if tr != nil {
+					tr.SpanEnd(id, obs.PhaseThrottle, ts())
+				}
 				d.throttles.Add(1)
 			}
 			inner(final)
@@ -1000,7 +1017,14 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 		if st.frag.EdgesSpilled() {
 			return
 		}
-		if freed, err := st.frag.SpillEdges(d.gov.SpillDir()); err == nil && freed > 0 {
+		if tr != nil {
+			tr.SpanBegin(id, obs.PhaseSpill, ts())
+		}
+		freed, err := st.frag.SpillEdges(d.gov.SpillDir())
+		if tr != nil {
+			tr.SpanEnd(id, obs.PhaseSpill, ts())
+		}
+		if err == nil && freed > 0 {
 			d.fragAcct.Add(-freed)
 			d.gov.NoteSpill(freed)
 			d.edgeSpills.Add(1)
@@ -1208,6 +1232,9 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 // the dedup layer discards it if the restore already replayed the batch.
 func (d *liveDriver[V]) retransmit(to int, env liveEnvelope[V]) {
 	d.retransmits.Add(1)
+	if tr := d.cfg.Tracer; tr != nil {
+		tr.Count(int(env.from), obs.CounterRetransmits, float64(sinceFn(d.start))/1e3, 1)
+	}
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"argan/internal/ace"
+	"argan/internal/obs"
 )
 
 // Intra-worker parallel local evaluation.
@@ -64,6 +65,13 @@ type waveEval[V any] struct {
 	forceInline bool
 	// forceSpawn always uses the pool, regardless of wave size.
 	forceSpawn bool
+
+	// tr, when set, brackets the post-wave deterministic merge in a
+	// PhaseMerge span on track id (stamped by ts). Tracing never affects
+	// the merge order, only observes it.
+	tr obs.Tracer
+	ts func() float64
+	id int
 }
 
 func newWaveEval[V any](st *liveState[V], shards int) *waveEval[V] {
@@ -126,6 +134,10 @@ func (ev *waveEval[V]) runWave(max int) int {
 	}
 	// Deterministic merge: publish every Set first, then apply Sends and
 	// Activates, each pass in (shard, op) order.
+	if ev.tr != nil {
+		ev.tr.SpanBegin(ev.id, obs.PhaseMerge, ev.ts())
+		defer func() { ev.tr.SpanEnd(ev.id, obs.PhaseMerge, ev.ts()) }()
+	}
 	for k := 0; k < s; k++ {
 		buf := ev.bufs[k]
 		for i := range buf {

@@ -208,13 +208,15 @@ func (d *liveDriver[V]) monitor() {
 				lastCkpt = sinceFn(d.start)
 			}
 		}
+		_, _, _, _, progress := d.coord.status()
+		cur := [3]int64{progress, d.updates.Load(), d.msgsSent.Load()}
+		if cur != lastProg {
+			lastProg = cur
+			progSince = now
+		}
+		d.publishHealth(now - progSince)
 		if d.cfg.Watchdog > 0 {
-			_, _, _, _, progress := d.coord.status()
-			cur := [3]int64{progress, d.updates.Load(), d.msgsSent.Load()}
-			if cur != lastProg {
-				lastProg = cur
-				progSince = now
-			} else if now-progSince > d.cfg.Watchdog {
+			if now-progSince > d.cfg.Watchdog {
 				idle, total, sent, recv, _ := d.coord.status()
 				d.coord.fail(fmt.Errorf(
 					"gap: live run stuck for %v: %d/%d workers idle, %d dead, %d messages unaccounted (sent=%d recv=%d)%s",

@@ -1001,7 +1001,9 @@ func (d *liveDriver[V]) runLocalRecovery() bool {
 				d.ckEvery[w].Store(ce)
 				d.etaReseeds.Add(1)
 				if tr != nil {
-					tr.Sample(w, obs.GaugeEta, ts(), float64(ce))
+					t := ts()
+					tr.Sample(w, obs.GaugeEta, t, float64(ce))
+					tr.Count(w, obs.CounterEtaReseeds, t, 1)
 				}
 			}
 		}

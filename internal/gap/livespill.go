@@ -169,6 +169,7 @@ func (d *liveDriver[V]) memTick(now time.Duration) {
 			tr.Sample(d.n, obs.GaugeMemUsed, t, float64(d.gov.Used()))
 			tr.Sample(d.n, obs.GaugeMemSpilled, t, float64(d.gov.SpilledBytes()))
 			tr.Sample(d.n, obs.GaugeMemStage, t, float64(d.gov.Stage()))
+			tr.Sample(d.n, obs.GaugeMemPeak, t, float64(d.gov.Peak()))
 		}
 	}
 	stage := d.gov.Stage()
@@ -229,5 +230,8 @@ func (d *liveDriver[V]) forceCkptSlowest() {
 	}
 	if !d.ckptReq[worst].Swap(true) {
 		d.forcedCkpts.Add(1)
+		if tr := d.cfg.Tracer; tr != nil {
+			tr.Count(d.n, obs.CounterForcedCkpts, float64(sinceFn(d.start))/1e3, 1)
+		}
 	}
 }

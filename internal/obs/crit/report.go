@@ -1,0 +1,72 @@
+package crit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteJSON renders the report as indented JSON. Output is a pure function
+// of the report (floats in shortest round-trip form via the Buckets
+// marshaller, struct field order fixed), so identical traces yield
+// byte-identical documents.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the human-readable report: one attribution row per
+// worker (bucket shares as percentages of the run window), the straggler,
+// and the reconstructed critical path. Deterministic for identical traces.
+func (r *Report) WriteText(w io.Writer) error {
+	unit := func(v float64) string { return fmt.Sprintf("%.1f", v/1e3) }
+	fmt.Fprintf(w, "straggler attribution: window %sms across %d workers", unit(r.Wall), len(r.Workers))
+	if r.Dropped > 0 {
+		fmt.Fprintf(w, " (WARNING: %d trace events dropped; early time reads as wait)", r.Dropped)
+	}
+	fmt.Fprintln(w)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "worker\twall_ms\t")
+	for _, n := range bucketNames {
+		fmt.Fprintf(tw, "%s%%\t", n)
+	}
+	fmt.Fprint(tw, "coverage\tspans\t\n")
+	row := func(name string, wall float64, b Buckets, cov float64, spans int) {
+		fmt.Fprintf(tw, "%s\t%s\t", name, unit(wall))
+		for i := range bucketNames {
+			pct := 0.0
+			if wall > 0 {
+				pct = 100 * b[i] / wall
+			}
+			fmt.Fprintf(tw, "%.1f\t", pct)
+		}
+		fmt.Fprintf(tw, "%.3f\t%d\t\n", cov, spans)
+	}
+	spans := 0
+	for _, wr := range r.Workers {
+		row(fmt.Sprintf("%d", wr.Worker), wr.Wall, wr.Buckets, wr.Coverage, wr.Spans)
+		spans += wr.Spans
+	}
+	row("total", float64(len(r.Workers))*r.Wall, r.Totals, r.Coverage, spans)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if r.Straggler >= 0 && r.Straggler < len(r.Workers) {
+		b := r.Workers[r.Straggler].Buckets
+		frac := 0.0
+		if r.Wall > 0 {
+			frac = 100 * b.Busy() / r.Wall
+		}
+		fmt.Fprintf(w, "straggler: worker %d (busy %sms, %.1f%% of window)\n",
+			r.Straggler, unit(b.Busy()), frac)
+	}
+	if len(r.CriticalPath) > 0 {
+		fmt.Fprintln(w, "critical path (oldest first):")
+		for _, s := range r.CriticalPath {
+			fmt.Fprintf(w, "  worker %d  [%sms .. %sms]  %s\n", s.Worker, unit(s.Start), unit(s.End), s.Note)
+		}
+	}
+	return nil
+}

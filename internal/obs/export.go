@@ -42,6 +42,11 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	for i := 0; i < n; i++ {
 		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"worker %d"}}`, i, i))
 	}
+	// Ring overwrites truncated the oldest events: say so in the trace
+	// itself, so a clipped Perfetto view is never mistaken for a short run.
+	if d := r.Dropped(); d > 0 {
+		emit(fmt.Sprintf(`{"name":"dropped_events","ph":"M","pid":0,"tid":0,"args":{"dropped":%d}}`, d))
+	}
 	for i := 0; i < n; i++ {
 		var cum [numCounters]int64
 		last := 0.0
@@ -104,7 +109,11 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	n := r.Workers()
 	for i := 0; i < n; i++ {
 		var cum [numCounters]int64
+		last := 0.0
 		for _, e := range r.Events(i) {
+			if e.T > last {
+				last = e.T
+			}
 			switch e.Kind {
 			case KindGauge:
 				fmt.Fprintf(bw, "%s,%d,%s,%s\n", ftoa(e.T), i, Gauge(e.Code).String(), ftoa(e.Value))
@@ -113,6 +122,11 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 				cum[c] += int64(e.Value)
 				fmt.Fprintf(bw, "%s,%d,%s,%d\n", ftoa(e.T), i, c.String(), cum[c])
 			}
+		}
+		// A worker whose ring wrapped exports a final "dropped" row: the
+		// series above are incomplete and downstream plots should know.
+		if d := r.DroppedOf(i); d > 0 {
+			fmt.Fprintf(bw, "%s,%d,dropped,%d\n", ftoa(last), i, d)
 		}
 	}
 	return bw.Flush()

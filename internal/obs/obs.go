@@ -37,8 +37,18 @@ const (
 	// first survivor replaying its logged batches to the restored worker
 	// until the last replayer drains (coordinator track).
 	PhaseReplay
+	// PhaseMerge spans the deterministic shard-merge of one sharded
+	// local-evaluation wave (live driver, IntraParallelism > 1): the
+	// single-threaded Set/Send/Activate publication after the pool joins.
+	PhaseMerge
+	// PhaseSpill spans a synchronous page-out to the spill tier (fragment
+	// edge partitions under StageStream).
+	PhaseSpill
+	// PhaseThrottle spans one sender backpressure pause (degradation
+	// rung 2, or log-retention pressure).
+	PhaseThrottle
 
-	numPhases = int(PhaseReplay) + 1
+	numPhases = int(PhaseThrottle) + 1
 )
 
 func (p Phase) String() string {
@@ -59,6 +69,12 @@ func (p Phase) String() string {
 		return "checkpoint"
 	case PhaseReplay:
 		return "replay"
+	case PhaseMerge:
+		return "merge"
+	case PhaseSpill:
+		return "spill_io"
+	case PhaseThrottle:
+		return "throttle"
 	}
 	return "phase?"
 }
@@ -80,8 +96,17 @@ const (
 	// CounterReplayed counts logged batches re-delivered to a restored
 	// worker by localized recovery.
 	CounterReplayed
+	// CounterRetransmits counts dropped batches redelivered by the async
+	// retransmit path.
+	CounterRetransmits
+	// CounterForcedCkpts counts checkpoints forced out of turn by the
+	// retention cap or the memory-pressure ladder (coordinator track).
+	CounterForcedCkpts
+	// CounterEtaReseeds counts post-recovery granularity reseeds
+	// (coordinator track).
+	CounterEtaReseeds
 
-	numCounters = int(CounterReplayed) + 1
+	numCounters = int(CounterEtaReseeds) + 1
 )
 
 func (c Counter) String() string {
@@ -98,6 +123,12 @@ func (c Counter) String() string {
 		return "flushes"
 	case CounterReplayed:
 		return "replayed"
+	case CounterRetransmits:
+		return "retransmits"
+	case CounterForcedCkpts:
+		return "forced_ckpts"
+	case CounterEtaReseeds:
+		return "eta_reseeds"
 	}
 	return "counter?"
 }
@@ -138,8 +169,11 @@ const (
 	// GaugeMemStage is the governor's degradation-ladder stage (0 = ok,
 	// 1 = forced-checkpoint, 2 = sender throttle, 3 = edge streaming).
 	GaugeMemStage
+	// GaugeMemPeak is the governor's high-water mark of accounted bytes,
+	// sampled alongside GaugeMemUsed (coordinator track).
+	GaugeMemPeak
 
-	numGauges = int(GaugeMemStage) + 1
+	numGauges = int(GaugeMemPeak) + 1
 )
 
 func (g Gauge) String() string {
@@ -168,6 +202,8 @@ func (g Gauge) String() string {
 		return "mem_spilled"
 	case GaugeMemStage:
 		return "mem_stage"
+	case GaugeMemPeak:
+		return "mem_peak"
 	}
 	return "gauge?"
 }
@@ -270,3 +306,39 @@ func (Nop) Sample(int, Gauge, float64, float64) {
 func (Nop) Mark(int, Mark, float64) {}
 
 var _ Tracer = Nop{}
+
+// AllPhases, AllCounters, AllGauges and AllMarks enumerate the event
+// vocabularies in code order, for exporters (the telemetry plane, the
+// critical-path analyzer) that must cover every series without hard-coding
+// the constants.
+func AllPhases() []Phase {
+	ps := make([]Phase, numPhases)
+	for i := range ps {
+		ps[i] = Phase(i)
+	}
+	return ps
+}
+
+func AllCounters() []Counter {
+	cs := make([]Counter, numCounters)
+	for i := range cs {
+		cs[i] = Counter(i)
+	}
+	return cs
+}
+
+func AllGauges() []Gauge {
+	gs := make([]Gauge, numGauges)
+	for i := range gs {
+		gs[i] = Gauge(i)
+	}
+	return gs
+}
+
+func AllMarks() []Mark {
+	ms := make([]Mark, numMarks)
+	for i := range ms {
+		ms[i] = Mark(i)
+	}
+	return ms
+}

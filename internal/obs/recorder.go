@@ -192,6 +192,20 @@ func (r *Recorder) Dropped() int64 {
 	return d
 }
 
+// DroppedOf returns one worker's ring-overwrite count.
+func (r *Recorder) DroppedOf(worker int) int64 {
+	r.mu.RLock()
+	if worker >= len(r.shards) {
+		r.mu.RUnlock()
+		return 0
+	}
+	s := r.shards[worker]
+	r.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
 // Events returns one worker's retained events oldest-first.
 func (r *Recorder) Events(worker int) []Event {
 	r.mu.RLock()
@@ -231,6 +245,17 @@ type WorkerStatus struct {
 	Active, Mailbox float64
 	// Cumulative counters.
 	Updates, MsgsSent, BytesSent, MsgsRecv, Flushes int64
+	// Dropped is this worker's ring-buffer overwrite count: events beyond
+	// the ring capacity silently evicted the oldest ones.
+	Dropped int64
+	// Counters holds every cumulative counter indexed by Counter code
+	// (iterate with AllCounters); the named fields above are views into the
+	// common ones.
+	Counters []int64
+	// Gauges holds the latest sample of every gauge indexed by Gauge code;
+	// GaugeKnown reports whether the gauge was ever sampled.
+	Gauges     []float64
+	GaugeKnown []bool
 }
 
 // Status is a point-in-time view of a (possibly still running) traced run.
@@ -263,6 +288,10 @@ func (r *Recorder) Snapshot() Status {
 		w.BytesSent = s.counters[CounterBytesSent]
 		w.MsgsRecv = s.counters[CounterMsgsRecv]
 		w.Flushes = s.counters[CounterFlushes]
+		w.Dropped = s.dropped
+		w.Counters = append([]int64(nil), s.counters[:]...)
+		w.Gauges = append([]float64(nil), s.gauges[:]...)
+		w.GaugeKnown = append([]bool(nil), s.gaugeOK[:]...)
 		st.Dropped += s.dropped
 		s.mu.Unlock()
 	}

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text-exposition document (format 0.0.4) the
+// way a strict scraper would, plus the project's own conventions. It checks:
+//
+//   - metric and label names match the exposition alphabet
+//   - every sample is preceded by a # TYPE for its family, with a known type
+//   - counter families end in _total
+//   - HELP/TYPE appear at most once per family, before its samples
+//   - a family's lines are contiguous (no interleaving)
+//   - label values are well-formed quoted strings with valid escapes
+//   - values parse as floats (+Inf/-Inf/NaN allowed)
+//   - no duplicate series (same name + label set)
+//
+// It returns nil on a clean document, or an error listing every violation
+// with its line number.
+func Lint(r io.Reader) error {
+	issues, err := lint(r, nil)
+	if err != nil {
+		return err
+	}
+	if len(issues) > 0 {
+		return fmt.Errorf("exposition lint: %s", strings.Join(issues, "; "))
+	}
+	return nil
+}
+
+// ParseSamples reads a document into a map keyed by the canonical series
+// string — name alone, or name{labels} with label pairs sorted by name. It
+// does a full Lint pass first and fails on any violation, so threshold
+// checks never run against malformed input.
+func ParseSamples(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	issues, err := lint(r, func(series string, v float64) { out[series] = v })
+	if err != nil {
+		return nil, err
+	}
+	if len(issues) > 0 {
+		return nil, fmt.Errorf("exposition lint: %s", strings.Join(issues, "; "))
+	}
+	return out, nil
+}
+
+var lintName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var lintLabel = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+type famLint struct {
+	typ         string
+	helped      bool
+	typed       bool
+	interrupted bool
+}
+
+func lint(r io.Reader, emit func(series string, v float64)) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	fams := map[string]*famLint{}
+	series := map[string]bool{}
+	var issues []string
+	cur := "" // family currently being emitted
+	bad := func(ln int, format string, args ...any) {
+		issues = append(issues, fmt.Sprintf("line %d: %s", ln, fmt.Sprintf(format, args...)))
+	}
+	fam := func(name string) *famLint {
+		f := fams[name]
+		if f == nil {
+			f = &famLint{}
+			fams[name] = f
+		}
+		return f
+	}
+	enter := func(ln int, name string) *famLint {
+		f := fam(name)
+		if cur != name {
+			if cur != "" && name != cur {
+				// leaving cur; it may not come back
+				fam(cur).interrupted = true
+			}
+			if f.interrupted {
+				bad(ln, "family %s is not contiguous", name)
+			}
+			cur = name
+		}
+		return f
+	}
+	for ln := 1; sc.Scan(); ln++ {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) >= 2 && (parts[1] == "HELP" || parts[1] == "TYPE") {
+				if len(parts) < 3 || !lintName.MatchString(parts[2]) {
+					bad(ln, "malformed %s line", parts[1])
+					continue
+				}
+				name := parts[2]
+				f := enter(ln, name)
+				switch parts[1] {
+				case "HELP":
+					if f.helped {
+						bad(ln, "second HELP for %s", name)
+					}
+					f.helped = true
+				case "TYPE":
+					if f.typed {
+						bad(ln, "second TYPE for %s", name)
+					}
+					f.typed = true
+					typ := ""
+					if len(parts) >= 4 {
+						typ = strings.TrimSpace(parts[3])
+					}
+					switch typ {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+						f.typ = typ
+					default:
+						bad(ln, "unknown type %q for %s", typ, name)
+					}
+					if typ == "counter" && !strings.HasSuffix(name, "_total") {
+						bad(ln, "counter %s must end in _total", name)
+					}
+				}
+			}
+			// other # lines are free-form comments
+			continue
+		}
+		name, canon, v, perr := parseSampleLine(line)
+		if perr != "" {
+			bad(ln, "%s", perr)
+			continue
+		}
+		f := enter(ln, name)
+		if !f.typed {
+			bad(ln, "sample for %s before its # TYPE", name)
+		}
+		if series[canon] {
+			bad(ln, "duplicate series %s", canon)
+		}
+		series[canon] = true
+		if emit != nil {
+			emit(canon, v)
+		}
+	}
+	return issues, sc.Err()
+}
+
+// parseSampleLine parses `name{labels} value [timestamp]`, returning the
+// family name, the canonical series key (labels sorted), the value, and a
+// problem description ("" when clean).
+func parseSampleLine(line string) (name, canon string, v float64, problem string) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	name = line[:i]
+	if !lintName.MatchString(name) {
+		return name, "", 0, fmt.Sprintf("invalid metric name %q", name)
+	}
+	type pair struct{ k, v string }
+	var pairs []pair
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return name, "", 0, "unterminated label set"
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j >= len(line) {
+				return name, "", 0, "label without '='"
+			}
+			lname := line[i:j]
+			if !lintLabel.MatchString(lname) {
+				return name, "", 0, fmt.Sprintf("invalid label name %q", lname)
+			}
+			j++
+			if j >= len(line) || line[j] != '"' {
+				return name, "", 0, fmt.Sprintf("label %s value is not quoted", lname)
+			}
+			j++
+			var val strings.Builder
+			closed := false
+			for j < len(line) {
+				c := line[j]
+				if c == '\\' {
+					if j+1 >= len(line) {
+						return name, "", 0, "dangling escape in label value"
+					}
+					switch line[j+1] {
+					case '\\', '"', 'n':
+						val.WriteByte(line[j+1])
+					default:
+						return name, "", 0, fmt.Sprintf("bad escape \\%c in label value", line[j+1])
+					}
+					j += 2
+					continue
+				}
+				if c == '"' {
+					closed = true
+					j++
+					break
+				}
+				val.WriteByte(c)
+				j++
+			}
+			if !closed {
+				return name, "", 0, "unterminated label value"
+			}
+			pairs = append(pairs, pair{lname, val.String()})
+			if j < len(line) && line[j] == ',' {
+				j++
+			} else if j < len(line) && line[j] != '}' {
+				return name, "", 0, "expected ',' or '}' after label"
+			}
+			i = j
+		}
+	}
+	if i >= len(line) || (line[i] != ' ' && line[i] != '\t') {
+		return name, "", 0, "missing value"
+	}
+	rest := strings.Fields(line[i:])
+	if len(rest) < 1 || len(rest) > 2 {
+		return name, "", 0, "expected 'value [timestamp]'"
+	}
+	var err error
+	v, err = strconv.ParseFloat(rest[0], 64)
+	if err != nil {
+		return name, "", 0, fmt.Sprintf("bad value %q", rest[0])
+	}
+	if len(rest) == 2 {
+		if _, err := strconv.ParseInt(rest[1], 10, 64); err != nil {
+			return name, "", 0, fmt.Sprintf("bad timestamp %q", rest[1])
+		}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+	var b strings.Builder
+	b.WriteString(name)
+	if len(pairs) > 0 {
+		b.WriteByte('{')
+		for k, p := range pairs {
+			if k > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `%s=%q`, p.k, p.v)
+		}
+		b.WriteByte('}')
+	}
+	return name, b.String(), v, ""
+}
