@@ -16,6 +16,12 @@
 // argan_updates_total{worker="0"}); a bare family name whose series all
 // carry labels is evaluated as the sum over the family.
 //
+// -retry N (with -backoff DUR, doubling per attempt) retries transient
+// scrape failures — connection refused while a server binds, a non-200
+// from a restarting process — instead of exiting 3 on the first miss.
+// Lint violations and failed checks are never retried: those are findings,
+// not flakes.
+//
 // Exit codes: 0 all good; 2 lint violation or failed check; 3 scrape or
 // usage error.
 package main
@@ -53,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	url := fs.String("url", "", "metrics endpoint to scrape (e.g. http://127.0.0.1:9090/metrics)")
 	timeout := fs.Duration("timeout", 5*time.Second, "scrape timeout")
 	quiet := fs.Bool("quiet", false, "print only failures")
+	retry := fs.Int("retry", 0, "retry a failed scrape up to `N` times before giving up (transport errors and non-200s only; lint and check failures never retry)")
+	backoff := fs.Duration("backoff", 500*time.Millisecond, "initial delay between scrape retries, doubling per attempt")
 	var checks multiFlag
 	fs.Var(&checks, "check", "threshold `EXPR` (SERIES OP VALUE); repeatable")
 	if err := fs.Parse(args); err != nil {
@@ -72,17 +80,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parsed = append(parsed, ck)
 	}
 
-	client := &http.Client{Timeout: *timeout}
-	resp, err := client.Get(*url)
-	if err != nil {
-		fmt.Fprintf(stderr, "arganpoll: scrape failed: %v\n", err)
+	if *retry < 0 {
+		fmt.Fprintln(stderr, "arganpoll: -retry must be >= 0")
 		return 3
+	}
+
+	// Scrape, retrying only the exit-3 class (transport errors, non-200
+	// responses): a flaky network or a server still binding is transient,
+	// but a lint violation or failed check is a real finding that a second
+	// scrape cannot unmake.
+	client := &http.Client{Timeout: *timeout}
+	var resp *http.Response
+	delay := *backoff
+	for attempt := 0; ; attempt++ {
+		var err error
+		resp, err = client.Get(*url)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			break
+		}
+		reason := ""
+		if err != nil {
+			reason = err.Error()
+		} else {
+			reason = "scrape returned " + resp.Status
+			resp.Body.Close()
+		}
+		if attempt >= *retry {
+			fmt.Fprintf(stderr, "arganpoll: scrape failed: %s\n", reason)
+			return 3
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "retry %d/%d in %v: %s\n", attempt+1, *retry, delay, reason)
+		}
+		time.Sleep(delay)
+		delay *= 2
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(stderr, "arganpoll: scrape returned %s\n", resp.Status)
-		return 3
-	}
 	samples, err := serve.ParseSamples(resp.Body)
 	if err != nil {
 		fmt.Fprintf(stderr, "arganpoll: %v\n", err)

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -109,5 +110,67 @@ func TestParseCheck(t *testing.T) {
 	}
 	if !ck.holds(10) || ck.holds(11) {
 		t.Error("holds() wrong")
+	}
+}
+
+// TestRetryRecoversTransientFailure: the first scrapes hit a server that
+// errors, then it heals; -retry must ride out the transient and exit 0.
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, goodDoc)
+	}))
+	t.Cleanup(srv.Close)
+	code, out, stderr := runCLI(t, "-url", srv.URL, "-retry", "3", "-backoff", "10ms",
+		"-check", "argan_run_running==1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "retry 1/3") || !strings.Contains(out, "retry 2/3") {
+		t.Errorf("retry progress lines missing:\n%s", out)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server hit %d times, want 3", got)
+	}
+}
+
+// TestRetryExhaustedStillExitsThree: a persistently down endpoint exhausts
+// the retries and keeps the scrape-error exit code.
+func TestRetryExhaustedStillExitsThree(t *testing.T) {
+	srv := serveDoc(t, goodDoc)
+	url := srv.URL
+	srv.Close() // connection refused from now on
+	code, _, stderr := runCLI(t, "-url", url, "-retry", "2", "-backoff", "5ms", "-quiet")
+	if code != 3 {
+		t.Fatalf("exit %d, want 3 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "scrape failed") {
+		t.Errorf("stderr missing scrape failure: %s", stderr)
+	}
+}
+
+// TestRetryNeverRepeatsFindings: lint violations and failed checks are
+// findings, not flakes — they must not consume retries.
+func TestRetryNeverRepeatsFindings(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		fmt.Fprint(w, goodDoc)
+	}))
+	t.Cleanup(srv.Close)
+	code, _, _ := runCLI(t, "-url", srv.URL, "-retry", "5", "-backoff", "5ms",
+		"-check", "argan_run_running==0")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("failed check was retried: %d scrapes", got)
+	}
+	if code, _, _ := runCLI(t, "-url", srv.URL, "-retry", "-1"); code != 3 {
+		t.Errorf("negative -retry accepted")
 	}
 }

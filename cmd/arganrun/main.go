@@ -66,6 +66,19 @@
 //	                   replay/spill/throttle shares, straggler chain) as
 //	                   text to FILE ("-" = stdout).
 //	-report-json FILE  the same report as JSON ("-" = stdout).
+//
+// Job service (resident multi-tenant mode):
+//
+//	arganrun serve -addr 127.0.0.1:9090 -cores 8 -queue 16 -mem-budget 256m
+//
+// Starts a long-lived server that loads frozen datasets once and admits
+// many concurrent GAP jobs over shared immutable fragments (POST
+// /api/jobs, GET /api/jobs/{id}, .../result, .../cancel — see
+// internal/serve). Saturation sheds with 429, deadlines and cancellations
+// propagate into each job's driver, a panicking job is quarantined without
+// touching its neighbors, and SIGTERM drains gracefully: admissions stop,
+// every admitted job finishes, the process exits 0. See `arganrun serve
+// -h` for the flag set.
 package main
 
 import (
@@ -74,10 +87,12 @@ import (
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"argan/internal/ace"
@@ -94,7 +109,13 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "serve" {
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+		os.Exit(runServe(args[1:], os.Stdout, os.Stderr, stop))
+	}
+	os.Exit(run(args, os.Stdout, os.Stderr))
 }
 
 // run is main's testable body: parse flags, execute, report. Errors print
@@ -746,7 +767,8 @@ func startTelemetry(stdout io.Writer, o options, rec *obs.Recorder, health *gap.
 			h := health.Health()
 			return serve.Health{
 				Running: h.Running, Completed: h.Completed, Failed: h.Failed, Err: h.Err,
-				Workers: h.Workers, Idle: h.Idle, Dead: h.Dead,
+				Draining: h.Draining,
+				Workers:  h.Workers, Idle: h.Idle, Dead: h.Dead,
 				Unrecoverable: h.Unrecoverable, Epoch: h.Epoch, Recovery: h.Recovery,
 				Sent: h.Sent, Recv: h.Recv, Updates: h.Updates,
 				ProgressAge: h.ProgressAge, Watchdog: h.Watchdog,

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"argan/internal/serve"
+)
+
+// syncBuffer lets the test read runServe's stdout while the server is
+// still writing to it from its own goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var serveAddrRe = regexp.MustCompile(`job service   : http://([^/]+)/api/jobs`)
+
+// TestServeModeLifecycle drives the full resident-service lifecycle through
+// the CLI entry point: start, preload, submit over HTTP, SIGTERM, graceful
+// drain with the in-flight job finished, drain artifact written, exit 0.
+func TestServeModeLifecycle(t *testing.T) {
+	drainOut := filepath.Join(t.TempDir(), "drain.json")
+	var stdout, stderr syncBuffer
+	stop := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- runServe([]string{
+			"-addr", "127.0.0.1:0", "-cores", "2", "-queue", "4",
+			"-mem-budget", "32m", "-preload", "HW@0.02",
+			"-drain-out", drainOut,
+		}, &stdout, &stderr, stop)
+	}()
+
+	// Wait for the bound address to appear on stdout.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := serveAddrRe.FindStringSubmatch(stdout.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stdout:\n%s\nstderr:\n%s", stdout.String(), stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(stdout.String(), "preloaded     : HW@0.02") {
+		t.Fatalf("preload line missing:\n%s", stdout.String())
+	}
+
+	c := &serve.Client{Base: base}
+	id, err := c.Submit(serve.JobSpec{App: "sssp", Dataset: "HW", Scale: 0.02, Workers: 2, Source: 1, Verify: true})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if st, err := c.WaitTerminal(id, 30*time.Second); err != nil || st.State != serve.StateDone {
+		t.Fatalf("job: %+v err %v", st, err)
+	}
+	// Leave a slow job in flight so the drain has real work to wait for.
+	slowID, err := c.Submit(serve.JobSpec{
+		App: "sssp", Dataset: "HW", Scale: 0.02, Workers: 2, Source: 1,
+		CheckEvery: 1, Faults: "slow=0@0:400:10; slow=1@0:400:10",
+	})
+	if err != nil {
+		t.Fatalf("submit slow: %v", err)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code = %d, stderr: %s\nstdout: %s", code, stderr.String(), stdout.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("drain never completed; stdout:\n%s", stdout.String())
+	}
+
+	out := stdout.String()
+	for _, want := range []string{"draining (no new admissions)", "drained       : "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(drainOut)
+	if err != nil {
+		t.Fatalf("drain artifact: %v", err)
+	}
+	var stats serve.DrainStats
+	if err := json.Unmarshal(blob, &stats); err != nil {
+		t.Fatalf("drain artifact JSON: %v\n%s", err, blob)
+	}
+	if stats.Forced != 0 || stats.Completed != 2 {
+		t.Fatalf("drain stats: %+v (slow job %s should have finished)", stats, slowID)
+	}
+}
+
+// TestServeModeBadFlags: flag and startup failures keep the conventional
+// exit codes (2 parse, 1 startup) and never hang on the stop channel.
+func TestServeModeBadFlags(t *testing.T) {
+	var stdout, stderr syncBuffer
+	stop := make(chan os.Signal)
+	if code := runServe([]string{"-no-such-flag"}, &stdout, &stderr, stop); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+	if code := runServe([]string{"-mem-budget", "lots"}, &stdout, &stderr, stop); code != 2 {
+		t.Fatalf("bad budget: exit %d", code)
+	}
+	if code := runServe([]string{"-preload", "NOPE@1"}, &stdout, &stderr, stop); code != 1 {
+		t.Fatalf("bad preload: exit %d", code)
+	}
+	if code := runServe([]string{"-preload", "HW@zero"}, &stdout, &stderr, stop); code != 2 {
+		t.Fatalf("bad preload scale: exit %d", code)
+	}
+	if code := runServe([]string{"-addr", "256.0.0.1:bad"}, &stdout, &stderr, stop); code != 1 {
+		t.Fatalf("bad addr: exit %d", code)
+	}
+}

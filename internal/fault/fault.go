@@ -37,6 +37,12 @@ type Crash struct {
 	At           float64 // trigger time (cost units / ms); used when AfterUpdates == 0
 	AfterUpdates int64   // trigger after this many updates on the worker (0 = use At)
 	Restart      float64 // delay from detection to restart; < 0 = never
+	// Panic makes the worker blow up (a Go panic on its goroutine) instead
+	// of exiting cleanly — the rogue-program fault a multi-tenant service
+	// must contain. Panic crashes never restart: the run is expected to
+	// fail with a contained panic error, not to recover. Written
+	// "panic=W@T" / "panic=W@uN" in specs.
+	Panic bool
 }
 
 // Slowdown multiplies one worker's compute cost by Factor during
@@ -120,13 +126,17 @@ func (p *Plan) String() string {
 		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
 	}
 	for _, c := range p.Crashes {
+		key := "crash"
+		if c.Panic {
+			key = "panic"
+		}
 		var s string
 		if c.AfterUpdates > 0 {
-			s = fmt.Sprintf("crash=%d@u%d", c.Worker, c.AfterUpdates)
+			s = fmt.Sprintf("%s=%d@u%d", key, c.Worker, c.AfterUpdates)
 		} else {
-			s = fmt.Sprintf("crash=%d@%s", c.Worker, ftoa(c.At))
+			s = fmt.Sprintf("%s=%d@%s", key, c.Worker, ftoa(c.At))
 		}
-		if c.Restart >= 0 {
+		if c.Restart >= 0 && !c.Panic {
 			s += "+" + ftoa(c.Restart)
 		}
 		parts = append(parts, s)
@@ -175,6 +185,7 @@ func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 //	seed=N                 deterministic seed for link-fault streams
 //	crash=W@T[+R]          worker W crashes at time T, restarts after R
 //	crash=W@uN[+R]         worker W crashes after its N-th update
+//	panic=W@T, panic=W@uN  worker W panics (rogue program; never restarts)
 //	slow=W@T:DUR:F         worker W runs F× slower during [T, T+DUR)
 //	squeeze=T:DUR:B        B bytes of synthetic memory pressure in [T, T+DUR)
 //	drop=P dup=P reorder=P per-batch link fault probabilities
@@ -203,7 +214,9 @@ func Parse(spec string) (*Plan, error) {
 		case "seed":
 			p.Seed, err = strconv.ParseInt(val, 10, 64)
 		case "crash":
-			err = parseCrash(p, val)
+			err = parseCrash(p, val, false)
+		case "panic":
+			err = parseCrash(p, val, true)
 		case "slow":
 			err = parseSlow(p, val)
 		case "squeeze":
@@ -250,7 +263,7 @@ func Load(specOrPath string) (*Plan, error) {
 	return Parse(specOrPath)
 }
 
-func parseCrash(p *Plan, val string) error {
+func parseCrash(p *Plan, val string, panicFault bool) error {
 	ws, rest, ok := strings.Cut(val, "@")
 	if !ok {
 		return fmt.Errorf("want W@T[+R] or W@uN[+R]")
@@ -259,8 +272,11 @@ func parseCrash(p *Plan, val string) error {
 	if err != nil || w < 0 {
 		return fmt.Errorf("bad worker %q", ws)
 	}
-	c := Crash{Worker: w, Restart: -1}
+	c := Crash{Worker: w, Restart: -1, Panic: panicFault}
 	trig, restart, hasRestart := strings.Cut(rest, "+")
+	if panicFault && hasRestart {
+		return fmt.Errorf("panic faults cannot restart (drop the +%s)", restart)
+	}
 	if strings.HasPrefix(trig, "u") {
 		c.AfterUpdates, err = strconv.ParseInt(trig[1:], 10, 64)
 		if err != nil || c.AfterUpdates <= 0 {

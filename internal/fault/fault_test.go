@@ -3,6 +3,7 @@ package fault
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -95,6 +96,39 @@ func TestParseErrors(t *testing.T) {
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q): expected error", spec)
+		}
+	}
+}
+
+func TestParsePanicClause(t *testing.T) {
+	p, err := Parse("panic=2@u30; panic=0@150")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Crashes) != 2 {
+		t.Fatalf("parsed %+v", p)
+	}
+	c := p.Crashes[0]
+	if c.Worker != 2 || c.AfterUpdates != 30 || !c.Panic || c.Restart >= 0 {
+		t.Fatalf("panic[0] = %+v", c)
+	}
+	c = p.Crashes[1]
+	if c.Worker != 0 || c.At != 150 || !c.Panic || c.Restart >= 0 {
+		t.Fatalf("panic[1] = %+v", c)
+	}
+	// String keeps the panic spelling and round-trips.
+	s := p.String()
+	if !strings.Contains(s, "panic=2@u30") || !strings.Contains(s, "panic=0@150") {
+		t.Fatalf("String() = %q", s)
+	}
+	p2, err := Parse(s)
+	if err != nil || p2.String() != s {
+		t.Fatalf("round trip: %q != %q (%v)", s, p2.String(), err)
+	}
+	// A panic fault never restarts: the restart suffix is a parse error.
+	for _, bad := range []string{"panic=1@u30+5", "panic=1@100+50"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
 		}
 	}
 }

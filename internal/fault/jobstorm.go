@@ -1,0 +1,117 @@
+package fault
+
+// Tenant-level fault plans: where Storm shapes the faults *inside* one run,
+// JobStorm shapes a whole population of runs arriving at a resident job
+// service — burst arrivals that saturate the admission controller, crashy
+// jobs that must recover inside their own fault domain, and rogue jobs that
+// panic and must be quarantined without touching their neighbors.
+
+// JobFault is one scheduled job in a tenant storm.
+type JobFault struct {
+	// ArrivalMS is the submit time relative to the storm's start. Arrivals
+	// cluster into bursts so the admission queue actually fills (a uniform
+	// trickle would never shed).
+	ArrivalMS int64
+	// Plan is the in-run fault plan spec ("" = clean run). Parseable by
+	// fault.Parse; the service passes it through to the job's LiveConfig.
+	Plan string
+	// Rogue marks a job whose plan injects a panic: it is *expected* to be
+	// quarantined (fail with a contained panic), and the soak asserts that
+	// its neighbors still finish correctly.
+	Rogue bool
+	// Crashy marks a job whose plan injects crash+restart faults: it must
+	// still complete with reference-correct results via localized recovery.
+	Crashy bool
+}
+
+// JobStormOpts shapes a tenant storm. Zero values select soak defaults.
+type JobStormOpts struct {
+	// Bursts is how many arrival bursts the jobs cluster into (default 3).
+	Bursts int
+	// BurstGapMS is the idle gap between bursts (default 300).
+	BurstGapMS int64
+	// Rogues is how many rogue (panicking) jobs to schedule (default 1).
+	Rogues int
+	// Crashy is how many crash+restart jobs to schedule (default 2).
+	Crashy int
+	// Span is the update-count window in-run crash/panic triggers are
+	// drawn from (default 400 — early enough to bite on small datasets).
+	Span int64
+	// RestartMS is the crashy jobs' detection-to-restart delay (default 5).
+	RestartMS float64
+}
+
+// JobStorm generates a deterministic multi-tenant arrival schedule for n
+// jobs: a pure function of (seed, n, o), so a failing service soak is
+// reproducible from its seed alone. Rogue and crashy roles are assigned to
+// distinct jobs (rogues win ties); every other job runs clean.
+func JobStorm(seed int64, n int, o JobStormOpts) []JobFault {
+	if n < 1 {
+		n = 1
+	}
+	if o.Bursts <= 0 {
+		o.Bursts = 3
+	}
+	if o.Bursts > n {
+		o.Bursts = n
+	}
+	if o.BurstGapMS <= 0 {
+		o.BurstGapMS = 300
+	}
+	if o.Rogues == 0 {
+		o.Rogues = 1
+	}
+	if o.Crashy == 0 {
+		o.Crashy = 2
+	}
+	if o.Span <= 0 {
+		o.Span = 400
+	}
+	if o.RestartMS == 0 {
+		o.RestartMS = 5
+	}
+
+	// Role assignment: draw victim indices with a distinct stream per role;
+	// collisions re-draw linearly so roles never overlap.
+	taken := make(map[int]bool, o.Rogues+o.Crashy)
+	draw := func(stream uint64, i int) int {
+		j := int(mix(uint64(seed), stream, uint64(i)) % uint64(n))
+		for taken[j] {
+			j = (j + 1) % n
+		}
+		taken[j] = true
+		return j
+	}
+	rogue := make(map[int]bool, o.Rogues)
+	crashy := make(map[int]bool, o.Crashy)
+	for i := 0; i < o.Rogues && len(taken) < n; i++ {
+		rogue[draw(0x6a01, i)] = true
+	}
+	for i := 0; i < o.Crashy && len(taken) < n; i++ {
+		crashy[draw(0x6a02, i)] = true
+	}
+
+	jobs := make([]JobFault, n)
+	perBurst := (n + o.Bursts - 1) / o.Bursts
+	for i := 0; i < n; i++ {
+		burst := i / perBurst
+		// Inside a burst, arrivals land within a 20ms window: effectively
+		// simultaneous against a core-capped server, so the queue fills.
+		jitter := int64(mix(uint64(seed), 0x6a03, uint64(i)) % 20)
+		jobs[i].ArrivalMS = int64(burst)*o.BurstGapMS + jitter
+		trig := 1 + int64(mix(uint64(seed), 0x6a04, uint64(i))%uint64(o.Span))
+		switch {
+		case rogue[i]:
+			jobs[i].Rogue = true
+			jobs[i].Plan = (&Plan{Crashes: []Crash{{
+				AfterUpdates: trig, Restart: -1, Panic: true,
+			}}}).String()
+		case crashy[i]:
+			jobs[i].Crashy = true
+			jobs[i].Plan = (&Plan{Seed: seed + int64(i), Crashes: []Crash{{
+				AfterUpdates: trig, Restart: o.RestartMS,
+			}}}).String()
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,93 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJobStormDeterministic(t *testing.T) {
+	a := JobStorm(42, 16, JobStormOpts{})
+	b := JobStorm(42, 16, JobStormOpts{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must reproduce the same storm")
+	}
+	c := JobStorm(43, 16, JobStormOpts{})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestJobStormRolesDistinctAndParseable(t *testing.T) {
+	jobs := JobStorm(7, 20, JobStormOpts{Rogues: 3, Crashy: 4})
+	rogues, crashy := 0, 0
+	for i, j := range jobs {
+		if j.Rogue && j.Crashy {
+			t.Fatalf("job %d holds both roles", i)
+		}
+		if j.Rogue {
+			rogues++
+			if !strings.Contains(j.Plan, "panic=") {
+				t.Fatalf("rogue job %d plan %q lacks a panic clause", i, j.Plan)
+			}
+		}
+		if j.Crashy {
+			crashy++
+			if !strings.Contains(j.Plan, "crash=") {
+				t.Fatalf("crashy job %d plan %q lacks a crash clause", i, j.Plan)
+			}
+		}
+		if !j.Rogue && !j.Crashy && j.Plan != "" {
+			t.Fatalf("clean job %d has plan %q", i, j.Plan)
+		}
+		// Every emitted plan must survive Parse — the service feeds them
+		// straight into LiveConfig.
+		if j.Plan != "" {
+			if _, err := Parse(j.Plan); err != nil {
+				t.Fatalf("job %d plan %q: %v", i, j.Plan, err)
+			}
+		}
+	}
+	if rogues != 3 || crashy != 4 {
+		t.Fatalf("roles: %d rogues, %d crashy (want 3, 4)", rogues, crashy)
+	}
+}
+
+func TestJobStormBurstsCluster(t *testing.T) {
+	jobs := JobStorm(11, 12, JobStormOpts{Bursts: 3, BurstGapMS: 300})
+	bursts := map[int64]int{}
+	for _, j := range jobs {
+		// Arrivals within a burst jitter inside a 20ms window, so integer
+		// division by the gap recovers the burst index.
+		bursts[j.ArrivalMS/300]++
+		if j.ArrivalMS%300 >= 20 {
+			t.Fatalf("arrival %dms falls outside its burst window", j.ArrivalMS)
+		}
+	}
+	if len(bursts) != 3 {
+		t.Fatalf("got %d bursts, want 3: %v", len(bursts), bursts)
+	}
+	for b, n := range bursts {
+		if n != 4 {
+			t.Fatalf("burst %d has %d jobs, want 4", b, n)
+		}
+	}
+}
+
+func TestJobStormMoreRolesThanJobs(t *testing.T) {
+	// Role assignment must terminate and stay within bounds even when the
+	// requested roles exceed the population.
+	jobs := JobStorm(3, 4, JobStormOpts{Rogues: 10, Crashy: 10})
+	if len(jobs) != 4 {
+		t.Fatalf("got %d jobs", len(jobs))
+	}
+	assigned := 0
+	for _, j := range jobs {
+		if j.Rogue || j.Crashy {
+			assigned++
+		}
+	}
+	if assigned != 4 {
+		t.Fatalf("only %d of 4 jobs got a role", assigned)
+	}
+}

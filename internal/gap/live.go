@@ -3,7 +3,9 @@ package gap
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"sync"
@@ -111,7 +113,31 @@ type LiveConfig struct {
 	// for the telemetry plane's /healthz and /readyz endpoints. One tracker
 	// may span many runs — arganrun reuses it across soak iterations.
 	Health *HealthTracker
+	// Cancel, when non-nil, aborts the run as soon as it is closed: the
+	// monitor fails the run with ErrCanceled, every worker goroutine exits
+	// at its next safe point, and RunLive returns. This is how a job
+	// service propagates client cancellations and deadlines into the
+	// driver's control plane.
+	Cancel <-chan struct{}
+	// NoEdgeSpill keeps fragment edge partitions out of the governed set:
+	// they are neither charged to the budget nor paged to disk at
+	// StageStream. Required when the fragments are shared with concurrent
+	// runs (a multi-tenant service over one frozen dataset): SpillEdges
+	// mutates the fragment, which would race with — and corrupt — every
+	// other run reading it.
+	NoEdgeSpill bool
 }
+
+// ErrCanceled is the failure RunLive returns when LiveConfig.Cancel closes
+// before the run converges. Test with errors.Is: deadline and cancellation
+// wrappers preserve it.
+var ErrCanceled = errors.New("gap: run canceled")
+
+// ErrWorkerPanic is the failure RunLive returns when an Update function (or
+// other worker-goroutine code) panics. The panic is contained to the run —
+// the process survives — so one tenant's broken program cannot take down its
+// neighbors. errors.Is-able; the message carries the worker and panic value.
+var ErrWorkerPanic = errors.New("gap: worker panicked")
 
 func (c LiveConfig) withDefaults() (LiveConfig, error) {
 	switch c.Mode {
@@ -404,9 +430,9 @@ type liveDriver[V any] struct {
 	// every accounting site is nil-safe.
 	gov          *mem.Governor
 	logCap       int64
-	logPressure  atomic.Bool // some receiver's retained log exceeds logCap
-	vSize        int64 // encoded bytes of one V (estimate when non-fixed)
-	wireEst      int64 // accounted bytes per logged/buffered message
+	logPressure  atomic.Bool  // some receiver's retained log exceeds logCap
+	vSize        int64        // encoded bytes of one V (estimate when non-fixed)
+	wireEst      int64        // accounted bytes per logged/buffered message
 	snapSp       *mem.Spiller // checkpoint pages (nil = ckpt spilling off)
 	fragAcct     *mem.Account
 	ckptAcct     *mem.Account
@@ -571,13 +597,15 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 	if d.gov != nil {
 		d.pool.acct = d.gov.Account("pool")
 		d.pool.wire = d.wireEst
-		d.fragAcct = d.gov.Account("edges")
-		var resident int64
-		for _, f := range frags {
-			resident += f.EdgesResidentBytes()
+		if !cfg.NoEdgeSpill {
+			d.fragAcct = d.gov.Account("edges")
+			var resident int64
+			for _, f := range frags {
+				resident += f.EdgesResidentBytes()
+			}
+			d.fragAcct.Add(resident)
+			d.edgeSpillReq = make([]atomic.Bool, n)
 		}
-		d.fragAcct.Add(resident)
-		d.edgeSpillReq = make([]atomic.Bool, n)
 		if d.seqOn {
 			for i := range d.states {
 				d.states[i].rs.acct = d.gov.Account("robuf")
@@ -669,6 +697,15 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 // state.
 func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 	defer d.wg.Done()
+	// Panic containment: an Update function that panics fails the run (first
+	// failure wins) instead of killing the process, so a service can
+	// quarantine the one job whose program is broken while its neighbors
+	// keep running. Registered after wg.Done, so the waitgroup still drains.
+	defer func() {
+		if r := recover(); r != nil {
+			d.coord.fail(fmt.Errorf("%w: worker %d: %v\n%s", ErrWorkerPanic, st.id, r, debug.Stack()))
+		}
+	}()
 	cfg := d.cfg
 	id := st.id
 	tr := cfg.Tracer
@@ -725,6 +762,13 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 		d.crashes.Add(1)
 		if tr != nil {
 			tr.Mark(id, obs.MarkCrash, ts())
+		}
+		if c.Panic {
+			// Rogue-program fault: blow up on the worker goroutine instead
+			// of exiting cleanly. The containment guard converts it into a
+			// run failure (ErrWorkerPanic) — the fault plan's witness that a
+			// panicking tenant is quarantined, not fatal to the process.
+			panic(fmt.Sprintf("fault: injected panic on worker %d", id))
 		}
 		d.ctrl.noteCrash(id, c.Restart)
 		return true
@@ -854,6 +898,14 @@ func (d *liveDriver[V]) worker(st *liveState[V], myEpoch int32) {
 	// means the cluster rolled back under us: message accounting restarts
 	// from zero and held batches are dropped (the replay re-derives them).
 	pauseCheck := func() bool {
+		// A closed run (failure, cancellation, or quiescence declared while
+		// we computed) ends the incarnation at the next check: cancellation
+		// latency is one CheckEvery wave, not the rest of the active set.
+		select {
+		case <-d.coord.done:
+			return true
+		default:
+		}
 		if d.ctrl.phase.Load() == ctrlRun {
 			return false
 		}

@@ -59,6 +59,7 @@ type waveEval[V any] struct {
 	bufs    [][]evalOp[V]
 	ctxs    []*ace.Ctx[V]
 	work    []uint32
+	pans    []any // per-shard captured panics, re-raised on the worker goroutine
 
 	// forceInline pins execution to the worker goroutine; the determinism
 	// tests compare it against forced concurrent execution.
@@ -84,6 +85,7 @@ func newWaveEval[V any](st *liveState[V], shards int) *waveEval[V] {
 		singleP: runtime.GOMAXPROCS(0) == 1,
 		bufs:    make([][]evalOp[V], shards),
 		ctxs:    make([]*ace.Ctx[V], shards),
+		pans:    make([]any, shards),
 	}
 	for s := range ev.ctxs {
 		s := s
@@ -122,15 +124,31 @@ func (ev *waveEval[V]) runWave(max int) int {
 			runShard(k)
 		}
 	} else {
+		// A panic on a spawned shard (a broken Update) must not kill the
+		// process: capture it into the shard's slot and re-raise it on the
+		// worker goroutine after the join, where the driver's containment
+		// guard turns it into a run failure. Slots are distinct per shard and
+		// the Wait orders the reads, so no extra synchronization is needed.
 		var wg sync.WaitGroup
 		wg.Add(s)
 		for k := 0; k < s; k++ {
 			go func(k int) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						ev.pans[k] = r
+					}
+				}()
 				runShard(k)
 			}(k)
 		}
 		wg.Wait()
+		for k := 0; k < s; k++ {
+			if r := ev.pans[k]; r != nil {
+				ev.pans[k] = nil
+				panic(r)
+			}
+		}
 	}
 	// Deterministic merge: publish every Set first, then apply Sends and
 	// Activates, each pass in (shard, op) order.

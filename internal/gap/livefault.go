@@ -2,6 +2,7 @@ package gap
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -144,6 +145,14 @@ func restoreLive[V any](st *liveState[V], s *liveSnap[V]) {
 // while a recovery is mid-flight.
 func (d *liveDriver[V]) monitor() {
 	defer d.wg.Done()
+	// The monitor rewrites worker state during recovery; a panic here (a
+	// driver bug, or a Checkpointer hook blowing up mid-restore) must fail
+	// the run, not the process hosting it.
+	defer func() {
+		if r := recover(); r != nil {
+			d.coord.fail(fmt.Errorf("%w: monitor: %v\n%s", ErrWorkerPanic, r, debug.Stack()))
+		}
+	}()
 	tick := 5 * time.Millisecond
 	if d.hasCrashes && d.cfg.HeartbeatTimeout/4 < tick {
 		tick = d.cfg.HeartbeatTimeout / 4
@@ -174,6 +183,11 @@ func (d *liveDriver[V]) monitor() {
 	for {
 		select {
 		case <-d.coord.done:
+			return
+		case <-d.cfg.Cancel:
+			// Client cancellation / deadline: first failure wins, workers
+			// exit at their next safe point, RunLive returns ErrCanceled.
+			d.coord.fail(ErrCanceled)
 			return
 		case <-tk.C:
 		}

@@ -19,6 +19,11 @@ type Health struct {
 	Failed    int64
 	// Err is the most recent run failure ("" when every run succeeded).
 	Err string
+	// Draining reports that the process hosting the tracker is shutting
+	// down gracefully: no new runs will be admitted, in-flight ones are
+	// finishing. Set by SetDraining; never reset by runStarted, so a
+	// readiness probe stays red for the rest of the process's life.
+	Draining bool
 
 	// Workers is the cluster size; Idle of them are at f_term with empty
 	// mailboxes; Dead have stale heartbeats and are not yet restored.
@@ -99,6 +104,13 @@ func (t *HealthTracker) runStarted(workers int, recovery string, watchdog time.D
 		h.Watchdog = watchdog
 		h.MemStage, h.SpilledBytes = "", 0
 	})
+}
+
+// SetDraining flips the tracker's drain flag (graceful-shutdown signal for
+// readiness probes). Unlike the per-run fields it survives runStarted:
+// draining is a property of the process, not of any one run.
+func (t *HealthTracker) SetDraining(v bool) {
+	t.publish(func(h *Health) { h.Draining = v })
 }
 
 // runEnded records the run's outcome.

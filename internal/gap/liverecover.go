@@ -884,12 +884,15 @@ func (d *liveDriver[V]) restoreLocal(w int) bool {
 // replayInto re-applies the logged batches worker w lost since its restored
 // cursors, straight into its state through the same h_in path a live drain
 // would use. Replayed messages are not counted in the termination ledger —
-// their original deliveries already balanced it. Returns messages replayed.
-func (d *liveDriver[V]) replayInto(w int) int64 {
+// their original deliveries already balanced it. Returns the total messages
+// replayed and the per-sender breakdown (the replay-backlog metric both the
+// victim's and the surviving peers' η reseeds key off).
+func (d *liveDriver[V]) replayInto(w int) (int64, []int64) {
 	st := d.states[w]
 	rs := st.rs
 	tr := d.cfg.Tracer
 	var total int64
+	bySender := make([]int64, d.n)
 	for s := 0; s < d.n; s++ {
 		if s == w {
 			continue
@@ -905,7 +908,7 @@ func (d *liveDriver[V]) replayInto(w int) int64 {
 			msgs, err := d.mlog.fetch(e)
 			if err != nil {
 				d.coord.fail(fmt.Errorf("gap: replay worker %d from spilled log: %w", w, err))
-				return total
+				return total, bySender
 			}
 			st.applyFrom(s, e.seq, msgs)
 			if e.spilled {
@@ -913,12 +916,13 @@ func (d *liveDriver[V]) replayInto(w int) int64 {
 			}
 			rs.cursor[s] = e.seq
 			total += int64(len(msgs))
+			bySender[s] += int64(len(msgs))
 		}
 		if tr != nil {
 			tr.Mark(s, obs.MarkReplay, float64(sinceFn(d.start))/1e3)
 		}
 	}
-	return total
+	return total, bySender
 }
 
 // runLocalRecovery is the monitor's per-tick localized-recovery step:
@@ -974,7 +978,7 @@ func (d *liveDriver[V]) runLocalRecovery() bool {
 		if tr != nil {
 			tr.SpanBegin(d.n, obs.PhaseReplay, ts())
 		}
-		replayed := d.replayInto(w)
+		replayed, bySender := d.replayInto(w)
 		if tr != nil {
 			t1 := ts()
 			tr.SpanEnd(d.n, obs.PhaseReplay, t1)
@@ -1004,6 +1008,32 @@ func (d *liveDriver[V]) runLocalRecovery() bool {
 					t := ts()
 					tr.Sample(w, obs.GaugeEta, t, float64(ce))
 					tr.Count(w, obs.CounterEtaReseeds, t, 1)
+				}
+			}
+			// Peer reseed (R1 wake-up thresholds): a surviving sender whose
+			// log replayed a deep backlog into the restarted worker was
+			// running far ahead of it. Halving that peer's effective check
+			// granularity makes it hit its indicator checks — and the R1
+			// wake-up flushes they trigger — proportionally more often, so
+			// the victim catches up on fresh deltas instead of coarse stale
+			// waves. Same backlog metric, same floor, and the same idle-
+			// transition restore as the victim's η reseed.
+			for s := 0; s < d.n; s++ {
+				if s == w || bySender[s] == 0 {
+					continue
+				}
+				pce := d.ckEvery[s].Load()
+				for pce > 8 && bySender[s] >= int64(pce)*4 {
+					pce /= 2
+				}
+				if pce != d.ckEvery[s].Load() {
+					d.ckEvery[s].Store(pce)
+					d.etaReseeds.Add(1)
+					if tr != nil {
+						t := ts()
+						tr.Sample(s, obs.GaugeEta, t, float64(pce))
+						tr.Count(s, obs.CounterEtaReseeds, t, 1)
+					}
 				}
 			}
 		}

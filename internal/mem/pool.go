@@ -1,0 +1,110 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrPoolExhausted is returned by Pool.Acquire when the requested slice does
+// not fit in the pool's uncommitted budget.
+var ErrPoolExhausted = errors.New("mem: pool exhausted")
+
+// Pool partitions one process-wide byte budget across concurrent runs: each
+// Acquire carves out a slice and hands back a fresh Governor budgeted to it,
+// so one job degrading under pressure (spilling, throttling) cannot consume
+// a neighbor's headroom. A Pool with total <= 0 is unbounded: every Acquire
+// succeeds with an unbounded (measure-only) governor.
+//
+// The pool tracks commitments, not live usage — a slice is charged from
+// Acquire until its release func runs, whatever the governor actually
+// accounts. That makes admission decisions stable: a job's budget cannot be
+// stolen mid-run by a burst of neighbors.
+type Pool struct {
+	total int64
+	dir   string
+
+	mu        sync.Mutex
+	committed int64
+	acquired  int64 // lifetime count, for diagnostics
+}
+
+// NewPool builds a pool over total bytes (<= 0 = unbounded) with spill files
+// created under dir ("" resolves to the OS temp dir per governor).
+func NewPool(total int64, dir string) *Pool {
+	return &Pool{total: total, dir: dir}
+}
+
+// Total returns the pool's budget (<= 0 = unbounded).
+func (p *Pool) Total() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.total
+}
+
+// Committed returns the bytes currently reserved by live slices.
+func (p *Pool) Committed() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.committed
+}
+
+// Available returns the uncommitted budget (0 for unbounded pools, whose
+// capacity is not meaningfully finite).
+func (p *Pool) Available() int64 {
+	if p == nil || p.total <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total - p.committed
+}
+
+// Acquire reserves want bytes and returns a fresh Governor budgeted to the
+// slice plus a release func that returns the slice to the pool (closing the
+// governor's spill files). Release is idempotent. On an unbounded pool the
+// governor is unbounded too and nothing is reserved. A want <= 0 on a
+// bounded pool is an error — a zero-budget governor would never escalate,
+// silently exempting the job from governance.
+func (p *Pool) Acquire(want int64) (*Governor, func(), error) {
+	if p == nil || p.total <= 0 {
+		gov := NewGovernor(0, p.poolDir())
+		var once sync.Once
+		return gov, func() { once.Do(func() { gov.Close() }) }, nil
+	}
+	if want <= 0 {
+		return nil, nil, fmt.Errorf("mem: pool slice must be positive, got %d", want)
+	}
+	p.mu.Lock()
+	if p.committed+want > p.total {
+		free := p.total - p.committed
+		p.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: want %d, %d free of %d", ErrPoolExhausted, want, free, p.total)
+	}
+	p.committed += want
+	p.acquired++
+	p.mu.Unlock()
+
+	gov := NewGovernor(want, p.dir)
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			gov.Close()
+			p.mu.Lock()
+			p.committed -= want
+			p.mu.Unlock()
+		})
+	}
+	return gov, release, nil
+}
+
+func (p *Pool) poolDir() string {
+	if p == nil {
+		return ""
+	}
+	return p.dir
+}

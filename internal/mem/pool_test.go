@@ -1,0 +1,97 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPoolAcquireAndRelease(t *testing.T) {
+	p := NewPool(100, t.TempDir())
+	gov, release, err := p.Acquire(60)
+	if err != nil || gov == nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if p.Committed() != 60 || p.Available() != 40 {
+		t.Fatalf("committed %d available %d", p.Committed(), p.Available())
+	}
+	// The governor's budget is the slice, not the pool total: 70 bytes on a
+	// 60-byte slice escalates, so the job degrades inside its own lane.
+	acct := gov.Account("test")
+	acct.Add(70)
+	if gov.Stage() == StageOK {
+		t.Fatal("over-slice usage should escalate the slice governor")
+	}
+	acct.Add(-70)
+
+	// A second slice that does not fit sheds with ErrPoolExhausted.
+	if _, _, err := p.Acquire(50); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("want ErrPoolExhausted, got %v", err)
+	}
+	// Release is idempotent and returns the slice exactly once.
+	release()
+	release()
+	if p.Committed() != 0 {
+		t.Fatalf("committed after double release: %d", p.Committed())
+	}
+	if _, release2, err := p.Acquire(100); err != nil {
+		t.Fatalf("re-acquire after release: %v", err)
+	} else {
+		release2()
+	}
+}
+
+func TestPoolRejectsNonPositiveSlice(t *testing.T) {
+	p := NewPool(100, t.TempDir())
+	if _, _, err := p.Acquire(0); err == nil {
+		t.Fatal("zero slice on a bounded pool must error, not bypass governance")
+	}
+	if _, _, err := p.Acquire(-5); err == nil {
+		t.Fatal("negative slice must error")
+	}
+}
+
+func TestPoolUnbounded(t *testing.T) {
+	p := NewPool(0, t.TempDir())
+	gov, release, err := p.Acquire(1 << 40)
+	if err != nil {
+		t.Fatalf("unbounded acquire: %v", err)
+	}
+	defer release()
+	gov.Account("test").Add(1 << 30)
+	if gov.Stage() != StageOK {
+		t.Fatal("unbounded slice governor must never escalate")
+	}
+	if p.Committed() != 0 || p.Total() != 0 {
+		t.Fatalf("unbounded pool tracks commitments: %d/%d", p.Committed(), p.Total())
+	}
+}
+
+func TestNilPoolIsUnbounded(t *testing.T) {
+	var p *Pool
+	gov, release, err := p.Acquire(123)
+	if err != nil || gov == nil {
+		t.Fatalf("nil pool acquire: %v", err)
+	}
+	release()
+	if p.Total() != 0 || p.Committed() != 0 || p.Available() != 0 {
+		t.Fatal("nil pool accessors must be safe zeros")
+	}
+}
+
+func TestPoolCommitmentsNotUsage(t *testing.T) {
+	// Admission stability: commitments are charged from Acquire to release
+	// regardless of what the governor actually accounts.
+	p := NewPool(100, t.TempDir())
+	gov, release, err := p.Acquire(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	// Zero live usage, yet the slice stays reserved.
+	if gov.Used() != 0 {
+		t.Fatalf("used = %d", gov.Used())
+	}
+	if _, _, err := p.Acquire(30); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("idle slice must still block neighbors, got %v", err)
+	}
+}

@@ -177,6 +177,7 @@ func (s *Server) families() []family {
 			add(family{name: name, help: help, typ: typ, samples: []promSample{{"", v}}})
 		}
 		one("argan_run_running", "A live run is currently executing (0/1).", "gauge", boolGauge(h.Running))
+		one("argan_run_draining", "Process is draining: no new runs admitted (0/1).", "gauge", boolGauge(h.Draining))
 		one("argan_runs_completed_total", "Runs finished successfully under this plane.", "counter", float64(h.Completed))
 		one("argan_runs_failed_total", "Runs finished in failure under this plane.", "counter", float64(h.Failed))
 		one("argan_run_workers", "Cluster size of the current run.", "gauge", float64(h.Workers))

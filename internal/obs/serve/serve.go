@@ -39,6 +39,7 @@ type Health struct {
 	Completed     int64         `json:"completed"`
 	Failed        int64         `json:"failed"`
 	Err           string        `json:"err,omitempty"`
+	Draining      bool          `json:"draining,omitempty"`
 	Workers       int           `json:"workers"`
 	Idle          int           `json:"idle"`
 	Dead          int           `json:"dead"`
@@ -82,10 +83,24 @@ type Server struct {
 	runInfo  map[string]string
 	extras   []Metric
 	names    map[string]bool
+	mounts   map[string]http.Handler
 
 	ln net.Listener
 	hs *http.Server
 }
+
+// Client-facing hardening limits: a slow or malicious client may neither pin
+// a connection forever (header/idle timeouts) nor stream an unbounded body
+// into a mounted API handler.
+const (
+	readHeaderTimeout = 5 * time.Second
+	idleTimeout       = 60 * time.Second
+	// maxRequestBody bounds request bodies on every route, including
+	// mounted API handlers (job specs are a few hundred bytes; 1 MiB is
+	// generous). Oversized bodies fail the handler's read with an error
+	// http.MaxBytesReader turns into a 413.
+	maxRequestBody = 1 << 20
+)
 
 // New builds a server with no recorder or health source attached; every
 // endpoint works from the start (an empty /metrics is still valid
@@ -149,8 +164,37 @@ func (s *Server) RegisterMetric(m Metric) error {
 	return nil
 }
 
+// Mount attaches an additional handler under the given pattern (ServeMux
+// syntax, e.g. "/api/jobs" or "/api/jobs/"), letting a job service share the
+// telemetry plane's listener, hardening limits and lifecycle. Mount before
+// Handler/Start; patterns colliding with the built-in routes or each other
+// return an error.
+func (s *Server) Mount(pattern string, h http.Handler) error {
+	if pattern == "" || pattern[0] != '/' {
+		return fmt.Errorf("serve: mount pattern %q must start with /", pattern)
+	}
+	switch pattern {
+	case "/metrics", "/status", "/healthz", "/readyz":
+		return fmt.Errorf("serve: pattern %q collides with a built-in route", pattern)
+	}
+	if h == nil {
+		return fmt.Errorf("serve: nil handler for %q", pattern)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mounts == nil {
+		s.mounts = make(map[string]http.Handler)
+	}
+	if s.mounts[pattern] != nil {
+		return fmt.Errorf("serve: pattern %q already mounted", pattern)
+	}
+	s.mounts[pattern] = h
+	return nil
+}
+
 // Handler returns the plane's route table; useful for tests and for mounting
-// under an existing server.
+// under an existing server. Every route — built-in and mounted — reads its
+// request body through a MaxBytesReader.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.metrics)
@@ -162,17 +206,32 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
-	return mux
+	s.mu.Lock()
+	for pat, h := range s.mounts {
+		mux.Handle(pat, h)
+	}
+	s.mu.Unlock()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // Start listens on addr (":0" picks a free port) and serves in the
-// background. It returns the resolved address.
+// background. It returns the resolved address. The server carries header and
+// idle timeouts so a slow client cannot pin a connection forever.
 func (s *Server) Start(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	hs := &http.Server{Handler: s.Handler()}
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       idleTimeout,
+	}
 	s.mu.Lock()
 	s.ln, s.hs = ln, hs
 	s.mu.Unlock()
@@ -304,6 +363,12 @@ func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h := hfn()
+	if h.Draining {
+		// A draining process finishes its in-flight work but must fall out
+		// of load-balancer rotation immediately.
+		http.Error(w, "not ready: draining", http.StatusServiceUnavailable)
+		return
+	}
 	if !h.Running && h.Completed+h.Failed == 0 {
 		http.Error(w, "not ready: run not started", http.StatusServiceUnavailable)
 		return

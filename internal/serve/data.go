@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"argan/internal/core"
+	"argan/internal/graph"
+)
+
+// dataCache loads each (dataset, scale) once, freezes it with a structural
+// fingerprint, and shares one immutable fragment partition per worker count
+// across every job that runs over it. Sequential reference answers are
+// cached the same way, so verification costs one sequential pass per unique
+// query, not per job.
+//
+// Sharing frozen fragments is what makes a resident service cheaper than
+// per-request processes — but it also means no job may mutate them: every
+// job runs with LiveConfig.NoEdgeSpill, and graph.Freeze trips loudly if a
+// writer slips through anyway.
+
+type fragKey struct {
+	dataset string
+	scale   float64
+	workers int
+}
+
+type refKey struct {
+	app     string
+	dataset string
+	scale   float64
+	source  int
+	eps     float64
+}
+
+type dataCache struct {
+	mu     sync.Mutex
+	graphs map[string]*entry[*graph.Graph]
+	frags  map[fragKey]*entry[[]*graph.Fragment]
+	refs   map[refKey]*entry[any]
+}
+
+// entry is a once-per-key fill slot: concurrent requesters block on the
+// first loader instead of duplicating the build.
+type entry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func newDataCache() dataCache {
+	return dataCache{
+		graphs: make(map[string]*entry[*graph.Graph]),
+		frags:  make(map[fragKey]*entry[[]*graph.Fragment]),
+		refs:   make(map[refKey]*entry[any]),
+	}
+}
+
+func (c *dataCache) graph(dataset string, scale float64) (*graph.Graph, error) {
+	key := fmt.Sprintf("%s@%g", dataset, scale)
+	c.mu.Lock()
+	e := c.graphs[key]
+	if e == nil {
+		e = &entry[*graph.Graph]{}
+		c.graphs[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		// LoadDataset memoizes and freezes internally (fingerprinted), so
+		// this is the single build for the server's lifetime.
+		e.val, e.err = graph.LoadDataset(dataset, scale)
+	})
+	return e.val, e.err
+}
+
+func (c *dataCache) fragments(dataset string, scale float64, workers int) (*graph.Graph, []*graph.Fragment, error) {
+	g, err := c.graph(dataset, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := fragKey{dataset, scale, workers}
+	c.mu.Lock()
+	e := c.frags[key]
+	if e == nil {
+		e = &entry[[]*graph.Fragment]{}
+		c.frags[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		env := core.Env{Workers: workers}
+		e.val, e.err = env.Fragments(g)
+	})
+	return g, e.val, e.err
+}
+
+// reference returns the cached sequential answer for a query, computing it
+// on first use. The stored value's concrete type is app-dependent; the
+// typed runners in job.go assert it back.
+func (c *dataCache) reference(key refKey, compute func() any) any {
+	c.mu.Lock()
+	e := c.refs[key]
+	if e == nil {
+		e = &entry[any]{}
+		c.refs[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val = compute() })
+	return e.val
+}

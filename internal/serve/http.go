@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	obsserve "argan/internal/obs/serve"
+)
+
+// HTTP job API, mounted on the telemetry plane's hardened server (header
+// timeouts, bounded request bodies — see internal/obs/serve):
+//
+//	POST   /api/jobs             submit a JobSpec     → 202 {"id": "job-N"}
+//	GET    /api/jobs             list all jobs        → 200 [JobStatus...]
+//	GET    /api/jobs/{id}        one job's status     → 200 JobStatus
+//	GET    /api/jobs/{id}/result finished job result  → 200 JobResult
+//	POST   /api/jobs/{id}/cancel cancel a job         → 200 JobStatus
+//	DELETE /api/jobs/{id}        cancel a job         → 200 JobStatus
+//	GET    /api/service          service Stats        → 200 Stats
+//
+// Admission maps onto status codes: a saturated queue sheds with 429 and a
+// draining service refuses with 503, both as {"error": "..."} JSON. Unknown
+// jobs are 404, malformed specs 400.
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// APIHandler returns the job API as a stand-alone handler (also usable
+// without the telemetry plane, e.g. in tests).
+func (s *Service) APIHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+	mux.HandleFunc("GET /api/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Status(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /api/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		res, err := s.Result(r.PathValue("id"))
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, res)
+		case errors.Is(err, ErrNotFinished):
+			writeErr(w, http.StatusConflict, err)
+		case strings.Contains(err.Error(), "no such job"):
+			writeErr(w, http.StatusNotFound, err)
+		default:
+			// Terminal without a result: failed or canceled — the error
+			// carries the quarantine reason.
+			writeErr(w, http.StatusGone, err)
+		}
+	})
+	cancel := func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := s.Cancel(id); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		st, _ := s.Status(id)
+		writeJSON(w, http.StatusOK, st)
+	}
+	mux.HandleFunc("POST /api/jobs/{id}/cancel", cancel)
+	mux.HandleFunc("DELETE /api/jobs/{id}", cancel)
+	mux.HandleFunc("GET /api/service", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+		return
+	}
+	id, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrSaturated):
+		writeErr(w, http.StatusTooManyRequests, err)
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+	}
+}
+
+// Attach mounts the job API on a telemetry server, registers the service
+// and per-job metric families, and points /healthz & /readyz at the
+// service's aggregate health (draining ⇒ not ready).
+func (s *Service) Attach(srv *obsserve.Server) error {
+	if err := srv.Mount("/api/", s.APIHandler()); err != nil {
+		return err
+	}
+	if err := s.registerMetrics(srv); err != nil {
+		return err
+	}
+	srv.SetHealth(s.healthFn())
+	return nil
+}
+
+// healthFn aggregates per-job health into the telemetry plane's Health:
+// the service is "running" while any job is, and stops being ready the
+// moment a drain starts.
+func (s *Service) healthFn() func() obsserve.Health {
+	return func() obsserve.Health {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		h := obsserve.Health{
+			Running:   s.running > 0,
+			Draining:  s.draining,
+			Completed: s.completed,
+			Failed:    s.failed + s.canceled,
+			Workers:   s.cfg.Cores,
+			Idle:      s.coresFree,
+		}
+		for _, id := range s.order {
+			j := s.jobs[id]
+			if j.state != StateRunning {
+				continue
+			}
+			jh := j.health.Health()
+			h.Dead += jh.Dead
+			h.Updates += jh.Updates
+			h.Sent += jh.Sent
+			h.Recv += jh.Recv
+			if jh.Unrecoverable {
+				h.Unrecoverable = true
+			}
+			if jh.ProgressAge > h.ProgressAge {
+				h.ProgressAge = jh.ProgressAge
+			}
+		}
+		return h
+	}
+}
+
+// Client is a typed client for the job API.
+type Client struct {
+	Base string // e.g. "http://127.0.0.1:9090"
+	HTTP *http.Client
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// decode reads a JSON response, mapping admission status codes back onto
+// the service's sentinel errors so clients can errors.Is them.
+func decode[T any](resp *http.Response, out *T) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		_ = json.NewDecoder(resp.Body).Decode(&ae)
+		msg := ae.Error
+		if msg == "" {
+			msg = resp.Status
+		}
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			return fmt.Errorf("%w: %s", ErrSaturated, msg)
+		case http.StatusServiceUnavailable:
+			return fmt.Errorf("%w: %s", ErrDraining, msg)
+		case http.StatusConflict:
+			return fmt.Errorf("%w: %s", ErrNotFinished, msg)
+		}
+		return fmt.Errorf("http %d: %s", resp.StatusCode, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a JobSpec and returns the assigned job ID. Saturation and
+// drain refusals come back as ErrSaturated / ErrDraining.
+func (c *Client) Submit(spec JobSpec) (string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.client().Post(c.Base+"/api/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return "", err
+	}
+	var out map[string]string
+	if err := decode(resp, &out); err != nil {
+		return "", err
+	}
+	return out["id"], nil
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(id string) (JobStatus, error) {
+	var st JobStatus
+	resp, err := c.client().Get(c.Base + "/api/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	return st, decode(resp, &st)
+}
+
+// List fetches every job.
+func (c *Client) List() ([]JobStatus, error) {
+	var sts []JobStatus
+	resp, err := c.client().Get(c.Base + "/api/jobs")
+	if err != nil {
+		return nil, err
+	}
+	return sts, decode(resp, &sts)
+}
+
+// Result fetches a finished job's summary. A job still pending/running
+// returns ErrNotFinished.
+func (c *Client) Result(id string) (*JobResult, error) {
+	resp, err := c.client().Get(c.Base + "/api/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	var res JobResult
+	if err := decode(resp, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(id string) error {
+	req, err := http.NewRequest(http.MethodPost, c.Base+"/api/jobs/"+id+"/cancel", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	var st JobStatus
+	return decode(resp, &st)
+}
+
+// Stats fetches the service counters.
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
+	resp, err := c.client().Get(c.Base + "/api/service")
+	if err != nil {
+		return st, err
+	}
+	return st, decode(resp, &st)
+}
+
+// WaitTerminal polls until the job reaches a terminal state or the timeout
+// lapses, returning the final status.
+func (c *Client) WaitTerminal(id string, timeout time.Duration) (JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"argan/internal/ace"
+	"argan/internal/algorithms"
+	"argan/internal/fault"
+	"argan/internal/gap"
+	"argan/internal/graph"
+	"argan/internal/mem"
+)
+
+// execute runs one admitted job to completion inside its own fault domain:
+// a private live driver over the shared frozen fragments, localized
+// recovery, a mem.Pool slice proportional to its core share, and the job's
+// cancel channel wired into the driver's control plane. Any error — crash
+// without restart, injected panic, divergence from the reference, deadline
+// — quarantines this job only; the service keeps running.
+func (s *Service) execute(j *job) {
+	res, err := s.runOne(j)
+	switch {
+	case err == nil:
+		s.finalize(j, StateDone, "", res, true)
+	case errors.Is(err, gap.ErrCanceled):
+		reason := j.err // set by CancelReason before closing the channel
+		if reason == "" {
+			reason = "canceled"
+		}
+		s.finalize(j, StateCanceled, reason, nil, true)
+	default:
+		if errors.Is(err, gap.ErrWorkerPanic) {
+			s.mu.Lock()
+			s.quarantined++
+			s.mu.Unlock()
+		}
+		s.finalize(j, StateFailed, err.Error(), nil, true)
+	}
+}
+
+// runOne builds the job's execution environment and dispatches by app.
+func (s *Service) runOne(j *job) (*JobResult, error) {
+	sp := j.spec
+	g, frags, err := s.data.fragments(sp.Dataset, sp.Scale, sp.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Memory slice: the job's proportional share of the service budget.
+	// Cores gate admission, so the slice always fits — Acquire cannot
+	// deadlock a queued job.
+	var gov *mem.Governor
+	if s.cfg.MemBudget > 0 {
+		slice := s.cfg.MemBudget * int64(j.cores) / int64(s.cfg.Cores)
+		var release func()
+		gov, release, err = s.pool.Acquire(slice)
+		if err != nil {
+			return nil, fmt.Errorf("memory slice: %w", err)
+		}
+		defer release()
+	}
+
+	var plan *fault.Plan
+	if sp.Faults != "" {
+		if plan, err = fault.Parse(sp.Faults); err != nil {
+			return nil, err // unreachable: normalize() already parsed it
+		}
+	}
+
+	cfg := gap.LiveConfig{
+		Mode:        gap.ModeGAP,
+		CheckEvery:  sp.CheckEvery,
+		Recovery:    gap.RecoveryLocal,
+		Faults:      plan,
+		Mem:         gov,
+		Health:      j.health,
+		Cancel:      j.cancel,
+		Watchdog:    s.cfg.Watchdog,
+		NoEdgeSpill: true, // fragments are shared: never page their edges
+	}
+
+	q := ace.Query{Source: graph.VID(sp.Source), Eps: sp.Eps}
+	res, err := runApp(g, frags, sp, q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.ID, res.App = j.id, sp.App
+	if res.Wrong > 0 {
+		return nil, fmt.Errorf("result diverged from sequential reference: %d of %d vertices wrong", res.Wrong, res.Vertices)
+	}
+	return res, nil
+}
+
+// runApp dispatches one live run by application, verifying against the
+// cached sequential reference when the spec asks for it.
+func runApp(g *graph.Graph, frags []*graph.Fragment, sp JobSpec, q ace.Query, cfg gap.LiveConfig) (*JobResult, error) {
+	key := refKey{app: sp.App, dataset: sp.Dataset, scale: sp.Scale, source: sp.Source, eps: sp.Eps}
+	switch sp.App {
+	case "sssp":
+		var want []float64
+		if sp.Verify {
+			want = refFor(key, func() []float64 { return algorithms.SeqSSSP(g, graph.VID(sp.Source)) })
+		}
+		return runTyped(frags, algorithms.NewSSSP(), q, cfg, want,
+			func(got, w float64) bool { return got == w },
+			func(v float64) float64 {
+				if math.IsInf(v, 1) {
+					return 0
+				}
+				return v
+			})
+	case "bfs":
+		var want []int32
+		if sp.Verify {
+			want = refFor(key, func() []int32 { return algorithms.SeqBFS(g, graph.VID(sp.Source)) })
+		}
+		return runTyped(frags, algorithms.NewBFS(), q, cfg, want,
+			func(got, w int32) bool {
+				if w < 0 { // Seq marks unreachable -1; the engine leaves Init's MaxInt32
+					return got == math.MaxInt32
+				}
+				return got == w
+			},
+			func(v int32) float64 {
+				if v == math.MaxInt32 {
+					return 0
+				}
+				return float64(v)
+			})
+	case "wcc":
+		var want []graph.VID
+		if sp.Verify {
+			want = refFor(key, func() []graph.VID { return algorithms.SeqWCC(g) })
+		}
+		return runTyped(frags, algorithms.NewWCC(), q, cfg, want,
+			func(got uint32, w graph.VID) bool { return got == uint32(w) },
+			func(v uint32) float64 { return float64(v) })
+	case "pr":
+		var want []float64
+		if sp.Verify {
+			want = refFor(key, func() []float64 { return algorithms.SeqPageRank(g, sp.Eps) })
+		}
+		return runTyped(frags, algorithms.NewPageRank(), q, cfg, want,
+			func(got, w float64) bool { return math.Abs(got-w) <= 0.02*(w+1) },
+			func(v float64) float64 { return v })
+	}
+	return nil, fmt.Errorf("app %q does not run under the live driver", sp.App)
+}
+
+// jobRefCache holds sequential references process-wide: references depend
+// only on (app, dataset, scale, source, eps), never on the Service, so one
+// cache serves every Service in the process (tests included).
+var jobRefCache = newDataCache()
+
+func refFor[W any](key refKey, compute func() []W) []W {
+	v := jobRefCache.reference(key, func() any { return compute() })
+	return v.([]W)
+}
+
+// runTyped executes one live run and summarizes it. A nil want skips
+// verification (Wrong = -1); otherwise Wrong counts diverging vertices.
+func runTyped[V any, W any](frags []*graph.Fragment, f ace.Factory[V], q ace.Query, cfg gap.LiveConfig, want []W, eq func(got V, w W) bool, num func(V) float64) (*JobResult, error) {
+	res, lm, err := gap.RunLive(frags, f, q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &JobResult{
+		Vertices:   len(res.Values),
+		Wrong:      -1,
+		WallMS:     float64(lm.WallTime) / 1e6,
+		Updates:    lm.Updates,
+		MsgsSent:   lm.MsgsSent,
+		Crashes:    lm.Crashes,
+		Recoveries: lm.Recoveries,
+		Replayed:   lm.Replayed,
+		Epochs:     lm.Epochs,
+		Recovery:   lm.Recovery,
+		MemPeak:    lm.MemPeakBytes,
+		Spilled:    lm.SpilledBytes,
+	}
+	for _, v := range res.Values {
+		out.Checksum += num(v)
+	}
+	if want != nil {
+		out.Wrong = 0
+		for i := range want {
+			if !eq(res.Values[i], want[i]) {
+				out.Wrong++
+			}
+		}
+	}
+	return out, nil
+}

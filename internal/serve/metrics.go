@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"fmt"
+
+	obsserve "argan/internal/obs/serve"
+)
+
+// Service metric families for the /metrics exposition. Two layers:
+//
+//   - argan_service_*: the admission controller and drain state — queue
+//     depth, free core tokens, shed counts — the signals an operator
+//     alarms on.
+//   - argan_job_*: per-job families labeled {job, app}, so a dashboard can
+//     attribute load and faults to tenants. Samples iterate jobs in
+//     submission order, keeping the exposition deterministic (the scrape
+//     lint in obs/serve depends on that).
+func (s *Service) registerMetrics(srv *obsserve.Server) error {
+	gauge := func(name, help string, get func(Stats) float64) obsserve.Metric {
+		return obsserve.Metric{Name: name, Help: help, Type: "gauge",
+			Collect: func() []obsserve.Sample { return []obsserve.Sample{{Value: get(s.Stats())}} }}
+	}
+	counter := func(name, help string, get func(Stats) float64) obsserve.Metric {
+		m := gauge(name, help, get)
+		m.Type = "counter"
+		return m
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	fams := []obsserve.Metric{
+		gauge("argan_service_cores", "Admission controller core-token budget.",
+			func(st Stats) float64 { return float64(st.Cores) }),
+		gauge("argan_service_cores_free", "Unclaimed core tokens.",
+			func(st Stats) float64 { return float64(st.CoresFree) }),
+		gauge("argan_service_queue_depth", "Jobs admitted but not yet running.",
+			func(st Stats) float64 { return float64(st.Queued) }),
+		gauge("argan_service_queue_cap", "Bound on the admission queue; beyond it the service sheds.",
+			func(st Stats) float64 { return float64(st.QueueDepth) }),
+		gauge("argan_service_jobs_running", "Jobs currently executing.",
+			func(st Stats) float64 { return float64(st.Running) }),
+		gauge("argan_service_draining", "Service is draining: no new jobs admitted (0/1).",
+			func(st Stats) float64 { return b2f(st.Draining) }),
+		gauge("argan_service_drain_seconds", "Wall-clock the last drain took (0 before any drain).",
+			func(st Stats) float64 { return st.DrainMS / 1e3 }),
+		counter("argan_service_jobs_submitted_total", "Job submissions, admitted or not.",
+			func(st Stats) float64 { return float64(st.Submitted) }),
+		counter("argan_service_jobs_admitted_total", "Jobs accepted by the admission controller.",
+			func(st Stats) float64 { return float64(st.Admitted) }),
+		counter("argan_service_jobs_shed_total", "Submissions refused with 429 because the queue was full.",
+			func(st Stats) float64 { return float64(st.Shed) }),
+		counter("argan_service_jobs_completed_total", "Jobs finished successfully.",
+			func(st Stats) float64 { return float64(st.Completed) }),
+		counter("argan_service_jobs_failed_total", "Jobs quarantined by crash, panic, divergence or load error.",
+			func(st Stats) float64 { return float64(st.Failed) }),
+		counter("argan_service_jobs_canceled_total", "Jobs canceled by clients, deadlines or drain timeouts.",
+			func(st Stats) float64 { return float64(st.Canceled) }),
+		counter("argan_service_jobs_quarantined_total", "Failed jobs whose cause was a contained worker panic.",
+			func(st Stats) float64 { return float64(st.Quarantined) }),
+	}
+
+	// Per-job families. Collect snapshots under s.mu; the health read per
+	// running job is lock-free (HealthTracker publishes atomically).
+	type jobSnap struct {
+		id, app, state string
+		updates        float64
+		dead           float64
+	}
+	snapshot := func() []jobSnap {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		out := make([]jobSnap, 0, len(s.order))
+		for _, id := range s.order {
+			j := s.jobs[id]
+			sn := jobSnap{id: j.id, app: j.spec.App, state: j.state}
+			if j.result != nil {
+				sn.updates = float64(j.result.Updates)
+			} else {
+				// Running (or short-lived) jobs: the driver's health
+				// tracker publishes lock-free control-plane snapshots.
+				h := j.health.Health()
+				sn.updates = float64(h.Updates)
+				sn.dead = float64(h.Dead)
+			}
+			out = append(out, sn)
+		}
+		return out
+	}
+	perJob := func(name, help, typ string, sample func(jobSnap) (float64, bool)) obsserve.Metric {
+		return obsserve.Metric{Name: name, Help: help, Type: typ,
+			Collect: func() []obsserve.Sample {
+				snaps := snapshot()
+				out := make([]obsserve.Sample, 0, len(snaps))
+				for _, sn := range snaps {
+					v, ok := sample(sn)
+					if !ok {
+						continue
+					}
+					out = append(out, obsserve.Sample{
+						Labels: map[string]string{"job": sn.id, "app": sn.app, "state": sn.state},
+						Value:  v,
+					})
+				}
+				return out
+			}}
+	}
+	stateOrd := map[string]float64{
+		StatePending: 0, StateRunning: 1, StateDone: 2, StateFailed: 3, StateCanceled: 4,
+	}
+	fams = append(fams,
+		perJob("argan_job_state", "Job lifecycle stage (0 pending, 1 running, 2 done, 3 failed, 4 canceled).", "gauge",
+			func(sn jobSnap) (float64, bool) { return stateOrd[sn.state], true }),
+		perJob("argan_job_updates_total", "Update-function invocations attributed to the job.", "counter",
+			func(sn jobSnap) (float64, bool) { return sn.updates, true }),
+		perJob("argan_job_workers_dead", "Job workers with stale heartbeats awaiting localized recovery.", "gauge",
+			func(sn jobSnap) (float64, bool) { return sn.dead, sn.state == StateRunning }),
+	)
+
+	for _, m := range fams {
+		if err := srv.RegisterMetric(m); err != nil {
+			return fmt.Errorf("register %s: %w", m.Name, err)
+		}
+	}
+	return nil
+}

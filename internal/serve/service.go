@@ -1,0 +1,627 @@
+// Package serve is the resident multi-tenant job service of the GAP
+// runtime: a long-lived Service that loads frozen, fingerprinted datasets
+// once and admits many concurrent GAP jobs over shared immutable fragments,
+// each job with its own worker pool, tuner state, recovery domain and memory
+// budget slice.
+//
+// Robustness is the design center:
+//
+//   - Admission control: jobs cost core tokens; a bounded FIFO queue holds
+//     what the cores cannot run yet, and past the queue the service sheds
+//     load (ErrSaturated → HTTP 429) instead of queueing forever or OOMing.
+//   - Fault isolation: every job runs its own live driver with localized
+//     recovery, a private mem.Governor slice carved from one shared
+//     mem.Pool, and NoEdgeSpill so the shared fragments are never mutated.
+//     A job that crashes, panics or blows its deadline is quarantined —
+//     marked failed/canceled with the error — while its neighbors keep
+//     running.
+//   - Deadlines and cancellation: per-job deadlines (ticking from
+//     submission, so queue time counts) and client cancellations propagate
+//     into the driver's control plane via LiveConfig.Cancel.
+//   - Graceful drain: Drain stops admissions (readyz goes red) but finishes
+//     every admitted job — queued ones included — before returning, so a
+//     SIGTERM rollout never loses accepted work.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"argan/internal/fault"
+	"argan/internal/gap"
+	"argan/internal/mem"
+)
+
+// Job states.
+const (
+	StatePending  = "pending"  // admitted, waiting for core tokens
+	StateRunning  = "running"  // executing under its own live driver
+	StateDone     = "done"     // finished; result available
+	StateFailed   = "failed"   // quarantined: crashed, panicked or diverged
+	StateCanceled = "canceled" // client cancellation or deadline
+)
+
+// Admission errors. Submit wraps them with detail; test with errors.Is.
+var (
+	// ErrSaturated means cores and queue are both full: the service sheds
+	// the job (HTTP 429) rather than queueing it forever.
+	ErrSaturated = errors.New("serve: saturated")
+	// ErrDraining means the service is shutting down and admits nothing
+	// new (HTTP 503).
+	ErrDraining = errors.New("serve: draining")
+)
+
+// Config parameterizes a Service. Zero values select sensible defaults.
+type Config struct {
+	// Cores is the admission controller's token budget: the sum of worker
+	// counts across running jobs never exceeds it. Default 4.
+	Cores int
+	// QueueDepth bounds the admitted-but-not-running FIFO queue; a full
+	// queue sheds (429). Default 2×Cores.
+	QueueDepth int
+	// MemBudget is the total governed bytes shared by all concurrent jobs;
+	// each running job gets a slice proportional to its core share. 0
+	// leaves jobs ungoverned.
+	MemBudget int64
+	// SpillDir is where governed jobs spill ("" = OS temp dir).
+	SpillDir string
+	// MaxWorkersPerJob clamps a job's requested worker count. Default 4,
+	// and never above Cores.
+	MaxWorkersPerJob int
+	// DefaultDeadline applies to jobs that do not set their own (0 = no
+	// deadline). Deadlines tick from submission, so queue time counts.
+	DefaultDeadline time.Duration
+	// Watchdog is each job's stuck-run budget (gap.LiveConfig.Watchdog).
+	// 0 keeps the driver default (30s); it bounds how long a wedged job
+	// can hold its core tokens.
+	Watchdog time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores <= 0 {
+		c.Cores = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Cores
+	}
+	if c.MaxWorkersPerJob <= 0 {
+		c.MaxWorkersPerJob = 4
+	}
+	if c.MaxWorkersPerJob > c.Cores {
+		c.MaxWorkersPerJob = c.Cores
+	}
+	return c
+}
+
+// JobSpec is a submitted job: which application over which frozen dataset,
+// with optional fault injection, verification and deadline.
+type JobSpec struct {
+	App     string  `json:"app"`     // sssp, bfs, wcc or pr
+	Dataset string  `json:"dataset"` // built-in dataset name (HW, DP, LJ, ...)
+	Scale   float64 `json:"scale"`   // dataset scale (default 0.25)
+	Workers int     `json:"workers"` // worker pool size (clamped; default 2)
+	Source  int     `json:"source"`  // source vertex for sssp/bfs
+	Eps     float64 `json:"eps"`     // delta threshold for pr (default 1e-3)
+	// CheckEvery seeds the job's granularity bound η (0 = driver default).
+	// Tenants with latency-sensitive jobs can trade throughput for faster
+	// cancellation/fault detection by lowering it.
+	CheckEvery int `json:"check_every,omitempty"`
+	// Faults is an in-run fault plan spec (internal/fault grammar), e.g.
+	// "crash=1@u200+10" or "panic=0@u300". Empty = clean run.
+	Faults string `json:"faults,omitempty"`
+	// Deadline bounds the job's total lifetime from submission (a
+	// time.ParseDuration string, e.g. "5s"). Empty uses the service
+	// default; "0" means no deadline even if the service has a default.
+	Deadline string `json:"deadline,omitempty"`
+	// Verify re-checks the result against the cached sequential reference;
+	// the job is quarantined (failed) if any vertex diverges.
+	Verify bool `json:"verify,omitempty"`
+}
+
+func (sp *JobSpec) normalize(cfg Config) (time.Duration, error) {
+	switch sp.App {
+	case "sssp", "bfs", "wcc", "pr":
+	default:
+		return 0, fmt.Errorf("app %q does not run under the live driver (want sssp, bfs, wcc or pr)", sp.App)
+	}
+	if sp.Dataset == "" {
+		return 0, fmt.Errorf("dataset is required")
+	}
+	if sp.Scale <= 0 {
+		sp.Scale = 0.25
+	}
+	if sp.Workers <= 0 {
+		sp.Workers = 2
+	}
+	if sp.Workers > cfg.MaxWorkersPerJob {
+		sp.Workers = cfg.MaxWorkersPerJob
+	}
+	if sp.Eps <= 0 {
+		sp.Eps = 1e-3
+	}
+	if sp.CheckEvery < 0 {
+		sp.CheckEvery = 0
+	}
+	if sp.Faults != "" {
+		if _, err := fault.Parse(sp.Faults); err != nil {
+			return 0, err
+		}
+	}
+	deadline := cfg.DefaultDeadline
+	if sp.Deadline != "" {
+		d, err := time.ParseDuration(sp.Deadline)
+		if err != nil {
+			return 0, fmt.Errorf("deadline: %w", err)
+		}
+		if d < 0 {
+			return 0, fmt.Errorf("deadline must be >= 0")
+		}
+		deadline = d
+	}
+	return deadline, nil
+}
+
+// JobStatus is the externally visible state of one job.
+type JobStatus struct {
+	ID       string  `json:"id"`
+	State    string  `json:"state"`
+	App      string  `json:"app"`
+	Dataset  string  `json:"dataset"`
+	Scale    float64 `json:"scale"`
+	Workers  int     `json:"workers"`
+	Err      string  `json:"err,omitempty"`
+	Queued   string  `json:"queued_at"`
+	WaitMS   float64 `json:"wait_ms"`          // submission → start (or now)
+	RunMS    float64 `json:"run_ms,omitempty"` // start → finish (or now)
+	Deadline string  `json:"deadline,omitempty"`
+	// Live control-plane view of a running job (zero after it ends).
+	Dead    int   `json:"dead,omitempty"`
+	Updates int64 `json:"updates,omitempty"`
+}
+
+// JobResult is the summary a finished job serves. Raw vertex arrays stay on
+// the server; clients get counts, a checksum and the driver metrics.
+type JobResult struct {
+	ID       string `json:"id"`
+	App      string `json:"app"`
+	Vertices int    `json:"vertices"`
+	// Wrong counts vertices diverging from the sequential reference; -1
+	// when the job did not request verification.
+	Wrong      int     `json:"wrong"`
+	Checksum   float64 `json:"checksum"`
+	WallMS     float64 `json:"wall_ms"`
+	Updates    int64   `json:"updates"`
+	MsgsSent   int64   `json:"msgs_sent"`
+	Crashes    int64   `json:"crashes"`
+	Recoveries int64   `json:"recoveries"`
+	Replayed   int64   `json:"replayed"`
+	Epochs     int64   `json:"epochs"`
+	Recovery   string  `json:"recovery,omitempty"`
+	MemPeak    int64   `json:"mem_peak_bytes,omitempty"`
+	Spilled    int64   `json:"spilled_bytes,omitempty"`
+}
+
+// DrainStats summarizes a graceful drain.
+type DrainStats struct {
+	// Jobs is how many admitted jobs (running + queued) the drain waited
+	// for; Forced of them were cancel-forced by the drain timeout.
+	Jobs   int `json:"jobs"`
+	Forced int `json:"forced"`
+	// WaitMS is how long the drain took end to end.
+	WaitMS float64 `json:"wait_ms"`
+	// Completed/Failed/Canceled are the service lifetime totals at drain
+	// completion.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+}
+
+type job struct {
+	id       string
+	spec     JobSpec
+	deadline time.Duration
+	cores    int
+
+	// Guarded by Service.mu.
+	state      string
+	err        string
+	queuedAt   time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	result     *JobResult
+
+	cancel     chan struct{}
+	cancelOnce sync.Once
+	timer      *time.Timer
+	health     *gap.HealthTracker
+	done       chan struct{}
+}
+
+func (j *job) terminal() bool {
+	switch j.state {
+	case StateDone, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// Service is the resident job service. Create with New, then Submit jobs
+// (directly or through the HTTP API in http.go) and Drain before exit.
+type Service struct {
+	cfg  Config
+	pool *mem.Pool
+
+	mu        sync.Mutex
+	seq       int
+	jobs      map[string]*job
+	order     []string
+	queue     []*job
+	coresFree int
+	running   int
+	draining  bool
+	drained   chan struct{}
+
+	// Lifetime counters (guarded by mu; read via Stats).
+	submitted, admitted, shed                int64
+	completed, failed, canceled, quarantined int64
+
+	drainMS   float64
+	drainJobs int
+
+	data dataCache
+}
+
+// Stats is a point-in-time service summary, also exported as /metrics
+// families in metrics.go.
+type Stats struct {
+	Cores, CoresFree, QueueDepth, Queued, Running int
+	Draining                                      bool
+	Submitted, Admitted, Shed                     int64
+	Completed, Failed, Canceled, Quarantined      int64
+	DrainMS                                       float64
+}
+
+// New builds a Service. Datasets are loaded and partitioned lazily on first
+// use and cached frozen (fingerprint-verified) for every later job; use
+// Preload to pay that cost at startup instead of on the first request.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:       cfg,
+		pool:      mem.NewPool(cfg.MemBudget, cfg.SpillDir),
+		jobs:      make(map[string]*job),
+		coresFree: cfg.Cores,
+		drained:   make(chan struct{}),
+		data:      newDataCache(),
+	}
+}
+
+// Config returns the resolved configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Preload loads, freezes and partitions a dataset at the given scale for
+// the given worker count, so the first job over it does not pay the build.
+func (s *Service) Preload(dataset string, scale float64, workers int) error {
+	if workers <= 0 {
+		workers = s.cfg.MaxWorkersPerJob
+	}
+	_, _, err := s.data.fragments(dataset, scale, workers)
+	return err
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Cores: s.cfg.Cores, CoresFree: s.coresFree,
+		QueueDepth: s.cfg.QueueDepth, Queued: len(s.queue), Running: s.running,
+		Draining:  s.draining,
+		Submitted: s.submitted, Admitted: s.admitted, Shed: s.shed,
+		Completed: s.completed, Failed: s.failed, Canceled: s.canceled,
+		Quarantined: s.quarantined,
+		DrainMS:     s.drainMS,
+	}
+}
+
+// Submit admits a job (or sheds it). On success the job is pending or
+// already running; its ID resolves through Status/Result/Cancel.
+func (s *Service) Submit(spec JobSpec) (string, error) {
+	deadline, err := spec.normalize(s.cfg)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.submitted++
+	if s.draining {
+		return "", ErrDraining
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.shed++
+		return "", fmt.Errorf("%w: queue full (%d jobs deep)", ErrSaturated, len(s.queue))
+	}
+	s.seq++
+	j := &job{
+		id:       fmt.Sprintf("job-%d", s.seq),
+		spec:     spec,
+		deadline: deadline,
+		cores:    spec.Workers,
+		state:    StatePending,
+		queuedAt: time.Now(),
+		cancel:   make(chan struct{}),
+		health:   &gap.HealthTracker{},
+		done:     make(chan struct{}),
+	}
+	if deadline > 0 {
+		j.timer = time.AfterFunc(deadline, func() {
+			s.CancelReason(j.id, "deadline exceeded")
+		})
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.queue = append(s.queue, j)
+	s.admitted++
+	s.pump()
+	return j.id, nil
+}
+
+// pump dispatches queued jobs while core tokens last. FIFO with no
+// overtaking: a wide job at the head waits rather than starving behind a
+// stream of narrow ones. Callers hold s.mu.
+func (s *Service) pump() {
+	for len(s.queue) > 0 && s.queue[0].cores <= s.coresFree {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.coresFree -= j.cores
+		s.running++
+		j.state = StateRunning
+		j.startedAt = time.Now()
+		go s.execute(j)
+	}
+}
+
+// finalize moves j to a terminal state, returns its tokens and kicks the
+// dispatcher. Callers must NOT hold s.mu.
+func (s *Service) finalize(j *job, state, errMsg string, res *JobResult, heldCores bool) {
+	if j.timer != nil {
+		j.timer.Stop()
+	}
+	s.mu.Lock()
+	if j.terminal() {
+		s.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.err = errMsg
+	j.finishedAt = time.Now()
+	j.result = res
+	switch state {
+	case StateDone:
+		s.completed++
+	case StateFailed:
+		s.failed++
+	case StateCanceled:
+		s.canceled++
+	}
+	if heldCores {
+		s.coresFree += j.cores
+		s.running--
+	}
+	s.pump()
+	s.checkDrained()
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// checkDrained closes the drain gate once draining is on and every admitted
+// job is terminal. Callers hold s.mu.
+func (s *Service) checkDrained() {
+	if !s.draining || s.running > 0 || len(s.queue) > 0 {
+		return
+	}
+	select {
+	case <-s.drained:
+	default:
+		close(s.drained)
+	}
+}
+
+// Cancel cancels a job: a queued job is removed, a running one has the
+// cancellation propagated through its driver's control plane. Canceling a
+// finished job is a no-op. Unknown IDs return an error.
+func (s *Service) Cancel(id string) error {
+	return s.CancelReason(id, "canceled by client")
+}
+
+// CancelReason is Cancel with an explicit reason recorded in the job's Err.
+func (s *Service) CancelReason(id, reason string) error {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: no such job %q", id)
+	}
+	if j.terminal() {
+		s.mu.Unlock()
+		return nil
+	}
+	if j.state == StatePending {
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		s.finalize(j, StateCanceled, reason, nil, false)
+		return nil
+	}
+	// Running: close the driver's cancel channel; execute() finalizes when
+	// RunLive returns ErrCanceled.
+	s.mu.Unlock()
+	j.cancelOnce.Do(func() {
+		j.err = reason // read by execute() to label the cancellation
+		close(j.cancel)
+	})
+	return nil
+}
+
+// Status reports one job.
+func (s *Service) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return JobStatus{}, fmt.Errorf("serve: no such job %q", id)
+	}
+	return s.statusLocked(j), nil
+}
+
+// List reports every job in submission order.
+func (s *Service) List() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+func (s *Service) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID: j.id, State: j.state, App: j.spec.App,
+		Dataset: j.spec.Dataset, Scale: j.spec.Scale, Workers: j.spec.Workers,
+		Err:    j.err,
+		Queued: j.queuedAt.Format(time.RFC3339Nano),
+	}
+	if j.deadline > 0 {
+		st.Deadline = j.deadline.String()
+	}
+	switch {
+	case j.state == StatePending:
+		st.WaitMS = float64(time.Since(j.queuedAt)) / 1e6
+	case j.startedAt.IsZero():
+		st.WaitMS = float64(j.finishedAt.Sub(j.queuedAt)) / 1e6
+	default:
+		st.WaitMS = float64(j.startedAt.Sub(j.queuedAt)) / 1e6
+		end := j.finishedAt
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.RunMS = float64(end.Sub(j.startedAt)) / 1e6
+	}
+	if j.state == StateRunning {
+		h := j.health.Health()
+		st.Dead = h.Dead
+		st.Updates = h.Updates
+	}
+	return st
+}
+
+// Result returns a finished job's result summary. Running/pending jobs
+// return an error distinguishable from unknown IDs via errors.Is.
+var ErrNotFinished = errors.New("serve: job not finished")
+
+func (s *Service) Result(id string) (*JobResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, fmt.Errorf("serve: no such job %q", id)
+	}
+	if !j.terminal() {
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotFinished, id, j.state)
+	}
+	if j.result == nil {
+		return nil, fmt.Errorf("serve: job %s %s: %s", id, j.state, j.err)
+	}
+	return j.result, nil
+}
+
+// Wait blocks until the job reaches a terminal state or the timeout lapses
+// (timeout <= 0 waits forever). Returns the final status.
+func (s *Service) Wait(id string, timeout time.Duration) (JobStatus, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return JobStatus{}, fmt.Errorf("serve: no such job %q", id)
+	}
+	if timeout > 0 {
+		select {
+		case <-j.done:
+		case <-time.After(timeout):
+			return s.Status(id)
+		}
+	} else {
+		<-j.done
+	}
+	return s.Status(id)
+}
+
+// Draining reports whether Drain has been called.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admissions and waits for every admitted job — running and
+// queued — to finish. Jobs still unfinished at the timeout are cancel-forced
+// and waited for briefly (a forced job still releases its tokens). A zero
+// timeout waits forever. Safe to call once; later calls return immediately
+// with the recorded stats.
+func (s *Service) Drain(timeout time.Duration) DrainStats {
+	start := time.Now()
+	s.mu.Lock()
+	if s.draining {
+		stats := DrainStats{Jobs: s.drainJobs, WaitMS: s.drainMS,
+			Completed: s.completed, Failed: s.failed, Canceled: s.canceled}
+		s.mu.Unlock()
+		<-s.drained
+		return stats
+	}
+	s.draining = true
+	s.drainJobs = s.running + len(s.queue)
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if !j.terminal() {
+			jobs = append(jobs, j)
+		}
+	}
+	s.checkDrained() // nothing in flight: drain completes immediately
+	s.mu.Unlock()
+
+	forced := 0
+	if timeout > 0 {
+		select {
+		case <-s.drained:
+		case <-time.After(timeout):
+			for _, j := range jobs {
+				s.mu.Lock()
+				term := j.terminal()
+				s.mu.Unlock()
+				if !term {
+					forced++
+					s.CancelReason(j.id, "drain timeout")
+				}
+			}
+			<-s.drained
+		}
+	} else {
+		<-s.drained
+	}
+
+	s.mu.Lock()
+	s.drainMS = float64(time.Since(start)) / 1e6
+	stats := DrainStats{
+		Jobs: s.drainJobs, Forced: forced, WaitMS: s.drainMS,
+		Completed: s.completed, Failed: s.failed, Canceled: s.canceled,
+	}
+	s.mu.Unlock()
+	return stats
+}

@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	obsserve "argan/internal/obs/serve"
+)
+
+// Tiny shared dataset so the suite stays fast; the cache makes later tests
+// nearly free.
+func tinySpec(app string) JobSpec {
+	return JobSpec{App: app, Dataset: "HW", Scale: 0.02, Workers: 2, Source: 1, Verify: true}
+}
+
+// slowSpec builds a job that runs for roughly durMS of wall clock: with
+// CheckEvery 1 the injected slowdown sleeps at every update, so the job is
+// reliably still in flight when a test cancels, drains or saturates around
+// it.
+func slowSpec(durMS, factor int) JobSpec {
+	sp := tinySpec("sssp")
+	sp.Verify = false
+	sp.CheckEvery = 1
+	sp.Faults = fmt.Sprintf("slow=0@0:%d:%d; slow=1@0:%d:%d", durMS, factor, durMS, factor)
+	return sp
+}
+
+func TestJobLifecycleAllApps(t *testing.T) {
+	s := New(Config{Cores: 4})
+	for _, app := range []string{"sssp", "bfs", "wcc", "pr"} {
+		id, err := s.Submit(tinySpec(app))
+		if err != nil {
+			t.Fatalf("%s submit: %v", app, err)
+		}
+		st, err := s.Wait(id, 30*time.Second)
+		if err != nil {
+			t.Fatalf("%s wait: %v", app, err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("%s: state %s err %q", app, st.State, st.Err)
+		}
+		res, err := s.Result(id)
+		if err != nil {
+			t.Fatalf("%s result: %v", app, err)
+		}
+		if res.Wrong != 0 {
+			t.Fatalf("%s: %d wrong vertices", app, res.Wrong)
+		}
+		if res.Vertices == 0 || res.Updates == 0 {
+			t.Fatalf("%s: empty result summary %+v", app, res)
+		}
+		if res.App != app || res.ID != id {
+			t.Fatalf("%s: mislabeled result %+v", app, res)
+		}
+	}
+	st := s.Stats()
+	if st.Completed != 4 || st.Failed != 0 || st.Admitted != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	s := New(Config{Cores: 4})
+	bad := []JobSpec{
+		{App: "nope", Dataset: "HW"},
+		{App: "sssp"},
+		{App: "sssp", Dataset: "HW", Faults: "crash=bogus"},
+		{App: "sssp", Dataset: "HW", Deadline: "yesterday"},
+	}
+	for i, sp := range bad {
+		if _, err := s.Submit(sp); err == nil {
+			t.Fatalf("spec %d admitted: %+v", i, sp)
+		}
+	}
+	// Worker clamp: requests above MaxWorkersPerJob shrink, not fail.
+	sp := tinySpec("sssp")
+	sp.Workers = 64
+	id, err := s.Submit(sp)
+	if err != nil {
+		t.Fatalf("clamped submit: %v", err)
+	}
+	st, _ := s.Wait(id, 30*time.Second)
+	if st.Workers != 4 || st.State != StateDone {
+		t.Fatalf("clamp: workers %d state %s err %q", st.Workers, st.State, st.Err)
+	}
+}
+
+func TestAdmissionShedsWhenSaturated(t *testing.T) {
+	s := New(Config{Cores: 2, QueueDepth: 1})
+	slow := slowSpec(5000, 40)
+	id1, err := s.Submit(slow) // takes both cores, runs slow
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	id2, err := s.Submit(slow) // fills the queue
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	_, err = s.Submit(slow) // queue full: shed
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("want ErrSaturated, got %v", err)
+	}
+	if st := s.Stats(); st.Shed != 1 || st.Queued != 1 {
+		t.Fatalf("stats after shed: %+v", st)
+	}
+	// Canceling the queued job must not run it; canceling the running one
+	// must propagate through the driver's control plane.
+	if err := s.Cancel(id2); err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	st2, _ := s.Status(id2)
+	if st2.State != StateCanceled || st2.RunMS != 0 {
+		t.Fatalf("queued cancel: %+v", st2)
+	}
+	if err := s.Cancel(id1); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	st1, err := s.Wait(id1, 10*time.Second)
+	if err != nil || st1.State != StateCanceled {
+		t.Fatalf("running cancel: %+v err %v", st1, err)
+	}
+	if st := s.Stats(); st.Canceled != 2 || st.Running != 0 || st.CoresFree != 2 {
+		t.Fatalf("tokens leaked: %+v", st)
+	}
+}
+
+func TestDeadlineCancelsJob(t *testing.T) {
+	s := New(Config{Cores: 2})
+	sp := slowSpec(10000, 60)
+	sp.Deadline = "200ms"
+	id, err := s.Submit(sp)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st, err := s.Wait(id, 10*time.Second)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if st.State != StateCanceled || !strings.Contains(st.Err, "deadline") {
+		t.Fatalf("want deadline cancellation, got %+v", st)
+	}
+}
+
+func TestPanicQuarantinedNeighborsUnharmed(t *testing.T) {
+	s := New(Config{Cores: 4})
+	rogue := tinySpec("sssp")
+	rogue.Verify = false
+	rogue.Faults = "panic=0@u10"
+	rid, err := s.Submit(rogue)
+	if err != nil {
+		t.Fatalf("submit rogue: %v", err)
+	}
+	nid, err := s.Submit(tinySpec("bfs"))
+	if err != nil {
+		t.Fatalf("submit neighbor: %v", err)
+	}
+	rst, _ := s.Wait(rid, 30*time.Second)
+	if rst.State != StateFailed || !strings.Contains(rst.Err, "panic") {
+		t.Fatalf("rogue not quarantined: %+v", rst)
+	}
+	nst, _ := s.Wait(nid, 30*time.Second)
+	if nst.State != StateDone {
+		t.Fatalf("neighbor harmed by rogue: %+v", nst)
+	}
+	if res, err := s.Result(nid); err != nil || res.Wrong != 0 {
+		t.Fatalf("neighbor result: %+v err %v", res, err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 || st.Failed != 1 {
+		t.Fatalf("quarantine accounting: %+v", st)
+	}
+}
+
+func TestCrashyJobRecoversLocally(t *testing.T) {
+	s := New(Config{Cores: 2})
+	sp := tinySpec("sssp")
+	sp.Faults = "crash=1@u40+5"
+	id, err := s.Submit(sp)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st, _ := s.Wait(id, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("crashy job: %+v", st)
+	}
+	res, err := s.Result(id)
+	if err != nil || res.Wrong != 0 {
+		t.Fatalf("crashy result: %+v err %v", res, err)
+	}
+	if res.Crashes < 1 || res.Recoveries < 1 || res.Recovery != "local" {
+		t.Fatalf("recovery not localized: %+v", res)
+	}
+}
+
+func TestDrainFinishesAdmittedAndRefusesNew(t *testing.T) {
+	s := New(Config{Cores: 2, QueueDepth: 4})
+	slow := slowSpec(150, 10)
+	var ids []string
+	for i := 0; i < 3; i++ { // 1 running + 2 queued
+		id, err := s.Submit(slow)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, id)
+	}
+	done := make(chan DrainStats, 1)
+	go func() { done <- s.Drain(60 * time.Second) }()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(tinySpec("sssp")); !errors.Is(err, ErrDraining) {
+		t.Fatalf("want ErrDraining, got %v", err)
+	}
+	stats := <-done
+	if stats.Jobs != 3 || stats.Forced != 0 {
+		t.Fatalf("drain stats: %+v", stats)
+	}
+	for _, id := range ids {
+		st, _ := s.Status(id)
+		if st.State != StateDone {
+			t.Fatalf("drain abandoned %s: %+v", id, st)
+		}
+	}
+	if stats.Completed != 3 {
+		t.Fatalf("drain stats totals: %+v", stats)
+	}
+	// A second drain returns immediately with recorded stats.
+	again := s.Drain(time.Second)
+	if again.Jobs != 3 {
+		t.Fatalf("re-drain stats: %+v", again)
+	}
+}
+
+func TestDrainTimeoutForcesStragglers(t *testing.T) {
+	s := New(Config{Cores: 2})
+	sp := slowSpec(60000, 150) // effectively wedged
+	id, err := s.Submit(sp)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	stats := s.Drain(300 * time.Millisecond)
+	if stats.Forced != 1 {
+		t.Fatalf("drain did not force the straggler: %+v", stats)
+	}
+	st, _ := s.Status(id)
+	if st.State != StateCanceled || !strings.Contains(st.Err, "drain") {
+		t.Fatalf("straggler state: %+v", st)
+	}
+}
+
+func TestHTTPAPI(t *testing.T) {
+	s := New(Config{Cores: 2, QueueDepth: 1})
+	ts := httptest.NewServer(s.APIHandler())
+	defer ts.Close()
+	c := &Client{Base: ts.URL}
+
+	id, err := c.Submit(tinySpec("sssp"))
+	if err != nil || id == "" {
+		t.Fatalf("submit: id %q err %v", id, err)
+	}
+	st, err := c.WaitTerminal(id, 30*time.Second)
+	if err != nil || st.State != StateDone {
+		t.Fatalf("wait: %+v err %v", st, err)
+	}
+	res, err := c.Result(id)
+	if err != nil || res.Wrong != 0 || res.ID != id {
+		t.Fatalf("result: %+v err %v", res, err)
+	}
+	list, err := c.List()
+	if err != nil || len(list) != 1 {
+		t.Fatalf("list: %v err %v", list, err)
+	}
+	stats, err := c.Stats()
+	if err != nil || stats.Completed != 1 {
+		t.Fatalf("stats: %+v err %v", stats, err)
+	}
+
+	// Error mapping: bad spec → 400, unknown id → 404, unfinished → 409.
+	if _, err := c.Submit(JobSpec{App: "nope", Dataset: "HW"}); err == nil ||
+		errors.Is(err, ErrSaturated) || errors.Is(err, ErrDraining) {
+		t.Fatalf("bad spec error: %v", err)
+	}
+	if _, err := c.Status("job-999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown id: %v", err)
+	}
+	slow := slowSpec(5000, 40)
+	sid, err := c.Submit(slow)
+	if err != nil {
+		t.Fatalf("submit slow: %v", err)
+	}
+	if _, err := c.Result(sid); !errors.Is(err, ErrNotFinished) {
+		t.Fatalf("unfinished result: %v", err)
+	}
+	// Saturate: one running (2 cores), one queued, then shed with 429.
+	if _, err := c.Submit(slow); err != nil {
+		t.Fatalf("fill queue: %v", err)
+	}
+	if _, err := c.Submit(slow); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("want ErrSaturated over HTTP, got %v", err)
+	}
+	// Cancel over HTTP propagates into the driver.
+	if err := c.Cancel(sid); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	st, err = c.WaitTerminal(sid, 10*time.Second)
+	if err != nil || st.State != StateCanceled {
+		t.Fatalf("canceled: %+v err %v", st, err)
+	}
+}
+
+func TestAttachTelemetry(t *testing.T) {
+	s := New(Config{Cores: 2})
+	srv := obsserve.New()
+	if err := s.Attach(srv); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &Client{Base: ts.URL}
+
+	id, err := c.Submit(tinySpec("sssp"))
+	if err != nil {
+		t.Fatalf("submit via mounted API: %v", err)
+	}
+	if _, err := c.WaitTerminal(id, 30*time.Second); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if err := obsserve.Lint(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition lint: %v", err)
+	}
+	for _, want := range []string{
+		"argan_service_cores 2",
+		"argan_service_jobs_completed_total 1",
+		`argan_job_state{app="sssp",job="` + id + `",state="done"} 2`,
+		`argan_job_updates_total{app="sssp",job="` + id + `",state="done"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", code)
+	}
+	s.Drain(10 * time.Second)
+	code, body = get("/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("readyz during drain: %d %q", code, body)
+	}
+	if _, body := get("/metrics"); !strings.Contains(body, "argan_service_draining 1") {
+		t.Fatalf("draining gauge not exported")
+	}
+	// Submits over the mounted API now refuse with 503.
+	if _, err := c.Submit(tinySpec("sssp")); !errors.Is(err, ErrDraining) {
+		t.Fatalf("want ErrDraining via HTTP, got %v", err)
+	}
+}
+
+func TestPreloadSharesFragments(t *testing.T) {
+	s := New(Config{Cores: 4})
+	if err := s.Preload("HW", 0.02, 2); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+	if err := s.Preload("nope", 1, 2); err == nil {
+		t.Fatal("preload of unknown dataset succeeded")
+	}
+	// Two jobs over the same (dataset, scale, workers) must reuse the one
+	// cached partition.
+	g1, f1, err := s.data.fragments("HW", 0.02, 2)
+	if err != nil {
+		t.Fatalf("fragments: %v", err)
+	}
+	g2, f2, _ := s.data.fragments("HW", 0.02, 2)
+	if g1 != g2 || len(f1) != 2 || f1[0] != f2[0] {
+		t.Fatal("fragment cache did not share")
+	}
+}
