@@ -34,6 +34,7 @@ func runServe(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 	maxWorkers := fs.Int("max-workers", 0, "per-job worker clamp (0 = 4, never above -cores)")
 	deadline := fs.Duration("deadline", 0, "default per-job deadline from submission (0 = none)")
 	watchdog := fs.Duration("watchdog", 0, "per-job stuck-run budget (0 = driver default 30s)")
+	history := fs.Int("history", 0, "terminal jobs retained for status/result/metrics; older ones are evicted (0 = 512, negative = unbounded)")
 	preload := fs.String("preload", "", "datasets to load and partition at startup, e.g. \"HW@0.05,LJ@0.1\"")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs on SIGTERM before cancel-forcing them")
 	drainOut := fs.String("drain-out", "", "write the drain stats JSON to `FILE` on shutdown")
@@ -51,6 +52,7 @@ func runServe(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 		MemBudget: budget, SpillDir: *spillDir,
 		MaxWorkersPerJob: *maxWorkers,
 		DefaultDeadline:  *deadline, Watchdog: *watchdog,
+		MaxHistory: *history,
 	})
 	cfg := svc.Config()
 

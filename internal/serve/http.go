@@ -65,7 +65,7 @@ func (s *Service) APIHandler() http.Handler {
 			writeJSON(w, http.StatusOK, res)
 		case errors.Is(err, ErrNotFinished):
 			writeErr(w, http.StatusConflict, err)
-		case strings.Contains(err.Error(), "no such job"):
+		case errors.Is(err, ErrNoSuchJob):
 			writeErr(w, http.StatusNotFound, err)
 		default:
 			// Terminal without a result: failed or canceled — the error
@@ -192,6 +192,8 @@ func decode[T any](resp *http.Response, out *T) error {
 			return fmt.Errorf("%w: %s", ErrDraining, msg)
 		case http.StatusConflict:
 			return fmt.Errorf("%w: %s", ErrNotFinished, msg)
+		case http.StatusNotFound:
+			return fmt.Errorf("%w: %s", ErrNoSuchJob, msg)
 		}
 		return fmt.Errorf("http %d: %s", resp.StatusCode, msg)
 	}

@@ -25,7 +25,9 @@ func (s *Service) execute(j *job) {
 	case err == nil:
 		s.finalize(j, StateDone, "", res, true)
 	case errors.Is(err, gap.ErrCanceled):
-		reason := j.err // set by CancelReason before closing the channel
+		s.mu.Lock()
+		reason := j.err // set under s.mu by CancelReason before closing the channel
+		s.mu.Unlock()
 		if reason == "" {
 			reason = "canceled"
 		}

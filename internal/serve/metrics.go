@@ -12,9 +12,13 @@ import (
 //     depth, free core tokens, shed counts — the signals an operator
 //     alarms on.
 //   - argan_job_*: per-job families labeled {job, app}, so a dashboard can
-//     attribute load and faults to tenants. Samples iterate jobs in
-//     submission order, keeping the exposition deterministic (the scrape
-//     lint in obs/serve depends on that).
+//     attribute load and faults to tenants. Only the argan_job_state gauge
+//     carries the mutable "state" label: putting it on counters would make
+//     the same logical series migrate across label sets as the job moves
+//     pending→running→done, breaking rate() continuity in Prometheus.
+//     Samples iterate jobs in submission order, keeping the exposition
+//     deterministic (the scrape lint in obs/serve depends on that), and the
+//     job set itself is bounded by Config.MaxHistory terminal-job eviction.
 func (s *Service) registerMetrics(srv *obsserve.Server) error {
 	gauge := func(name, help string, get func(Stats) float64) obsserve.Metric {
 		return obsserve.Metric{Name: name, Help: help, Type: "gauge",
@@ -89,7 +93,7 @@ func (s *Service) registerMetrics(srv *obsserve.Server) error {
 		}
 		return out
 	}
-	perJob := func(name, help, typ string, sample func(jobSnap) (float64, bool)) obsserve.Metric {
+	perJob := func(name, help, typ string, withState bool, sample func(jobSnap) (float64, bool)) obsserve.Metric {
 		return obsserve.Metric{Name: name, Help: help, Type: typ,
 			Collect: func() []obsserve.Sample {
 				snaps := snapshot()
@@ -99,10 +103,11 @@ func (s *Service) registerMetrics(srv *obsserve.Server) error {
 					if !ok {
 						continue
 					}
-					out = append(out, obsserve.Sample{
-						Labels: map[string]string{"job": sn.id, "app": sn.app, "state": sn.state},
-						Value:  v,
-					})
+					labels := map[string]string{"job": sn.id, "app": sn.app}
+					if withState {
+						labels["state"] = sn.state
+					}
+					out = append(out, obsserve.Sample{Labels: labels, Value: v})
 				}
 				return out
 			}}
@@ -111,11 +116,11 @@ func (s *Service) registerMetrics(srv *obsserve.Server) error {
 		StatePending: 0, StateRunning: 1, StateDone: 2, StateFailed: 3, StateCanceled: 4,
 	}
 	fams = append(fams,
-		perJob("argan_job_state", "Job lifecycle stage (0 pending, 1 running, 2 done, 3 failed, 4 canceled).", "gauge",
+		perJob("argan_job_state", "Job lifecycle stage (0 pending, 1 running, 2 done, 3 failed, 4 canceled).", "gauge", true,
 			func(sn jobSnap) (float64, bool) { return stateOrd[sn.state], true }),
-		perJob("argan_job_updates_total", "Update-function invocations attributed to the job.", "counter",
+		perJob("argan_job_updates_total", "Update-function invocations attributed to the job.", "counter", false,
 			func(sn jobSnap) (float64, bool) { return sn.updates, true }),
-		perJob("argan_job_workers_dead", "Job workers with stale heartbeats awaiting localized recovery.", "gauge",
+		perJob("argan_job_workers_dead", "Job workers with stale heartbeats awaiting localized recovery.", "gauge", false,
 			func(sn jobSnap) (float64, bool) { return sn.dead, sn.state == StateRunning }),
 	)
 

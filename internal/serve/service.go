@@ -51,6 +51,9 @@ var (
 	// ErrDraining means the service is shutting down and admits nothing
 	// new (HTTP 503).
 	ErrDraining = errors.New("serve: draining")
+	// ErrNoSuchJob means the job ID is unknown — never assigned, or a
+	// terminal job already evicted from the bounded history (HTTP 404).
+	ErrNoSuchJob = errors.New("serve: no such job")
 )
 
 // Config parameterizes a Service. Zero values select sensible defaults.
@@ -77,6 +80,13 @@ type Config struct {
 	// 0 keeps the driver default (30s); it bounds how long a wedged job
 	// can hold its core tokens.
 	Watchdog time.Duration
+	// MaxHistory bounds how many terminal jobs the service retains for
+	// Status/Result/List and the per-job metric families. Past the bound
+	// the oldest terminal jobs are evicted (their JobResults freed, their
+	// metric series dropped); running and queued jobs are never evicted,
+	// so a resident service stays memory- and scrape-bounded under
+	// sustained load. Default 512; negative retains everything.
+	MaxHistory int
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWorkersPerJob > c.Cores {
 		c.MaxWorkersPerJob = c.Cores
+	}
+	if c.MaxHistory == 0 {
+		c.MaxHistory = 512
 	}
 	return c
 }
@@ -266,9 +279,12 @@ type Service struct {
 	// Lifetime counters (guarded by mu; read via Stats).
 	submitted, admitted, shed                int64
 	completed, failed, canceled, quarantined int64
+	terminals                                int // jobs still retained in terminal state
 
-	drainMS   float64
-	drainJobs int
+	drainStart  time.Time
+	drainMS     float64
+	drainJobs   int
+	drainForced int
 
 	data dataCache
 }
@@ -410,14 +426,42 @@ func (s *Service) finalize(j *job, state, errMsg string, res *JobResult, heldCor
 		s.coresFree += j.cores
 		s.running--
 	}
+	s.terminals++
+	s.evictLocked()
 	s.pump()
 	s.checkDrained()
 	s.mu.Unlock()
 	close(j.done)
 }
 
+// evictLocked drops the oldest terminal jobs once more than MaxHistory of
+// them are retained, so a resident service's job table, JobResults and
+// per-job metric exposition stay bounded under sustained load. Running and
+// queued jobs are never evicted. Callers hold s.mu.
+func (s *Service) evictLocked() {
+	if s.cfg.MaxHistory < 0 {
+		return
+	}
+	for s.terminals > s.cfg.MaxHistory {
+		evicted := false
+		for i, id := range s.order {
+			if s.jobs[id].terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				s.terminals--
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
 // checkDrained closes the drain gate once draining is on and every admitted
-// job is terminal. Callers hold s.mu.
+// job is terminal, recording the drain wall time so every Drain caller —
+// first or repeat — reports the same stats. Callers hold s.mu.
 func (s *Service) checkDrained() {
 	if !s.draining || s.running > 0 || len(s.queue) > 0 {
 		return
@@ -425,6 +469,7 @@ func (s *Service) checkDrained() {
 	select {
 	case <-s.drained:
 	default:
+		s.drainMS = float64(time.Since(s.drainStart)) / 1e6
 		close(s.drained)
 	}
 }
@@ -442,7 +487,7 @@ func (s *Service) CancelReason(id, reason string) error {
 	j := s.jobs[id]
 	if j == nil {
 		s.mu.Unlock()
-		return fmt.Errorf("serve: no such job %q", id)
+		return fmt.Errorf("%w %q", ErrNoSuchJob, id)
 	}
 	if j.terminal() {
 		s.mu.Unlock()
@@ -459,13 +504,16 @@ func (s *Service) CancelReason(id, reason string) error {
 		s.finalize(j, StateCanceled, reason, nil, false)
 		return nil
 	}
-	// Running: close the driver's cancel channel; execute() finalizes when
-	// RunLive returns ErrCanceled.
-	s.mu.Unlock()
+	// Running: record the reason and close the driver's cancel channel.
+	// The write stays under s.mu — statusLocked readers and finalize touch
+	// j.err concurrently — and precedes the close, so execute() reads the
+	// reason safely after RunLive observes the cancellation. execute()
+	// finalizes when RunLive returns ErrCanceled.
 	j.cancelOnce.Do(func() {
-		j.err = reason // read by execute() to label the cancellation
+		j.err = reason
 		close(j.cancel)
 	})
+	s.mu.Unlock()
 	return nil
 }
 
@@ -475,7 +523,7 @@ func (s *Service) Status(id string) (JobStatus, error) {
 	defer s.mu.Unlock()
 	j := s.jobs[id]
 	if j == nil {
-		return JobStatus{}, fmt.Errorf("serve: no such job %q", id)
+		return JobStatus{}, fmt.Errorf("%w %q", ErrNoSuchJob, id)
 	}
 	return s.statusLocked(j), nil
 }
@@ -531,7 +579,7 @@ func (s *Service) Result(id string) (*JobResult, error) {
 	defer s.mu.Unlock()
 	j := s.jobs[id]
 	if j == nil {
-		return nil, fmt.Errorf("serve: no such job %q", id)
+		return nil, fmt.Errorf("%w %q", ErrNoSuchJob, id)
 	}
 	if !j.terminal() {
 		return nil, fmt.Errorf("%w: %s is %s", ErrNotFinished, id, j.state)
@@ -549,7 +597,7 @@ func (s *Service) Wait(id string, timeout time.Duration) (JobStatus, error) {
 	j := s.jobs[id]
 	s.mu.Unlock()
 	if j == nil {
-		return JobStatus{}, fmt.Errorf("serve: no such job %q", id)
+		return JobStatus{}, fmt.Errorf("%w %q", ErrNoSuchJob, id)
 	}
 	if timeout > 0 {
 		select {
@@ -571,57 +619,56 @@ func (s *Service) Draining() bool {
 }
 
 // Drain stops admissions and waits for every admitted job — running and
-// queued — to finish. Jobs still unfinished at the timeout are cancel-forced
-// and waited for briefly (a forced job still releases its tokens). A zero
-// timeout waits forever. Safe to call once; later calls return immediately
-// with the recorded stats.
+// queued — to finish. Jobs still unfinished at the first caller's timeout
+// are cancel-forced and waited for briefly (a forced job still releases its
+// tokens). A zero timeout waits forever. Safe to call repeatedly and
+// concurrently: every call blocks until the drain completes and returns the
+// same recorded stats (wall time, forced count, final lifetime counters).
 func (s *Service) Drain(timeout time.Duration) DrainStats {
-	start := time.Now()
 	s.mu.Lock()
-	if s.draining {
-		stats := DrainStats{Jobs: s.drainJobs, WaitMS: s.drainMS,
-			Completed: s.completed, Failed: s.failed, Canceled: s.canceled}
-		s.mu.Unlock()
-		<-s.drained
-		return stats
-	}
-	s.draining = true
-	s.drainJobs = s.running + len(s.queue)
-	jobs := make([]*job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		if !j.terminal() {
-			jobs = append(jobs, j)
+	first := !s.draining
+	var jobs []*job
+	if first {
+		s.draining = true
+		s.drainStart = time.Now()
+		s.drainJobs = s.running + len(s.queue)
+		for _, j := range s.jobs {
+			if !j.terminal() {
+				jobs = append(jobs, j)
+			}
 		}
+		s.checkDrained() // nothing in flight: drain completes immediately
 	}
-	s.checkDrained() // nothing in flight: drain completes immediately
 	s.mu.Unlock()
 
-	forced := 0
-	if timeout > 0 {
+	if first && timeout > 0 {
 		select {
 		case <-s.drained:
 		case <-time.After(timeout):
 			for _, j := range jobs {
+				// Count the forced job under s.mu before cancel-forcing it,
+				// so s.drainForced is complete before the last finalize can
+				// close s.drained and wake any waiter below.
 				s.mu.Lock()
-				term := j.terminal()
+				force := !j.terminal()
+				if force {
+					s.drainForced++
+				}
 				s.mu.Unlock()
-				if !term {
-					forced++
+				if force {
 					s.CancelReason(j.id, "drain timeout")
 				}
 			}
-			<-s.drained
 		}
-	} else {
-		<-s.drained
 	}
+	<-s.drained
 
+	// The drain wall time was recorded by checkDrained at gate-close, so
+	// first and repeat callers all rebuild the same stats here.
 	s.mu.Lock()
-	s.drainMS = float64(time.Since(start)) / 1e6
-	stats := DrainStats{
-		Jobs: s.drainJobs, Forced: forced, WaitMS: s.drainMS,
+	defer s.mu.Unlock()
+	return DrainStats{
+		Jobs: s.drainJobs, Forced: s.drainForced, WaitMS: s.drainMS,
 		Completed: s.completed, Failed: s.failed, Canceled: s.canceled,
 	}
-	s.mu.Unlock()
-	return stats
 }

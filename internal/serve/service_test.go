@@ -207,17 +207,22 @@ func TestDrainFinishesAdmittedAndRefusesNew(t *testing.T) {
 		}
 		ids = append(ids, id)
 	}
-	done := make(chan DrainStats, 1)
+	done := make(chan DrainStats, 2)
 	go func() { done <- s.Drain(60 * time.Second) }()
 	for !s.Draining() {
 		time.Sleep(time.Millisecond)
 	}
+	// A concurrent second Drain must block until completion and report the
+	// same recorded stats as the first caller, not a stale snapshot.
+	go func() { done <- s.Drain(60 * time.Second) }()
 	if _, err := s.Submit(tinySpec("sssp")); !errors.Is(err, ErrDraining) {
 		t.Fatalf("want ErrDraining, got %v", err)
 	}
-	stats := <-done
-	if stats.Jobs != 3 || stats.Forced != 0 {
-		t.Fatalf("drain stats: %+v", stats)
+	for i := 0; i < 2; i++ {
+		stats := <-done
+		if stats.Jobs != 3 || stats.Forced != 0 || stats.Completed != 3 {
+			t.Fatalf("drain stats (caller %d): %+v", i, stats)
+		}
 	}
 	for _, id := range ids {
 		st, _ := s.Status(id)
@@ -225,12 +230,9 @@ func TestDrainFinishesAdmittedAndRefusesNew(t *testing.T) {
 			t.Fatalf("drain abandoned %s: %+v", id, st)
 		}
 	}
-	if stats.Completed != 3 {
-		t.Fatalf("drain stats totals: %+v", stats)
-	}
-	// A second drain returns immediately with recorded stats.
+	// A later drain returns the recorded stats, wall time included.
 	again := s.Drain(time.Second)
-	if again.Jobs != 3 {
+	if again.Jobs != 3 || again.Completed != 3 || again.WaitMS <= 0 {
 		t.Fatalf("re-drain stats: %+v", again)
 	}
 }
@@ -249,6 +251,47 @@ func TestDrainTimeoutForcesStragglers(t *testing.T) {
 	st, _ := s.Status(id)
 	if st.State != StateCanceled || !strings.Contains(st.Err, "drain") {
 		t.Fatalf("straggler state: %+v", st)
+	}
+	// Repeat callers see the recorded forced count, not a zero snapshot.
+	if again := s.Drain(time.Second); again.Forced != 1 || again.Canceled != 1 {
+		t.Fatalf("re-drain stats: %+v", again)
+	}
+}
+
+func TestTerminalHistoryEviction(t *testing.T) {
+	s := New(Config{Cores: 4, MaxHistory: 2})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id, err := s.Submit(tinySpec("sssp"))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if st, err := s.Wait(id, 30*time.Second); err == nil && st.State != StateDone {
+			t.Fatalf("job %d: %+v", i, st)
+		}
+		ids = append(ids, id)
+	}
+	// Only the two newest terminal jobs survive; the oldest were evicted
+	// and now resolve like never-assigned IDs.
+	if list := s.List(); len(list) != 2 {
+		t.Fatalf("retained %d jobs, want 2: %+v", len(list), list)
+	}
+	for _, id := range ids[:2] {
+		if _, err := s.Status(id); !errors.Is(err, ErrNoSuchJob) {
+			t.Fatalf("evicted %s status: %v", id, err)
+		}
+		if _, err := s.Result(id); !errors.Is(err, ErrNoSuchJob) {
+			t.Fatalf("evicted %s result: %v", id, err)
+		}
+	}
+	for _, id := range ids[2:] {
+		if res, err := s.Result(id); err != nil || res.Wrong != 0 {
+			t.Fatalf("retained %s result: %+v err %v", id, res, err)
+		}
+	}
+	// Lifetime counters are not rewound by eviction.
+	if st := s.Stats(); st.Completed != 4 {
+		t.Fatalf("stats after eviction: %+v", st)
 	}
 }
 
@@ -284,8 +327,11 @@ func TestHTTPAPI(t *testing.T) {
 		errors.Is(err, ErrSaturated) || errors.Is(err, ErrDraining) {
 		t.Fatalf("bad spec error: %v", err)
 	}
-	if _, err := c.Status("job-999"); err == nil || !strings.Contains(err.Error(), "404") {
+	if _, err := c.Status("job-999"); !errors.Is(err, ErrNoSuchJob) {
 		t.Fatalf("unknown id: %v", err)
+	}
+	if _, err := c.Result("job-999"); !errors.Is(err, ErrNoSuchJob) {
+		t.Fatalf("unknown id result: %v", err)
 	}
 	slow := slowSpec(5000, 40)
 	sid, err := c.Submit(slow)
@@ -359,7 +405,7 @@ func TestAttachTelemetry(t *testing.T) {
 		"argan_service_cores 2",
 		"argan_service_jobs_completed_total 1",
 		`argan_job_state{app="sssp",job="` + id + `",state="done"} 2`,
-		`argan_job_updates_total{app="sssp",job="` + id + `",state="done"}`,
+		`argan_job_updates_total{app="sssp",job="` + id + `"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics missing %q in:\n%s", want, body)
