@@ -12,6 +12,7 @@
 //
 //	arganbench -exp perf -json BENCH_perf.json
 //	arganbench -exp recovery -json BENCH_recovery.json
+//	arganbench -exp incremental -json BENCH_incremental.json
 package main
 
 import (

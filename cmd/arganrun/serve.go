@@ -36,6 +36,9 @@ func runServe(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 	watchdog := fs.Duration("watchdog", 0, "per-job stuck-run budget (0 = driver default 30s)")
 	history := fs.Int("history", 0, "terminal jobs retained for status/result/metrics; older ones are evicted (0 = 512, negative = unbounded)")
 	preload := fs.String("preload", "", "datasets to load and partition at startup, e.g. \"HW@0.05,LJ@0.1\"")
+	churn := fs.String("churn", "", "apply synthetic edge-churn batches to `DATASET[@SCALE]` while serving, exercising live incremental re-convergence")
+	churnEvery := fs.Duration("churn-every", 5*time.Second, "interval between synthetic churn batches")
+	churnOps := fs.Int("churn-ops", 32, "edge operations per synthetic churn batch (half deletes, half inserts)")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs on SIGTERM before cancel-forcing them")
 	drainOut := fs.String("drain-out", "", "write the drain stats JSON to `FILE` on shutdown")
 	if err := fs.Parse(args); err != nil {
@@ -95,7 +98,51 @@ func runServe(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 	fmt.Fprintf(stdout, "job service   : http://%s/api/jobs (cores %d, queue %d)\n", bound, cfg.Cores, cfg.QueueDepth)
 	fmt.Fprintf(stdout, "telemetry     : http://%s/metrics (also /status /healthz /readyz /debug/pprof)\n", bound)
 
+	// Background writer: one synthetic churn batch per tick against the
+	// named dataset. Jobs in flight keep their pinned version; later jobs
+	// re-converge incrementally across the bumps.
+	var churnStop, churnDone chan struct{}
+	if *churn != "" {
+		name, scaleStr, _ := strings.Cut(*churn, "@")
+		scale := 0.25
+		if scaleStr != "" {
+			if scale, err = strconv.ParseFloat(scaleStr, 64); err != nil {
+				fmt.Fprintf(stderr, "arganrun serve: -churn %q: bad scale %q\n", *churn, scaleStr)
+				return 2
+			}
+		}
+		if err := svc.Preload(name, scale, cfg.MaxWorkersPerJob); err != nil {
+			fmt.Fprintf(stderr, "arganrun serve: -churn %q: %v\n", *churn, err)
+			return 1
+		}
+		churnStop, churnDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(churnDone)
+			tick := time.NewTicker(*churnEvery)
+			defer tick.Stop()
+			for seed := int64(1); ; seed++ {
+				select {
+				case <-churnStop:
+					return
+				case <-tick.C:
+					mr, err := svc.Churn(name, scale, seed, *churnOps)
+					if err != nil {
+						fmt.Fprintf(stderr, "arganrun serve: churn: %v\n", err)
+						continue
+					}
+					fmt.Fprintf(stdout, "churn         : %s@%g v%d -> v%d (+%d -%d edges, %d fragments rebuilt)\n",
+						mr.Dataset, mr.Scale, mr.OldVersion, mr.NewVersion, mr.Inserts, mr.Deletes, mr.RebuiltFragments)
+				}
+			}
+		}()
+		fmt.Fprintf(stdout, "churn         : %s every %s, %d ops/batch\n", *churn, *churnEvery, *churnOps)
+	}
+
 	sig := <-stop
+	if churnStop != nil {
+		close(churnStop)
+		<-churnDone
+	}
 	if sig != nil {
 		fmt.Fprintf(stdout, "signal        : %v — draining (no new admissions)\n", sig)
 	} else {

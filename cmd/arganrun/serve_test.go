@@ -115,6 +115,75 @@ func TestServeModeLifecycle(t *testing.T) {
 	}
 }
 
+var churnLineRe = regexp.MustCompile(`churn         : HW@0\.02 v(\d+) -> v(\d+)`)
+
+// TestServeModeChurn drives the evolving-dataset loop through the CLI: the
+// -churn writer bumps the dataset version in the background while a job
+// submitted over HTTP pins whatever version is current, completes verified,
+// and reports it.
+func TestServeModeChurn(t *testing.T) {
+	var stdout, stderr syncBuffer
+	stop := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- runServe([]string{
+			"-addr", "127.0.0.1:0", "-cores", "2",
+			"-churn", "HW@0.02", "-churn-every", "60ms", "-churn-ops", "8",
+		}, &stdout, &stderr, stop)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := serveAddrRe.FindStringSubmatch(stdout.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Wait for at least two applied batches so the version chain is real.
+	deadline = time.Now().Add(15 * time.Second)
+	for len(churnLineRe.FindAllString(stdout.String(), -1)) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("churn batches never applied; stdout:\n%s\nstderr:\n%s", stdout.String(), stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	c := &serve.Client{Base: base}
+	id, err := c.Submit(serve.JobSpec{App: "sssp", Dataset: "HW", Scale: 0.02, Workers: 2, Source: 1, Verify: true})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if st, err := c.WaitTerminal(id, 30*time.Second); err != nil || st.State != serve.StateDone {
+		t.Fatalf("job under churn: %+v err %v", st, err)
+	}
+	res, err := c.Result(id)
+	if err != nil || res.Wrong != 0 {
+		t.Fatalf("result under churn: %+v err %v", res, err)
+	}
+	if res.Version < 2 {
+		t.Fatalf("job pinned version %d, want >= 2 after two churn batches", res.Version)
+	}
+	ds, err := c.Datasets()
+	if err != nil || len(ds) != 1 || ds[0].Version < 2 {
+		t.Fatalf("datasets under churn: %+v err %v", ds, err)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("drain never completed under churn")
+	}
+}
+
 // TestServeModeBadFlags: flag and startup failures keep the conventional
 // exit codes (2 parse, 1 startup) and never hang on the stop channel.
 func TestServeModeBadFlags(t *testing.T) {
@@ -134,5 +203,11 @@ func TestServeModeBadFlags(t *testing.T) {
 	}
 	if code := runServe([]string{"-addr", "256.0.0.1:bad"}, &stdout, &stderr, stop); code != 1 {
 		t.Fatalf("bad addr: exit %d", code)
+	}
+	if code := runServe([]string{"-churn", "HW@zero"}, &stdout, &stderr, stop); code != 2 {
+		t.Fatalf("bad churn scale: exit %d", code)
+	}
+	if code := runServe([]string{"-churn", "NOPE@1"}, &stdout, &stderr, stop); code != 1 {
+		t.Fatalf("bad churn dataset: exit %d", code)
 	}
 }

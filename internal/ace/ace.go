@@ -75,6 +75,37 @@ type Query struct {
 	Pattern *graph.Graph
 	// Args carries any extra scalar parameters.
 	Args map[string]float64
+	// Warm, when non-nil, is a *WarmState[V] for the program's value type:
+	// a prior fixpoint to re-converge from instead of the cold start.
+	// Programs that understand warm starts read it in Setup/InitValue; the
+	// dynamic type is checked with WarmOf, so a mismatched V falls back to
+	// cold init rather than failing.
+	Warm any
+}
+
+// WarmState is a prior fixpoint handed to a program through Query.Warm for
+// incremental re-convergence. All slices are global-vertex indexed; the
+// incremental planners (internal/algorithms) construct it from a previous
+// Result plus the mutation batch that separates the two graph versions.
+type WarmState[V any] struct {
+	// Values holds the converged Ψ per global vertex, already adjusted by
+	// the planner for the mutation (dirty SSSP distances reset to +Inf,
+	// Δ-PageRank re-seed corrections folded into the pending deltas).
+	Values []V
+	// Active marks the vertices the scheduler must start from. A vertex not
+	// marked active starts parked at its warm value.
+	Active []bool
+	// Aux is program-private auxiliary state captured at the prior fixpoint
+	// (e.g. Δ-PageRank's accumulated rank array), pre-adjusted by the
+	// planner where needed.
+	Aux any
+}
+
+// WarmOf extracts the warm state from a query if it carries one of the
+// right value type.
+func WarmOf[V any](q Query) *WarmState[V] {
+	w, _ := q.Warm.(*WarmState[V])
+	return w
 }
 
 // Arg returns Args[k] or def when absent.
@@ -206,6 +237,22 @@ type IdempotentAggregator interface {
 // invertible force the driver back to global rollback.
 type Inverter[V any] interface {
 	Invert(cur, contrib V) V
+}
+
+// CanIncrement reports whether a program is safe to re-converge
+// incrementally from a warm fixpoint after an edge mutation: it must either
+// be able to retract a stale contribution (Inverter) or tolerate re-ingesting
+// one (idempotent lattice join). Programs with neither property fall back to
+// a flagged full recompute — restarting them from a stale Ψ could
+// double-count retracted mass.
+func CanIncrement[V any](prog Program[V]) bool {
+	if _, ok := any(prog).(Inverter[V]); ok {
+		return true
+	}
+	if ia, ok := any(prog).(IdempotentAggregator); ok {
+		return ia.IdempotentAggregate()
+	}
+	return false
 }
 
 // Coster is an optional Program extension overriding the default update

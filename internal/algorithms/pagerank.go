@@ -63,6 +63,7 @@ type PageRank struct {
 	f    *graph.Fragment
 	eps  float64
 	rank []float64
+	warm *ace.WarmState[float64]
 }
 
 // NewPageRank returns a factory for PageRank program instances.
@@ -90,22 +91,46 @@ func (p *PageRank) Setup(f *graph.Fragment, q ace.Query) {
 		p.eps = DefaultPREps
 	}
 	p.rank = make([]float64, f.NumLocal())
+	p.warm = ace.WarmOf[float64](q)
+	if p.warm != nil {
+		// Restore the accumulated ranks of owned vertices from the prior
+		// fixpoint (ghost entries stay 0: they are never read by Output and
+		// never folded into). Ψ itself is restored through InitValue.
+		ranks, ok := p.warm.Aux.([]float64)
+		if !ok {
+			p.warm = nil // malformed warm state: cold-start instead
+			return
+		}
+		for l := uint32(0); int(l) < f.NumOwned(); l++ {
+			p.rank[l] = ranks[f.Global(l)]
+		}
+	}
 }
 
 // InitValue implements ace.Program: every owned vertex holds the teleport
-// mass (1-d) as its initial delta.
+// mass (1-d) as its initial delta — or, on a warm start, the prior run's
+// parked residual delta plus the planner's (A′−A)·rank re-seed correction.
+// Ghosts always start at 0: their Ψ is a scatter accumulator.
 func (p *PageRank) InitValue(f *graph.Fragment, local uint32, q ace.Query) (float64, bool) {
-	if f.IsOwned(local) {
-		return 1 - Damping, true
+	if !f.IsOwned(local) {
+		return 0, false
 	}
-	return 0, false
+	if p.warm != nil {
+		g := f.Global(local)
+		return p.warm.Values[g], p.warm.Active[g]
+	}
+	return 1 - Damping, true
 }
 
 // Update implements ace.Program.
 func (p *PageRank) Update(ctx *ace.Ctx[float64], local uint32) {
 	d := ctx.Get(local)
-	if d < p.eps {
-		return // park the delta until more mass accumulates
+	if math.Abs(d) < p.eps {
+		// Park the delta until more mass accumulates. The magnitude check
+		// matters for incremental runs: edge retraction seeds *negative*
+		// deltas, which must flow (scaled by d/outdeg) exactly like positive
+		// mass so the stale contribution is subtracted back out downstream.
+		return
 	}
 	ctx.Set(local, 0)
 	p.rank[local] += d

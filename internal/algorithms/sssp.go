@@ -72,7 +72,8 @@ func (h *distHeap) Pop() any {
 // so nearer vertices relax first (the parallelized Dijkstra of [3]).
 // Sequentially PAF, PBF in parallel — Category II.
 type SSSP struct {
-	f *graph.Fragment
+	f    *graph.Fragment
+	warm *ace.WarmState[float64]
 }
 
 // NewSSSP returns a factory for SSSP program instances.
@@ -90,10 +91,20 @@ func (p *SSSP) Category() ace.Category { return ace.CategoryII }
 func (p *SSSP) Deps() ace.DepKind { return ace.DepSelf }
 
 // Setup implements ace.Program.
-func (p *SSSP) Setup(f *graph.Fragment, q ace.Query) { p.f = f }
+func (p *SSSP) Setup(f *graph.Fragment, q ace.Query) {
+	p.f = f
+	p.warm = ace.WarmOf[float64](q)
+}
 
-// InitValue implements ace.Program.
+// InitValue implements ace.Program. On a warm start, owned vertices resume
+// from the planner-adjusted prior distances (dirty ones reset to +Inf);
+// ghosts always start cold at +Inf — their Ψ is a min-accumulator refilled
+// by the first scatter that reaches them.
 func (p *SSSP) InitValue(f *graph.Fragment, local uint32, q ace.Query) (float64, bool) {
+	if p.warm != nil && f.IsOwned(local) {
+		g := f.Global(local)
+		return p.warm.Values[g], p.warm.Active[g]
+	}
 	if f.Global(local) == q.Source {
 		return 0, true
 	}
@@ -208,7 +219,7 @@ func (p *BellmanFord) Name() string { return "bellman-ford" }
 func (p *BellmanFord) Category() ace.Category { return ace.CategoryIII }
 
 // Setup implements ace.Program.
-func (p *BellmanFord) Setup(f *graph.Fragment, q ace.Query) { p.f = f }
+func (p *BellmanFord) Setup(f *graph.Fragment, q ace.Query) { p.SSSP.Setup(f, q) }
 
 // BellmanFord deliberately does not implement Prioritizer: relaxations run
 // in FIFO order. The embedded SSSP.Priority method is shadowed away.

@@ -35,7 +35,8 @@ const bfsInf = int32(math.MaxInt32)
 // BFS is breadth-first search as an ACE program: SSSP with unit weights over
 // int32 hop counts. Category II.
 type BFS struct {
-	f *graph.Fragment
+	f    *graph.Fragment
+	warm *ace.WarmState[int32]
 }
 
 // NewBFS returns a factory for BFS program instances.
@@ -53,10 +54,19 @@ func (p *BFS) Category() ace.Category { return ace.CategoryII }
 func (p *BFS) Deps() ace.DepKind { return ace.DepSelf }
 
 // Setup implements ace.Program.
-func (p *BFS) Setup(f *graph.Fragment, q ace.Query) { p.f = f }
+func (p *BFS) Setup(f *graph.Fragment, q ace.Query) {
+	p.f = f
+	p.warm = ace.WarmOf[int32](q)
+}
 
-// InitValue implements ace.Program.
+// InitValue implements ace.Program. Warm starts follow the SSSP pattern:
+// owned vertices resume from the planner-adjusted hop counts, ghosts start
+// cold.
 func (p *BFS) InitValue(f *graph.Fragment, local uint32, q ace.Query) (int32, bool) {
+	if p.warm != nil && f.IsOwned(local) {
+		g := f.Global(local)
+		return p.warm.Values[g], p.warm.Active[g]
+	}
 	if f.Global(local) == q.Source {
 		return 0, true
 	}
@@ -159,7 +169,8 @@ func SeqWCC(g *graph.Graph) []graph.VID {
 // the minimum vertex id across the undirected closure of the graph.
 // Category II (a label is final once the component minimum reaches it).
 type WCC struct {
-	f *graph.Fragment
+	f    *graph.Fragment
+	warm *ace.WarmState[uint32]
 }
 
 // NewWCC returns a factory for WCC program instances.
@@ -177,10 +188,20 @@ func (p *WCC) Category() ace.Category { return ace.CategoryII }
 func (p *WCC) Deps() ace.DepKind { return ace.DepSelf }
 
 // Setup implements ace.Program.
-func (p *WCC) Setup(f *graph.Fragment, q ace.Query) { p.f = f }
+func (p *WCC) Setup(f *graph.Fragment, q ace.Query) {
+	p.f = f
+	p.warm = ace.WarmOf[uint32](q)
+}
 
-// InitValue implements ace.Program.
+// InitValue implements ace.Program. Warm starts resume owned vertices from
+// the planner-adjusted labels (deletion-affected components reset to
+// self-labels); ghosts always start at their own id, the min-fold identity
+// for anything the owner will scatter.
 func (p *WCC) InitValue(f *graph.Fragment, local uint32, q ace.Query) (uint32, bool) {
+	if p.warm != nil && f.IsOwned(local) {
+		g := f.Global(local)
+		return p.warm.Values[g], p.warm.Active[g]
+	}
 	return f.Global(local), f.IsOwned(local)
 }
 

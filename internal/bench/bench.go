@@ -109,6 +109,7 @@ func All() []Experiment {
 		{"perf", "Extension: live hot-path baseline (pooled batches, intra-worker shards)", Perf},
 		{"recovery", "Extension: lost work and latency, global rollback vs localized recovery", Recovery},
 		{"memory", "Extension: wall-clock vs memory cap — spill tier, backpressure, degradation ladder", Memory},
+		{"incremental", "Extension: re-convergence after 1% churn vs full recompute (evolving graphs)", Incremental},
 	}
 }
 

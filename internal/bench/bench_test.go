@@ -41,8 +41,8 @@ func TestByIDUnknown(t *testing.T) {
 	if _, err := ByID("fig99"); err == nil {
 		t.Fatal("want unknown-experiment error")
 	}
-	if len(All()) != 22 {
-		t.Fatalf("experiment count = %d, want 22 (Table I, Fig 4a-c, Fig 5, Fig 6a-l, ablation, faults, perf, recovery, memory)", len(All()))
+	if len(All()) != 23 {
+		t.Fatalf("experiment count = %d, want 23 (Table I, Fig 4a-c, Fig 5, Fig 6a-l, ablation, faults, perf, recovery, memory, incremental)", len(All()))
 	}
 }
 

@@ -1,0 +1,40 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMutationStormDeterministic(t *testing.T) {
+	a := MutationStorm(42, 8, MutationStormOpts{})
+	b := MutationStorm(42, 8, MutationStormOpts{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must reproduce the same storm")
+	}
+	c := MutationStorm(43, 8, MutationStormOpts{})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestMutationStormShape(t *testing.T) {
+	evs := MutationStorm(7, 6, MutationStormOpts{BurstGapMS: 300, MinOps: 4, MaxOps: 32})
+	var last int64 = -1
+	for i, e := range evs {
+		if e.ArrivalMS <= last {
+			t.Fatalf("event %d arrival %dms not after previous %dms", i, e.ArrivalMS, last)
+		}
+		last = e.ArrivalMS
+		// Each batch lands inside its own gap's middle window.
+		lo := int64(i)*300 + 150
+		if e.ArrivalMS < lo || e.ArrivalMS >= lo+60 {
+			t.Fatalf("event %d arrival %dms outside [%d,%d)", i, e.ArrivalMS, lo, lo+60)
+		}
+		if e.Ops < 4 || e.Ops > 32 {
+			t.Fatalf("event %d ops %d outside [4,32]", i, e.Ops)
+		}
+		if e.Seed == 0 {
+			t.Fatalf("event %d has zero seed", i)
+		}
+	}
+}

@@ -653,9 +653,13 @@ func RunLive[V any](frags []*graph.Fragment, factory ace.Factory[V], q ace.Query
 	}
 	cfg.Health.runEnded(nil)
 
-	res := &Result[V]{Values: make([]V, frags[0].GlobalVertices())}
+	res := &Result[V]{
+		Values: make([]V, frags[0].GlobalVertices()),
+		Psi:    make([]V, frags[0].GlobalVertices()),
+	}
 	for _, st := range d.states {
 		st.outputs(res.Values)
+		st.finalPsi(res.Psi)
 	}
 	res.Metrics.Converged = true
 	res.Metrics.Mode = cfg.Mode

@@ -1,0 +1,277 @@
+package gap
+
+// Engine-level tests of incremental re-convergence: a cold fixpoint, a
+// mutation batch, the planner-built warm state, and a warm RunLive over the
+// COW-updated fragments must land on the same answer as a from-scratch
+// sequential reference on the new graph — across chained versions.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"argan/internal/ace"
+	"argan/internal/adapt"
+	"argan/internal/algorithms"
+	"argan/internal/graph"
+)
+
+// churnBatch mutates roughly frac of the directed graph's edges: half the
+// budget deletes existing arcs, half inserts fresh ones.
+func churnBatch(g *graph.Graph, frac float64, seed int64) graph.MutationBatch {
+	r := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for v := 0; v < g.NumVertices(); v++ {
+		adj, ws := g.OutNeighbors(graph.VID(v)), g.OutWeights(graph.VID(v))
+		for i, u := range adj {
+			edges = append(edges, graph.Edge{Src: graph.VID(v), Dst: u, W: ws[i]})
+		}
+	}
+	k := int(float64(len(edges)) * frac / 2)
+	if k < 1 {
+		k = 1
+	}
+	var b graph.MutationBatch
+	seen := map[[2]graph.VID]bool{}
+	for _, i := range r.Perm(len(edges))[:k] {
+		e := edges[i]
+		if seen[[2]graph.VID{e.Src, e.Dst}] {
+			continue
+		}
+		seen[[2]graph.VID{e.Src, e.Dst}] = true
+		b.Deletes = append(b.Deletes, graph.Edge{Src: e.Src, Dst: e.Dst})
+	}
+	n := g.NumVertices()
+	for len(b.Inserts) < k {
+		u, v := graph.VID(r.Intn(n)), graph.VID(r.Intn(n))
+		if u == v || g.HasEdge(u, v) || seen[[2]graph.VID{u, v}] {
+			continue
+		}
+		seen[[2]graph.VID{u, v}] = true
+		b.Inserts = append(b.Inserts, graph.Edge{Src: u, Dst: v, W: float64(1 + r.Intn(9))})
+	}
+	return b
+}
+
+// advance applies one churn batch and returns the new graph plus its
+// COW-updated fragments.
+func advance(t *testing.T, g *graph.Graph, fs []*graph.Fragment, b graph.MutationBatch) (*graph.Graph, []*graph.Fragment) {
+	t.Helper()
+	ng, _, err := g.ApplyMutations(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfs, _, err := graph.UpdateFragments(fs, ng, b.Endpoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ng, nfs
+}
+
+func liveCfg() LiveConfig {
+	return LiveConfig{Mode: ModeGAP, CheckEvery: 64}
+}
+
+// TestIncrementalPageRankLive chains three 1%-churn batches, each
+// re-converged from the previous fixpoint through WarmPageRank, and
+// verifies every version against the sequential reference on that version.
+func TestIncrementalPageRankLive(t *testing.T) {
+	const eps = 1e-3
+	g := graph.PowerLaw(graph.GenConfig{N: 2000, M: 12000, Directed: true, Seed: 17, Alpha: 2.5, MaxW: 10})
+	fs := frags(t, g, 4)
+	res, _, err := RunLive(fs, algorithms.NewPageRank(), ace.Query{Eps: eps}, liveCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := int64(0); round < 3; round++ {
+		b := churnBatch(g, 0.01, 100+round)
+		ng, nfs := advance(t, g, fs, b)
+		warm := algorithms.WarmPageRank(g, ng, b.Endpoints(), res.Psi, res.Values, eps)
+		wres, _, err := RunLive(nfs, algorithms.NewPageRank(), ace.Query{Eps: eps, Warm: warm}, liveCfg())
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want := algorithms.SeqPageRank(ng, eps)
+		for v, w := range want {
+			if math.Abs(wres.Values[v]-w) > 0.02*(w+1) {
+				t.Fatalf("round %d: rank[%d] = %v, reference %v", round, v, wres.Values[v], w)
+			}
+		}
+		g, fs, res = ng, nfs, wres
+	}
+}
+
+// TestIncrementalSSSPLive does the same for SSSP, where the reference match
+// is exact.
+func TestIncrementalSSSPLive(t *testing.T) {
+	g := graph.PowerLaw(graph.GenConfig{N: 2000, M: 12000, Directed: true, Seed: 23, Alpha: 2.5, MaxW: 10})
+	fs := frags(t, g, 4)
+	const src = 0
+	res, _, err := RunLive(fs, algorithms.NewSSSP(), ace.Query{Source: src}, liveCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := int64(0); round < 3; round++ {
+		b := churnBatch(g, 0.01, 200+round)
+		ng, nfs := advance(t, g, fs, b)
+		warm := algorithms.WarmSSSP(g, ng, b.Endpoints(), res.Values, src)
+		wres, _, err := RunLive(nfs, algorithms.NewSSSP(), ace.Query{Source: src, Warm: warm}, liveCfg())
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want := algorithms.SeqSSSP(ng, src)
+		for v, w := range want {
+			if wres.Values[v] != w {
+				t.Fatalf("round %d: dist[%d] = %v, reference %v", round, v, wres.Values[v], w)
+			}
+		}
+		g, fs, res = ng, nfs, wres
+	}
+}
+
+func TestIncrementalBFSLive(t *testing.T) {
+	g := graph.PowerLaw(graph.GenConfig{N: 1500, M: 9000, Directed: true, Seed: 31, Alpha: 2.5})
+	fs := frags(t, g, 4)
+	const src = 0
+	res, _, err := RunLive(fs, algorithms.NewBFS(), ace.Query{Source: src}, liveCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := int64(0); round < 3; round++ {
+		b := churnBatch(g, 0.01, 300+round)
+		ng, nfs := advance(t, g, fs, b)
+		warm := algorithms.WarmBFS(g, ng, b.Endpoints(), res.Values, src)
+		wres, _, err := RunLive(nfs, algorithms.NewBFS(), ace.Query{Source: src, Warm: warm}, liveCfg())
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want := algorithms.SeqBFS(ng, src)
+		for v, w := range want {
+			got := wres.Values[v]
+			if w < 0 {
+				if got != math.MaxInt32 {
+					t.Fatalf("round %d: hops[%d] = %v, want unreachable", round, v, got)
+				}
+			} else if got != w {
+				t.Fatalf("round %d: hops[%d] = %v, reference %v", round, v, got, w)
+			}
+		}
+		g, fs, res = ng, nfs, wres
+	}
+}
+
+func TestIncrementalWCCLive(t *testing.T) {
+	g := graph.PowerLaw(graph.GenConfig{N: 1500, M: 4500, Directed: true, Seed: 37, Alpha: 2.5})
+	fs := frags(t, g, 4)
+	res, _, err := RunLive(fs, algorithms.NewWCC(), ace.Query{}, liveCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := int64(0); round < 3; round++ {
+		b := churnBatch(g, 0.01, 400+round)
+		ng, nfs := advance(t, g, fs, b)
+		warm := algorithms.WarmWCC(g, ng, b.Endpoints(), res.Values)
+		wres, _, err := RunLive(nfs, algorithms.NewWCC(), ace.Query{Warm: warm}, liveCfg())
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want := algorithms.SeqWCC(ng)
+		for v, w := range want {
+			if wres.Values[v] != uint32(w) {
+				t.Fatalf("round %d: label[%d] = %v, reference %v", round, v, wres.Values[v], w)
+			}
+		}
+		g, fs, res = ng, nfs, wres
+	}
+}
+
+// TestIncrementalNoopBatch: a batch that changes nothing relevant to the
+// program must warm-start into an already-converged state and terminate
+// immediately with the same answer.
+func TestIncrementalNoopBatch(t *testing.T) {
+	g := graph.PowerLaw(graph.GenConfig{N: 800, M: 4800, Directed: true, Seed: 41, MaxW: 10})
+	fs := frags(t, g, 3)
+	const src = 0
+	res, _, err := RunLive(fs, algorithms.NewSSSP(), ace.Query{Source: src}, liveCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, _, err := g.ApplyMutations(graph.MutationBatch{}) // empty batch: version bump only
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfs, rebuilt, err := graph.UpdateFragments(fs, ng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rebuilt) != 0 {
+		t.Fatalf("empty batch rebuilt %v fragments", rebuilt)
+	}
+	warm := algorithms.WarmSSSP(g, ng, nil, res.Values, src)
+	wres, m, err := RunLive(nfs, algorithms.NewSSSP(), ace.Query{Source: src, Warm: warm}, liveCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Updates > int64(g.NumVertices()) {
+		t.Fatalf("no-op warm start performed %d updates", m.Updates)
+	}
+	for v := range res.Values {
+		if wres.Values[v] != res.Values[v] {
+			t.Fatalf("no-op warm start changed dist[%d]: %v -> %v", v, res.Values[v], wres.Values[v])
+		}
+	}
+}
+
+// TestMutationInverseBitIdenticalState is the inversion-soundness property
+// at the program level (satellite: Inverter programs): a batch followed by
+// its exact inverse restores a bit-identical graph, so the deterministic
+// driver must produce bit-identical vertex state on it.
+func TestMutationInverseBitIdenticalState(t *testing.T) {
+	g := testGraph(true, 53)
+	b := churnBatch(g, 0.05, 54)
+	g1, inv, err := g.ApplyMutations(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := g1.ApplyMutations(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Fingerprint() != g.Fingerprint() {
+		t.Fatal("batch+inverse did not restore the fingerprint")
+	}
+
+	cfg := Config{Mode: ModeBSP, Adapt: adapt.PolicyFixed}
+	q := ace.Query{Eps: 1e-3, Source: 0}
+	// PageRank is the Inverter program; the min-fold programs ride along.
+	a, err := RunSim(frags(t, g, 4), algorithms.NewPageRank(), q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := RunSim(frags(t, g2, 4), algorithms.NewPageRank(), q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Values {
+		if a.Values[v] != c.Values[v] {
+			t.Fatalf("rank[%d] differs on restored graph: %v vs %v", v, a.Values[v], c.Values[v])
+		}
+	}
+	as, err := RunSim(frags(t, g, 4), algorithms.NewSSSP(), q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := RunSim(frags(t, g2, 4), algorithms.NewSSSP(), q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range as.Values {
+		if as.Values[v] != cs.Values[v] {
+			t.Fatalf("dist[%d] differs on restored graph: %v vs %v", v, as.Values[v], cs.Values[v])
+		}
+	}
+}

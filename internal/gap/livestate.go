@@ -408,6 +408,14 @@ func (st *liveState[V]) outputs(into []V) {
 	}
 }
 
+// finalPsi extracts the raw owned status variables (pre-Output view), which
+// warm restarts re-converge from.
+func (st *liveState[V]) finalPsi(into []V) {
+	for l := uint32(0); int(l) < st.frag.NumOwned(); l++ {
+		into[st.frag.Global(l)] = st.psi[l]
+	}
+}
+
 // BSPOptions tunes the live BSP driver's execution pipeline.
 type BSPOptions struct {
 	// MaxSupersteps bounds the run (<= 0 means effectively unbounded).
@@ -548,9 +556,13 @@ func RunLiveBSPOpts[V any](frags []*graph.Fragment, factory ace.Factory[V], q ac
 	}
 	m.WallTime = sinceFn(start)
 
-	res := &Result[V]{Values: make([]V, frags[0].GlobalVertices())}
+	res := &Result[V]{
+		Values: make([]V, frags[0].GlobalVertices()),
+		Psi:    make([]V, frags[0].GlobalVertices()),
+	}
 	for _, st := range states {
 		st.outputs(res.Values)
+		st.finalPsi(res.Psi)
 	}
 	res.Metrics.Converged = true
 	res.Metrics.Mode = ModeBSP

@@ -15,6 +15,11 @@ import (
 type Result[V any] struct {
 	// Values holds the per-vertex outputs indexed by global vertex id.
 	Values []V
+	// Psi holds the raw converged status variables Ψ per global vertex —
+	// distinct from Values for programs whose Output transforms Ψ (Δ-PR
+	// leaves residual parked deltas there). Incremental warm starts need Ψ,
+	// not the output view. Filled by the live drivers; nil under RunSim.
+	Psi []V
 	// Metrics is the accounting used by the experiments.
 	Metrics Metrics
 }

@@ -5,6 +5,7 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -19,9 +20,11 @@ type VID = uint32
 const NoVID = ^VID(0)
 
 // Edge is a single directed (or half of an undirected) edge with a weight.
+// The JSON form is used by the serve mutation API.
 type Edge struct {
-	Src, Dst VID
-	W        float64
+	Src VID     `json:"src"`
+	Dst VID     `json:"dst"`
+	W   float64 `json:"w,omitempty"`
 }
 
 // Graph is an immutable directed or undirected graph in CSR form. Undirected
@@ -46,7 +49,19 @@ type Graph struct {
 	// mutation through an aliasing accessor is detectable.
 	frozen bool
 	fprint uint64
+
+	// version counts mutation batches applied since the base build:
+	// ApplyMutations returns a fresh graph with version+1 and never touches
+	// this one. fver records the version at freeze time, so a version bump
+	// smuggled onto a frozen shared instance fails CheckFrozen with
+	// ErrVersionMismatch even before re-fingerprinting.
+	version uint64
+	fver    uint64
 }
+
+// Version returns how many mutation batches separate this graph from its
+// base build (0 for a freshly built graph).
+func (g *Graph) Version() uint64 { return g.version }
 
 // NumVertices returns |V|.
 func (g *Graph) NumVertices() int { return g.n }
@@ -307,30 +322,51 @@ func (g *Graph) Fingerprint() uint64 {
 	return h.Sum64()
 }
 
-// Freeze marks the graph as shared read-only and records its fingerprint.
-// Adjacency accessors alias internal storage, so immutability cannot be
-// enforced by the type system; Freeze + CheckFrozen make violations
-// detectable instead. Freezing twice is a no-op.
+// Mutation-safety errors for frozen shared graphs. Both are returned
+// wrapped with context; test with errors.Is.
+var (
+	// ErrFrozenMutated means a frozen graph's structure no longer matches
+	// the fingerprint recorded at freeze time: some writer mutated shared
+	// data through an aliasing accessor.
+	ErrFrozenMutated = errors.New("graph: frozen graph was mutated")
+	// ErrVersionMismatch means a graph version does not match the one the
+	// caller (or the freeze stamp) expected: the dataset evolved underneath
+	// an operation that pinned an older version.
+	ErrVersionMismatch = errors.New("graph: version mismatch")
+)
+
+// Freeze marks the graph as shared read-only and records its fingerprint
+// and version. Adjacency accessors alias internal storage, so immutability
+// cannot be enforced by the type system; Freeze + CheckFrozen make
+// violations detectable instead. Freezing twice is a no-op.
 func (g *Graph) Freeze() {
 	if g.frozen {
 		return
 	}
 	g.fprint = g.Fingerprint()
+	g.fver = g.version
 	g.frozen = true
 }
 
 // Frozen reports whether Freeze has been called.
 func (g *Graph) Frozen() bool { return g.frozen }
 
-// CheckFrozen re-fingerprints a frozen graph and returns a descriptive
-// error if it was mutated since Freeze (nil for unfrozen graphs).
+// CheckFrozen re-validates a frozen graph and returns a typed error if it
+// was mutated since Freeze (nil for unfrozen graphs): ErrVersionMismatch
+// when the version counter moved — someone applied a mutation batch to the
+// shared instance instead of the copy-on-write path — and ErrFrozenMutated
+// when the structural fingerprint changed.
 func (g *Graph) CheckFrozen() error {
 	if !g.frozen {
 		return nil
 	}
+	if g.version != g.fver {
+		return fmt.Errorf("%w: frozen %v is at version %d, frozen at %d (mutations must go through ApplyMutations, which copies)",
+			ErrVersionMismatch, g, g.version, g.fver)
+	}
 	if got := g.Fingerprint(); got != g.fprint {
-		return fmt.Errorf("graph: frozen %v was mutated: fingerprint %#x, expected %#x (adjacency accessors alias internal storage and must be treated as read-only)",
-			g, got, g.fprint)
+		return fmt.Errorf("%w: %v fingerprint %#x, expected %#x (adjacency accessors alias internal storage and must be treated as read-only)",
+			ErrFrozenMutated, g, got, g.fprint)
 	}
 	return nil
 }
@@ -340,4 +376,16 @@ func (g *Graph) HasEdge(src, dst VID) bool {
 	adj := g.OutNeighbors(src)
 	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= dst })
 	return i < len(adj) && adj[i] == dst
+}
+
+// EdgeWeight returns the weight of the arc src->dst and whether it exists.
+// With parallel arcs it returns the smallest weight (adjacency is sorted by
+// target, then weight).
+func (g *Graph) EdgeWeight(src, dst VID) (float64, bool) {
+	adj := g.OutNeighbors(src)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= dst })
+	if i < len(adj) && adj[i] == dst {
+		return g.OutWeights(src)[i], true
+	}
+	return 0, false
 }

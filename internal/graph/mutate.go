@@ -1,0 +1,238 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Streaming mutations over immutable CSR graphs. A MutationBatch is applied
+// with ApplyMutations, which never touches the receiver: it returns a fresh
+// graph at version+1 whose edge list is the old one ± the batch, plus the
+// exact inverse batch for undo/property testing. Fragments follow with
+// UpdateFragments, which rebuilds only the partitions an edge mutation can
+// reach (the owners of its endpoints) and shares every other fragment's
+// arrays with the previous version — tenants pinned to the old version keep
+// reading data that is immutable by construction.
+
+// MutationBatch is one atomic set of edge mutations. Deletes are applied
+// before inserts, so a delete+insert of the same edge in one batch is a
+// weight replacement. For undirected graphs an edge is identified by its
+// unordered endpoint pair.
+type MutationBatch struct {
+	// Inserts adds edges. Inserting an existing edge replaces its weight.
+	Inserts []Edge `json:"inserts,omitempty"`
+	// Deletes removes edges (weights are ignored). Deleting an edge that
+	// does not exist is an error: a versioned mutation API must fail loudly
+	// rather than silently diverge from what the client believes the graph
+	// contains.
+	Deletes []Edge `json:"deletes,omitempty"`
+}
+
+// Empty reports whether the batch contains no mutations.
+func (b MutationBatch) Empty() bool { return len(b.Inserts) == 0 && len(b.Deletes) == 0 }
+
+// Size returns the number of mutations in the batch.
+func (b MutationBatch) Size() int { return len(b.Inserts) + len(b.Deletes) }
+
+// Endpoints returns every vertex named by the batch, deduplicated. This is
+// the "touched" set consumed by UpdateFragments and the incremental
+// planners: any structural change is confined to the adjacency of these
+// vertices.
+func (b MutationBatch) Endpoints() []VID {
+	seen := make(map[VID]struct{}, 2*b.Size())
+	var out []VID
+	add := func(v VID) {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	for _, e := range b.Deletes {
+		add(e.Src)
+		add(e.Dst)
+	}
+	for _, e := range b.Inserts {
+		add(e.Src)
+		add(e.Dst)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// edgeKey identifies an edge for mutation matching: ordered endpoints for
+// directed graphs, unordered for undirected ones.
+func edgeKey(directed bool, src, dst VID) [2]VID {
+	if !directed && dst < src {
+		src, dst = dst, src
+	}
+	return [2]VID{src, dst}
+}
+
+// logicalEdges reconstructs the builder-level edge list from the CSR: every
+// arc for a directed graph; each undirected edge once (smaller endpoint
+// first, self-loops included) for an undirected one.
+func (g *Graph) logicalEdges() []Edge {
+	out := make([]Edge, 0, len(g.outTo))
+	for v := 0; v < g.n; v++ {
+		adj, ws := g.OutNeighbors(VID(v)), g.OutWeights(VID(v))
+		for i, u := range adj {
+			if !g.directed && u < VID(v) {
+				continue // the (u,v) arc carries this undirected edge
+			}
+			out = append(out, Edge{VID(v), u, ws[i]})
+		}
+	}
+	return out
+}
+
+// ApplyMutations applies the batch to a copy of the graph and returns the
+// new graph (version+1, unfrozen — callers freeze before sharing) together
+// with the exact inverse batch: applying the inverse to the result restores
+// a graph with a bit-identical fingerprint. The receiver is never modified,
+// so it is safe to mutate "from" a frozen shared instance. The vertex set is
+// fixed: edges must stay within [0, NumVertices). Cost is O(|E| + |B|).
+//
+// Semantics per operation (deletes first, then inserts):
+//   - delete (u,v): removes the edge, all parallel copies included; an
+//     absent edge is an error.
+//   - insert (u,v,w): adds the edge; if (u,v) already exists — including
+//     via a delete in this same batch — the insert replaces its weight.
+func (g *Graph) ApplyMutations(b MutationBatch) (*Graph, MutationBatch, error) {
+	for _, e := range b.Deletes {
+		if int(e.Src) >= g.n || int(e.Dst) >= g.n {
+			return nil, MutationBatch{}, fmt.Errorf("graph: delete (%d,%d) out of range for n=%d", e.Src, e.Dst, g.n)
+		}
+	}
+	for _, e := range b.Inserts {
+		if int(e.Src) >= g.n || int(e.Dst) >= g.n {
+			return nil, MutationBatch{}, fmt.Errorf("graph: insert (%d,%d) out of range for n=%d", e.Src, e.Dst, g.n)
+		}
+	}
+
+	dels := make(map[[2]VID]bool, len(b.Deletes))
+	for _, e := range b.Deletes {
+		dels[edgeKey(g.directed, e.Src, e.Dst)] = true
+	}
+	// Last insert of a key wins within one batch, like a sequential replay.
+	ins := make(map[[2]VID]Edge, len(b.Inserts))
+	insOrder := make([][2]VID, 0, len(b.Inserts))
+	for _, e := range b.Inserts {
+		k := edgeKey(g.directed, e.Src, e.Dst)
+		if _, dup := ins[k]; !dup {
+			insOrder = append(insOrder, k)
+		}
+		ins[k] = e
+	}
+
+	// One pass over the old edge list: record the prior copy of every edge
+	// the batch names (for the inverse), keep everything the batch does not
+	// replace or delete.
+	nb := NewBuilder(g.n, g.directed)
+	oldCopy := make(map[[2]VID]Edge, len(dels)+len(ins))
+	for _, e := range g.logicalEdges() {
+		k := edgeKey(g.directed, e.Src, e.Dst)
+		_, inserted := ins[k]
+		if dels[k] || inserted {
+			if _, seen := oldCopy[k]; !seen {
+				// Parallel copies collapse: the inverse restores one edge,
+				// matching the "delete removes all copies" semantics.
+				oldCopy[k] = e
+			}
+			continue
+		}
+		nb.AddWeighted(e.Src, e.Dst, e.W)
+	}
+	for k := range dels {
+		if _, ok := oldCopy[k]; !ok {
+			return nil, MutationBatch{}, fmt.Errorf("%w: delete (%d,%d): no such edge", ErrNoSuchEdge, k[0], k[1])
+		}
+	}
+
+	var inverse MutationBatch
+	// Pure deletions (not re-inserted in the same batch): restore the edge.
+	for _, e := range b.Deletes {
+		k := edgeKey(g.directed, e.Src, e.Dst)
+		if old, ok := oldCopy[k]; ok {
+			if _, reinserted := ins[k]; !reinserted {
+				inverse.Inserts = append(inverse.Inserts, old)
+				delete(oldCopy, k) // emit each restored edge once
+			}
+		}
+	}
+	// Inserts: replacements restore the old weight; fresh edges are deleted.
+	for _, k := range insOrder {
+		e := ins[k]
+		nb.AddWeighted(e.Src, e.Dst, e.W)
+		if old, ok := oldCopy[k]; ok {
+			inverse.Inserts = append(inverse.Inserts, old)
+		} else {
+			inverse.Deletes = append(inverse.Deletes, Edge{Src: e.Src, Dst: e.Dst})
+		}
+	}
+
+	if g.labels != nil {
+		for v, l := range g.labels {
+			if l != 0 {
+				nb.SetLabel(VID(v), l)
+			}
+		}
+		if len(g.labels) > 0 {
+			nb.SetLabel(0, g.labels[0]) // force the labeled state even if all labels are 0
+		}
+	}
+	ng, err := nb.Build()
+	if err != nil {
+		return nil, MutationBatch{}, err
+	}
+	ng.version = g.version + 1
+	return ng, inverse, nil
+}
+
+// ErrNoSuchEdge is returned by ApplyMutations when a delete names an edge
+// that does not exist in the graph.
+var ErrNoSuchEdge = fmt.Errorf("graph: no such edge")
+
+// UpdateFragments derives the fragment partition of newG from the previous
+// version's fragments by copy-on-write: only the fragments owning an
+// endpoint of a mutated edge are rebuilt; every other fragment is a shallow
+// copy sharing all of its arrays with the old version (an arc lives only in
+// the fragments owning one of its endpoints, so no other fragment's local
+// CSR, ghost set or replica table can have changed). The old fragments stay
+// fully usable — jobs pinned to the previous version keep running over them.
+//
+// touched is the set of vertices whose adjacency may differ between the two
+// versions (MutationBatch.Endpoints, or a union of them across versions). It
+// returns the new fragments plus the ids of the workers actually rebuilt.
+func UpdateFragments(oldFrags []*Fragment, newG *Graph, touched []VID) ([]*Fragment, []int, error) {
+	if len(oldFrags) == 0 {
+		return nil, nil, fmt.Errorf("graph: no fragments to update")
+	}
+	owner := oldFrags[0].owner
+	if len(owner) != newG.n {
+		return nil, nil, fmt.Errorf("graph: owner assignment has %d entries, want %d (mutations cannot change the vertex set)", len(owner), newG.n)
+	}
+	numWorkers := oldFrags[0].numWorkers
+	dirty := make([]bool, numWorkers)
+	for _, v := range touched {
+		if int(v) >= len(owner) {
+			return nil, nil, fmt.Errorf("graph: touched vertex %d out of range for n=%d", v, newG.n)
+		}
+		dirty[owner[v]] = true
+	}
+
+	out := make([]*Fragment, numWorkers)
+	var rebuilt []int
+	for i, f := range oldFrags {
+		// A fragment with spilled edges cannot share its spill file with a
+		// sibling version (close/ownership would double up), so rebuild it.
+		if dirty[i] || f.espill != nil {
+			out[i] = buildFragment(newG, owner, numWorkers, i)
+			rebuilt = append(rebuilt, i)
+			continue
+		}
+		cp := *f
+		cp.globalEdges = len(newG.outTo)
+		out[i] = &cp
+	}
+	return out, rebuilt, nil
+}

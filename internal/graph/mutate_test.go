@@ -1,0 +1,274 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func testGraph(t *testing.T, directed bool, seed int64) *Graph {
+	t.Helper()
+	return PowerLaw(GenConfig{N: 400, M: 2400, Directed: directed, Alpha: 2.5, Seed: seed, MaxW: 50})
+}
+
+// randomBatch builds a deterministic churn batch: frac of the existing
+// edges deleted, the same number of fresh edges inserted, plus a few weight
+// replacements.
+func randomBatch(g *Graph, frac float64, seed int64) MutationBatch {
+	r := rand.New(rand.NewSource(seed))
+	edges := g.logicalEdges()
+	k := int(float64(len(edges)) * frac)
+	if k < 1 {
+		k = 1
+	}
+	var b MutationBatch
+	taken := map[[2]VID]bool{}
+	for _, i := range r.Perm(len(edges))[:k] {
+		e := edges[i]
+		key := edgeKey(g.directed, e.Src, e.Dst)
+		if taken[key] {
+			continue
+		}
+		taken[key] = true
+		b.Deletes = append(b.Deletes, Edge{Src: e.Src, Dst: e.Dst})
+	}
+	n := VID(g.NumVertices())
+	for len(b.Inserts) < k {
+		u, v := VID(r.Intn(int(n))), VID(r.Intn(int(n)))
+		key := edgeKey(g.directed, u, v)
+		if u == v || g.HasEdge(u, v) || (!g.directed && g.HasEdge(v, u)) || taken[key] {
+			continue
+		}
+		taken[key] = true
+		b.Inserts = append(b.Inserts, Edge{Src: u, Dst: v, W: 1 + 10*r.Float64()})
+	}
+	// A couple of weight replacements (insert over an existing edge).
+	for _, i := range r.Perm(len(edges))[:2] {
+		e := edges[i]
+		key := edgeKey(g.directed, e.Src, e.Dst)
+		if taken[key] {
+			continue
+		}
+		taken[key] = true
+		b.Inserts = append(b.Inserts, Edge{Src: e.Src, Dst: e.Dst, W: e.W + 3})
+	}
+	return b
+}
+
+// TestMutationInverseRestoresFingerprint is the inversion-soundness property
+// test at the graph layer: applying a batch and then its exact inverse must
+// restore a bit-identical structure (fingerprint included) at version+2.
+func TestMutationInverseRestoresFingerprint(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		for seed := int64(1); seed <= 5; seed++ {
+			g := testGraph(t, directed, seed)
+			want := g.Fingerprint()
+			b := randomBatch(g, 0.02, seed*31)
+			g2, inv, err := g.ApplyMutations(b)
+			if err != nil {
+				t.Fatalf("directed=%v seed=%d: apply: %v", directed, seed, err)
+			}
+			if g2.Version() != 1 {
+				t.Fatalf("version after one batch = %d, want 1", g2.Version())
+			}
+			if g2.Fingerprint() == want {
+				t.Fatalf("directed=%v seed=%d: mutation did not change the fingerprint", directed, seed)
+			}
+			g3, _, err := g2.ApplyMutations(inv)
+			if err != nil {
+				t.Fatalf("directed=%v seed=%d: apply inverse: %v", directed, seed, err)
+			}
+			if got := g3.Fingerprint(); got != want {
+				t.Fatalf("directed=%v seed=%d: batch+inverse fingerprint %#x, want %#x", directed, seed, got, want)
+			}
+			if g3.Version() != 2 {
+				t.Fatalf("version after batch+inverse = %d, want 2", g3.Version())
+			}
+			// The original graph was never touched.
+			if g.Fingerprint() != want || g.Version() != 0 {
+				t.Fatalf("directed=%v seed=%d: ApplyMutations mutated its receiver", directed, seed)
+			}
+		}
+	}
+}
+
+func TestApplyMutationsSemantics(t *testing.T) {
+	g := NewBuilder(4, true).
+		AddWeighted(0, 1, 5).
+		AddWeighted(1, 2, 7).
+		AddWeighted(2, 3, 9).
+		MustBuild()
+
+	// Weight replacement.
+	g2, inv, err := g.ApplyMutations(MutationBatch{Inserts: []Edge{{Src: 0, Dst: 1, W: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g2.EdgeWeight(0, 1); !ok || w != 2 {
+		t.Fatalf("replaced weight = %v,%v want 2,true", w, ok)
+	}
+	if len(inv.Inserts) != 1 || inv.Inserts[0].W != 5 || len(inv.Deletes) != 0 {
+		t.Fatalf("replacement inverse = %+v, want insert (0,1,5)", inv)
+	}
+
+	// Delete + reinsert in one batch is a weight replacement.
+	g3, inv3, err := g.ApplyMutations(MutationBatch{
+		Deletes: []Edge{{Src: 1, Dst: 2}},
+		Inserts: []Edge{{Src: 1, Dst: 2, W: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g3.EdgeWeight(1, 2); w != 1 {
+		t.Fatalf("delete+reinsert weight = %v, want 1", w)
+	}
+	if len(inv3.Inserts) != 1 || inv3.Inserts[0].W != 7 || len(inv3.Deletes) != 0 {
+		t.Fatalf("delete+reinsert inverse = %+v, want insert (1,2,7)", inv3)
+	}
+
+	// Deleting a missing edge fails loudly with the typed error.
+	if _, _, err := g.ApplyMutations(MutationBatch{Deletes: []Edge{{Src: 3, Dst: 0}}}); !errors.Is(err, ErrNoSuchEdge) {
+		t.Fatalf("missing delete error = %v, want ErrNoSuchEdge", err)
+	}
+	// Out-of-range endpoints fail.
+	if _, _, err := g.ApplyMutations(MutationBatch{Inserts: []Edge{{Src: 9, Dst: 0, W: 1}}}); err == nil {
+		t.Fatal("out-of-range insert did not fail")
+	}
+}
+
+// TestFreezeVersionStamp covers the frozen-fragment-path bugfix: a version
+// bump on a frozen shared graph must fail CheckFrozen with the typed
+// ErrVersionMismatch, and a structural mutation with ErrFrozenMutated.
+func TestFreezeVersionStamp(t *testing.T) {
+	g := testGraph(t, true, 3)
+	g.Freeze()
+	if err := g.CheckFrozen(); err != nil {
+		t.Fatalf("clean frozen graph: %v", err)
+	}
+
+	g.version++ // simulate a writer bumping the version in place
+	err := g.CheckFrozen()
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("version bump error = %v, want ErrVersionMismatch", err)
+	}
+	g.version--
+
+	g.outW[0] += 1 // simulate a writer through an aliasing accessor
+	err = g.CheckFrozen()
+	if !errors.Is(err, ErrFrozenMutated) {
+		t.Fatalf("structural mutation error = %v, want ErrFrozenMutated", err)
+	}
+	g.outW[0] -= 1
+	if err := g.CheckFrozen(); err != nil {
+		t.Fatalf("restored graph: %v", err)
+	}
+
+	// ApplyMutations from a frozen instance copies: the shared graph stays
+	// valid and the result is unfrozen at version+1.
+	g2, _, err := g.ApplyMutations(MutationBatch{Inserts: []Edge{{Src: 0, Dst: 9, W: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Frozen() {
+		t.Fatal("ApplyMutations result is frozen")
+	}
+	if err := g.CheckFrozen(); err != nil {
+		t.Fatalf("frozen base after ApplyMutations: %v", err)
+	}
+}
+
+// fragEqual compares the externally observable structure of two fragments.
+func fragEqual(a, b *Fragment) bool {
+	if a.numOwned != b.numOwned || len(a.locals) != len(b.locals) {
+		return false
+	}
+	if !reflect.DeepEqual(a.locals, b.locals) ||
+		!reflect.DeepEqual(a.outIndex, b.outIndex) ||
+		!reflect.DeepEqual(a.outTo, b.outTo) ||
+		!reflect.DeepEqual(a.outW, b.outW) ||
+		!reflect.DeepEqual(a.inIndex, b.inIndex) ||
+		!reflect.DeepEqual(a.inTo, b.inTo) ||
+		!reflect.DeepEqual(a.inW, b.inW) ||
+		!reflect.DeepEqual(a.repOutIdx, b.repOutIdx) ||
+		!reflect.DeepEqual(a.repOut, b.repOut) ||
+		!reflect.DeepEqual(a.repInIdx, b.repInIdx) ||
+		!reflect.DeepEqual(a.repIn, b.repIn) ||
+		!reflect.DeepEqual(a.labels, b.labels) {
+		return false
+	}
+	return a.globalN == b.globalN && a.globalEdges == b.globalEdges
+}
+
+// TestUpdateFragmentsCOW checks that the copy-on-write fragment update is
+// (a) equivalent to a from-scratch partition of the new graph, (b) rebuilds
+// only the touched owners, and (c) leaves the old fragments intact for
+// pinned readers.
+func TestUpdateFragmentsCOW(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		g := testGraph(t, directed, 11)
+		const workers = 5
+		owner := make([]uint16, g.NumVertices())
+		for v := range owner {
+			owner[v] = uint16((v * 2654435761) % workers)
+		}
+		frags, err := BuildFragments(g, owner, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldArcs := make([]int, workers)
+		for i, f := range frags {
+			oldArcs[i] = f.NumArcs()
+		}
+
+		b := randomBatch(g, 0.01, 77)
+		g2, _, err := g.ApplyMutations(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		touched := b.Endpoints()
+		cow, rebuilt, err := UpdateFragments(frags, g2, touched)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Equivalent to a fresh partition.
+		fresh, err := BuildFragments(g2, owner, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fresh {
+			if !fragEqual(cow[i], fresh[i]) {
+				t.Fatalf("directed=%v: COW fragment %d differs from fresh build", directed, i)
+			}
+		}
+
+		// Only touched owners rebuilt; untouched fragments share arrays.
+		touchedOwners := map[int]bool{}
+		for _, v := range touched {
+			touchedOwners[int(owner[v])] = true
+		}
+		rebuiltSet := map[int]bool{}
+		for _, w := range rebuilt {
+			rebuiltSet[w] = true
+		}
+		for w := 0; w < workers; w++ {
+			if rebuiltSet[w] != touchedOwners[w] {
+				t.Fatalf("directed=%v: worker %d rebuilt=%v touched=%v", directed, w, rebuiltSet[w], touchedOwners[w])
+			}
+			if !rebuiltSet[w] && len(frags[w].outTo) > 0 && &cow[w].outTo[0] != &frags[w].outTo[0] {
+				t.Fatalf("directed=%v: untouched worker %d does not share storage", directed, w)
+			}
+		}
+
+		// Old fragments unchanged for pinned readers.
+		for i, f := range frags {
+			if f.NumArcs() != oldArcs[i] || f.GlobalArcs() != g.NumEdges() {
+				t.Fatalf("directed=%v: old fragment %d changed under COW", directed, i)
+			}
+		}
+		if len(rebuilt) == workers {
+			t.Logf("directed=%v: warning: every worker touched (batch too wide for COW to pay off)", directed)
+		}
+	}
+}

@@ -26,7 +26,8 @@ type Pool struct {
 
 	mu        sync.Mutex
 	committed int64
-	acquired  int64 // lifetime count, for diagnostics
+	acquired  int64 // lifetime counts, for diagnostics
+	released  int64
 }
 
 // NewPool builds a pool over total bytes (<= 0 = unbounded) with spill files
@@ -92,14 +93,36 @@ func (p *Pool) Acquire(want int64) (*Governor, func(), error) {
 	gov := NewGovernor(want, p.dir)
 	var once sync.Once
 	release := func() {
+		// once makes concurrent and repeated releases of one slice count
+		// exactly once; the lock orders the refund against other slices. A
+		// negative balance is impossible through this path — if it shows up
+		// anyway, something returned bytes it never reserved, which must
+		// surface immediately rather than inflate the budget silently.
 		once.Do(func() {
 			gov.Close()
 			p.mu.Lock()
 			p.committed -= want
+			p.released++
+			if p.committed < 0 {
+				p.mu.Unlock()
+				panic(fmt.Sprintf("mem: pool committed balance underflowed to %d releasing %d bytes", p.committed, want))
+			}
 			p.mu.Unlock()
 		})
 	}
 	return gov, release, nil
+}
+
+// Lifetime reports the pool's cumulative acquire/release counts: every
+// successfully acquired slice must eventually be released exactly once, so a
+// drained pool has acquired == released and Committed() == 0.
+func (p *Pool) Lifetime() (acquired, released int64) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.acquired, p.released
 }
 
 func (p *Pool) poolDir() string {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"argan/internal/graph"
 	obsserve "argan/internal/obs/serve"
 )
 
@@ -21,10 +22,14 @@ import (
 //	POST   /api/jobs/{id}/cancel cancel a job         → 200 JobStatus
 //	DELETE /api/jobs/{id}        cancel a job         → 200 JobStatus
 //	GET    /api/service          service Stats        → 200 Stats
+//	GET    /api/datasets         materialized datasets → 200 [DatasetInfo...]
+//	POST   /api/datasets/{name}/mutate apply an edge batch → 200 MutateResult
 //
 // Admission maps onto status codes: a saturated queue sheds with 429 and a
 // draining service refuses with 503, both as {"error": "..."} JSON. Unknown
-// jobs are 404, malformed specs 400.
+// jobs are 404, malformed specs and batches 400, and a mutation whose
+// expect_version no longer matches fails with 412 Precondition Failed
+// (mapped back to graph.ErrVersionMismatch client-side).
 
 type apiError struct {
 	Error string `json:"error"`
@@ -87,7 +92,34 @@ func (s *Service) APIHandler() http.Handler {
 	mux.HandleFunc("GET /api/service", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.HandleFunc("GET /api/datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Datasets())
+	})
+	mux.HandleFunc("POST /api/datasets/{name}/mutate", s.handleMutate)
 	return mux
+}
+
+func (s *Service) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req MutateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode mutation batch: %w", err))
+		return
+	}
+	res, err := s.Mutate(r.PathValue("name"), req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, graph.ErrVersionMismatch):
+		writeErr(w, http.StatusPreconditionFailed, err)
+	default:
+		// Bad batch: absent delete target, out-of-range endpoint, unknown
+		// dataset — all client errors.
+		writeErr(w, http.StatusBadRequest, err)
+	}
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -194,6 +226,8 @@ func decode[T any](resp *http.Response, out *T) error {
 			return fmt.Errorf("%w: %s", ErrNotFinished, msg)
 		case http.StatusNotFound:
 			return fmt.Errorf("%w: %s", ErrNoSuchJob, msg)
+		case http.StatusPreconditionFailed:
+			return fmt.Errorf("%w: %s", graph.ErrVersionMismatch, msg)
 		}
 		return fmt.Errorf("http %d: %s", resp.StatusCode, msg)
 	}
@@ -274,6 +308,35 @@ func (c *Client) Stats() (Stats, error) {
 		return st, err
 	}
 	return st, decode(resp, &st)
+}
+
+// Mutate posts one edge-mutation batch against a dataset. A stale
+// expect_version comes back as graph.ErrVersionMismatch; a draining
+// service as ErrDraining.
+func (c *Client) Mutate(dataset string, req MutateRequest) (*MutateResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Post(c.Base+"/api/datasets/"+dataset+"/mutate", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	var res MutateResult
+	if err := decode(resp, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Datasets fetches the materialized datasets and their current versions.
+func (c *Client) Datasets() ([]DatasetInfo, error) {
+	var infos []DatasetInfo
+	resp, err := c.client().Get(c.Base + "/api/datasets")
+	if err != nil {
+		return nil, err
+	}
+	return infos, decode(resp, &infos)
 }
 
 // WaitTerminal polls until the job reaches a terminal state or the timeout

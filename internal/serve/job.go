@@ -42,10 +42,12 @@ func (s *Service) execute(j *job) {
 	}
 }
 
-// runOne builds the job's execution environment and dispatches by app.
+// runOne builds the job's execution environment and dispatches by app. The
+// dataset version is pinned here: a concurrent Mutate swaps the service to
+// version k+1 without disturbing this job's version-k graph and fragments.
 func (s *Service) runOne(j *job) (*JobResult, error) {
 	sp := j.spec
-	g, frags, err := s.data.fragments(sp.Dataset, sp.Scale, sp.Workers)
+	pin, err := s.data.pin(sp.Dataset, sp.Scale, sp.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -84,28 +86,37 @@ func (s *Service) runOne(j *job) (*JobResult, error) {
 	}
 
 	q := ace.Query{Source: graph.VID(sp.Source), Eps: sp.Eps}
-	res, err := runApp(g, frags, sp, q, cfg)
+	res, err := s.runApp(pin, sp, q, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res.ID, res.App = j.id, sp.App
+	res.ID, res.App, res.Version = j.id, sp.App, pin.version
+	s.mu.Lock()
+	if res.Incremental {
+		s.incremental++
+	} else if res.Fallback != "" {
+		s.recomputes++
+	}
+	s.mu.Unlock()
 	if res.Wrong > 0 {
-		return nil, fmt.Errorf("result diverged from sequential reference: %d of %d vertices wrong", res.Wrong, res.Vertices)
+		return nil, fmt.Errorf("result diverged from sequential reference: %d of %d vertices wrong (version %d)", res.Wrong, res.Vertices, pin.version)
 	}
 	return res, nil
 }
 
-// runApp dispatches one live run by application, verifying against the
-// cached sequential reference when the spec asks for it.
-func runApp(g *graph.Graph, frags []*graph.Fragment, sp JobSpec, q ace.Query, cfg gap.LiveConfig) (*JobResult, error) {
-	key := refKey{app: sp.App, dataset: sp.Dataset, scale: sp.Scale, source: sp.Source, eps: sp.Eps}
+// runApp dispatches one live run by application. Each app supplies its
+// incremental planner (how to adjust the retained fixpoint for the edge
+// churn between versions), its sequential reference, and its comparison
+// relation; incRun wires them together.
+func (s *Service) runApp(pin pinned, sp JobSpec, q ace.Query, cfg gap.LiveConfig) (*JobResult, error) {
+	src := graph.VID(sp.Source)
 	switch sp.App {
 	case "sssp":
-		var want []float64
-		if sp.Verify {
-			want = refFor(key, func() []float64 { return algorithms.SeqSSSP(g, graph.VID(sp.Source)) })
-		}
-		return runTyped(frags, algorithms.NewSSSP(), q, cfg, want,
+		return incRun(pin, sp, q, cfg, algorithms.NewSSSP(),
+			func(prior *warmEntry, touched []graph.VID) *ace.WarmState[float64] {
+				return algorithms.WarmSSSP(prior.g, pin.g, touched, prior.values.([]float64), src)
+			},
+			func() []float64 { return algorithms.SeqSSSP(pin.g, src) },
 			func(got, w float64) bool { return got == w },
 			func(v float64) float64 {
 				if math.IsInf(v, 1) {
@@ -114,11 +125,11 @@ func runApp(g *graph.Graph, frags []*graph.Fragment, sp JobSpec, q ace.Query, cf
 				return v
 			})
 	case "bfs":
-		var want []int32
-		if sp.Verify {
-			want = refFor(key, func() []int32 { return algorithms.SeqBFS(g, graph.VID(sp.Source)) })
-		}
-		return runTyped(frags, algorithms.NewBFS(), q, cfg, want,
+		return incRun(pin, sp, q, cfg, algorithms.NewBFS(),
+			func(prior *warmEntry, touched []graph.VID) *ace.WarmState[int32] {
+				return algorithms.WarmBFS(prior.g, pin.g, touched, prior.values.([]int32), src)
+			},
+			func() []int32 { return algorithms.SeqBFS(pin.g, src) },
 			func(got, w int32) bool {
 				if w < 0 { // Seq marks unreachable -1; the engine leaves Init's MaxInt32
 					return got == math.MaxInt32
@@ -132,39 +143,71 @@ func runApp(g *graph.Graph, frags []*graph.Fragment, sp JobSpec, q ace.Query, cf
 				return float64(v)
 			})
 	case "wcc":
-		var want []graph.VID
-		if sp.Verify {
-			want = refFor(key, func() []graph.VID { return algorithms.SeqWCC(g) })
-		}
-		return runTyped(frags, algorithms.NewWCC(), q, cfg, want,
-			func(got uint32, w graph.VID) bool { return got == uint32(w) },
+		return incRun(pin, sp, q, cfg, algorithms.NewWCC(),
+			func(prior *warmEntry, touched []graph.VID) *ace.WarmState[uint32] {
+				return algorithms.WarmWCC(prior.g, pin.g, touched, prior.values.([]uint32))
+			},
+			func() []uint32 {
+				want := algorithms.SeqWCC(pin.g)
+				out := make([]uint32, len(want))
+				for i, w := range want {
+					out[i] = uint32(w)
+				}
+				return out
+			},
+			func(got, w uint32) bool { return got == w },
 			func(v uint32) float64 { return float64(v) })
 	case "pr":
-		var want []float64
-		if sp.Verify {
-			want = refFor(key, func() []float64 { return algorithms.SeqPageRank(g, sp.Eps) })
-		}
-		return runTyped(frags, algorithms.NewPageRank(), q, cfg, want,
+		return incRun(pin, sp, q, cfg, algorithms.NewPageRank(),
+			func(prior *warmEntry, touched []graph.VID) *ace.WarmState[float64] {
+				return algorithms.WarmPageRank(prior.g, pin.g, touched, prior.psi.([]float64), prior.values.([]float64), sp.Eps)
+			},
+			func() []float64 { return algorithms.SeqPageRank(pin.g, sp.Eps) },
 			func(got, w float64) bool { return math.Abs(got-w) <= 0.02*(w+1) },
 			func(v float64) float64 { return v })
 	}
 	return nil, fmt.Errorf("app %q does not run under the live driver", sp.App)
 }
 
-// jobRefCache holds sequential references process-wide: references depend
-// only on (app, dataset, scale, source, eps), never on the Service, so one
-// cache serves every Service in the process (tests included).
-var jobRefCache = newDataCache()
+// incRun is the retract-and-repush execution path shared by every app:
+//
+//  1. Look up the retained fixpoint for this query key. If one exists and
+//     the mutation log bridges its version to the pinned one, build the
+//     planner's warm state and re-converge from it — verifying against the
+//     pinned version's sequential reference unconditionally, so every
+//     increment is checked, not trusted.
+//  2. If the program were not invertible/idempotent, or the bridge is gone
+//     (log truncation, version skew), fall back to a cold full run and
+//     record why in JobResult.Fallback.
+//  3. On a clean (non-diverged) finish, retain this run's fixpoint for the
+//     next increment.
+func incRun[V any, W any](pin pinned, sp JobSpec, q ace.Query, cfg gap.LiveConfig,
+	factory ace.Factory[V],
+	plan func(prior *warmEntry, touched []graph.VID) *ace.WarmState[V],
+	ref func() []W, eq func(got V, w W) bool, num func(V) float64) (*JobResult, error) {
 
-func refFor[W any](key refKey, compute func() []W) []W {
-	v := jobRefCache.reference(key, func() any { return compute() })
-	return v.([]W)
-}
+	wk := warmKey{app: sp.App, source: sp.Source, eps: sp.Eps}
+	verify := sp.Verify
+	var prior *warmEntry
+	var touched []graph.VID
+	var fallback string
+	if ace.CanIncrement(factory()) {
+		prior, touched, fallback = pin.ds.warmFor(wk, pin.version)
+	} else {
+		fallback = "program is neither invertible nor idempotent"
+	}
+	if prior != nil {
+		q.Warm = plan(prior, touched)
+		verify = true // every increment is verified against the reference
+	}
 
-// runTyped executes one live run and summarizes it. A nil want skips
-// verification (Wrong = -1); otherwise Wrong counts diverging vertices.
-func runTyped[V any, W any](frags []*graph.Fragment, f ace.Factory[V], q ace.Query, cfg gap.LiveConfig, want []W, eq func(got V, w W) bool, num func(V) float64) (*JobResult, error) {
-	res, lm, err := gap.RunLive(frags, f, q, cfg)
+	var want []W
+	if verify {
+		key := refKey{app: sp.App, source: sp.Source, eps: sp.Eps, version: pin.version}
+		want = pin.ds.reference(key, func() any { return ref() }).([]W)
+	}
+
+	res, lm, err := gap.RunLive(pin.frags, factory, q, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -181,6 +224,12 @@ func runTyped[V any, W any](frags []*graph.Fragment, f ace.Factory[V], q ace.Que
 		Recovery:   lm.Recovery,
 		MemPeak:    lm.MemPeakBytes,
 		Spilled:    lm.SpilledBytes,
+
+		Incremental: prior != nil,
+		Fallback:    fallback,
+	}
+	if prior != nil {
+		out.IncrementalFrom = prior.version
 	}
 	for _, v := range res.Values {
 		out.Checksum += num(v)
@@ -192,6 +241,11 @@ func runTyped[V any, W any](frags []*graph.Fragment, f ace.Factory[V], q ace.Que
 				out.Wrong++
 			}
 		}
+	}
+	if out.Wrong <= 0 {
+		// Retain this fixpoint (raw Ψ and output view, global-indexed) so
+		// the next job on this key re-converges instead of recomputing.
+		pin.ds.storeWarm(wk, &warmEntry{version: pin.version, g: pin.g, values: res.Values, psi: res.Psi})
 	}
 	return out, nil
 }

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"argan/internal/fault"
@@ -214,6 +215,18 @@ type JobResult struct {
 	Recovery   string  `json:"recovery,omitempty"`
 	MemPeak    int64   `json:"mem_peak_bytes,omitempty"`
 	Spilled    int64   `json:"spilled_bytes,omitempty"`
+	// Version is the dataset version the job pinned at dispatch.
+	Version uint64 `json:"version"`
+	// Incremental marks a warm re-convergence from the fixpoint of
+	// IncrementalFrom instead of a cold full run. Incremental results are
+	// always verified against the sequential reference of the pinned
+	// version (Wrong is never -1 for them).
+	Incremental     bool   `json:"incremental,omitempty"`
+	IncrementalFrom uint64 `json:"incremental_from,omitempty"`
+	// Fallback carries the reason an available fixpoint could NOT be used
+	// (mutation-log truncation, non-invertible program), i.e. why this run
+	// recomputed from scratch despite prior state.
+	Fallback string `json:"fallback,omitempty"`
 }
 
 // DrainStats summarizes a graceful drain.
@@ -248,6 +261,7 @@ type job struct {
 	cancel     chan struct{}
 	cancelOnce sync.Once
 	timer      *time.Timer
+	timerStop  sync.Once
 	health     *gap.HealthTracker
 	done       chan struct{}
 }
@@ -279,7 +293,15 @@ type Service struct {
 	// Lifetime counters (guarded by mu; read via Stats).
 	submitted, admitted, shed                int64
 	completed, failed, canceled, quarantined int64
+	mutations, mutatedEdges                  int64
+	incremental, recomputes                  int64
 	terminals                                int // jobs still retained in terminal state
+
+	// timersLive counts armed deadline timers not yet released through
+	// stopDeadline. Every terminal path funnels through finalize, so a
+	// non-zero residue after all jobs are terminal is a timer leak — the
+	// regression tests assert on it.
+	timersLive atomic.Int64
 
 	drainStart  time.Time
 	drainMS     float64
@@ -296,7 +318,14 @@ type Stats struct {
 	Draining                                      bool
 	Submitted, Admitted, Shed                     int64
 	Completed, Failed, Canceled, Quarantined      int64
-	DrainMS                                       float64
+	// Mutations counts applied edge batches; MutatedEdges the total edge
+	// operations in them. Incremental/Recomputes split completed runs that
+	// had a prior fixpoint available into warm re-convergences vs flagged
+	// full recomputes.
+	Mutations, MutatedEdges  int64
+	Incremental, Recomputes  int64
+	DeadlineTimers           int64
+	DrainMS                  float64
 }
 
 // New builds a Service. Datasets are loaded and partitioned lazily on first
@@ -323,7 +352,7 @@ func (s *Service) Preload(dataset string, scale float64, workers int) error {
 	if workers <= 0 {
 		workers = s.cfg.MaxWorkersPerJob
 	}
-	_, _, err := s.data.fragments(dataset, scale, workers)
+	_, err := s.data.pin(dataset, scale, workers)
 	return err
 }
 
@@ -338,7 +367,10 @@ func (s *Service) Stats() Stats {
 		Submitted: s.submitted, Admitted: s.admitted, Shed: s.shed,
 		Completed: s.completed, Failed: s.failed, Canceled: s.canceled,
 		Quarantined: s.quarantined,
-		DrainMS:     s.drainMS,
+		Mutations:   s.mutations, MutatedEdges: s.mutatedEdges,
+		Incremental: s.incremental, Recomputes: s.recomputes,
+		DeadlineTimers: s.timersLive.Load(),
+		DrainMS:        s.drainMS,
 	}
 }
 
@@ -375,6 +407,7 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 		j.timer = time.AfterFunc(deadline, func() {
 			s.CancelReason(j.id, "deadline exceeded")
 		})
+		s.timersLive.Add(1)
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -399,12 +432,27 @@ func (s *Service) pump() {
 	}
 }
 
-// finalize moves j to a terminal state, returns its tokens and kicks the
-// dispatcher. Callers must NOT hold s.mu.
-func (s *Service) finalize(j *job, state, errMsg string, res *JobResult, heldCores bool) {
-	if j.timer != nil {
-		j.timer.Stop()
+// stopDeadline releases j's deadline timer exactly once, whatever terminal
+// path got here first — normal completion, panic quarantine, queued-then-
+// canceled, drain force-cancel, or the timer itself firing. The once guard
+// makes the accounting race-free when several of those paths converge on
+// finalize concurrently.
+func (s *Service) stopDeadline(j *job) {
+	if j.timer == nil {
+		return
 	}
+	j.timerStop.Do(func() {
+		j.timer.Stop()
+		s.timersLive.Add(-1)
+	})
+}
+
+// finalize moves j to a terminal state, returns its tokens and kicks the
+// dispatcher. Callers must NOT hold s.mu. It is the single terminal-
+// transition choke point, so the deadline timer is released here on every
+// path a job can end through.
+func (s *Service) finalize(j *job, state, errMsg string, res *JobResult, heldCores bool) {
+	s.stopDeadline(j)
 	s.mu.Lock()
 	if j.terminal() {
 		s.mu.Unlock()

@@ -438,13 +438,13 @@ func TestPreloadSharesFragments(t *testing.T) {
 		t.Fatal("preload of unknown dataset succeeded")
 	}
 	// Two jobs over the same (dataset, scale, workers) must reuse the one
-	// cached partition.
-	g1, f1, err := s.data.fragments("HW", 0.02, 2)
+	// cached partition (and pin the same version).
+	p1, err := s.data.pin("HW", 0.02, 2)
 	if err != nil {
-		t.Fatalf("fragments: %v", err)
+		t.Fatalf("pin: %v", err)
 	}
-	g2, f2, _ := s.data.fragments("HW", 0.02, 2)
-	if g1 != g2 || len(f1) != 2 || f1[0] != f2[0] {
+	p2, _ := s.data.pin("HW", 0.02, 2)
+	if p1.g != p2.g || len(p1.frags) != 2 || p1.frags[0] != p2.frags[0] || p1.version != p2.version {
 		t.Fatal("fragment cache did not share")
 	}
 }

@@ -27,18 +27,25 @@ type System struct {
 	// vertex program that oscillates under synchronous execution
 	// (GraphLab_sync and PowerSwitch, per Fig. 5's "NA").
 	NaiveColor bool
+	// Incremental marks systems whose programming model supports
+	// re-convergence over evolving graphs from a retained fixpoint: the
+	// graph-centric GRAPE family ships it as IncEval, and Argan's ACE
+	// programs get it from the Inverter/idempotence extensions (see
+	// internal/algorithms' warm planners). The vertex-centric systems
+	// compared here recompute from scratch after a mutation.
+	Incremental bool
 }
 
 // The compared systems.
 var (
 	// Argan is the paper's system: GAP with GAwD granularity adjustment.
-	Argan = System{Name: "Argan", Mode: gap.ModeGAP, Adapt: adapt.PolicyGAwD}
+	Argan = System{Name: "Argan", Mode: gap.ModeGAP, Adapt: adapt.PolicyGAwD, Incremental: true}
 	// Grape is graph-centric BSP (Fan et al., TODS'18).
-	Grape = System{Name: "Grape", Mode: gap.ModeBSP}
+	Grape = System{Name: "Grape", Mode: gap.ModeBSP, Incremental: true}
 	// GrapePlus is graph-centric AAP (Fan et al., SIGMOD'18/TODS'20).
-	GrapePlus = System{Name: "Grape+", Mode: gap.ModeAAP}
+	GrapePlus = System{Name: "Grape+", Mode: gap.ModeAAP, Incremental: true}
 	// GrapeStar is Grape+ restricted to plain AP (the paper's Grape*).
-	GrapeStar = System{Name: "Grape*", Mode: gap.ModeAPGC}
+	GrapeStar = System{Name: "Grape*", Mode: gap.ModeAPGC, Incremental: true}
 	// GraphLabSync is vertex-centric synchronous GraphLab/PowerGraph.
 	GraphLabSync = System{Name: "GraphLab_sync", Mode: gap.ModeBSPVC, NaiveColor: true}
 	// GraphLabAsync is vertex-centric asynchronous GraphLab.
