@@ -7,6 +7,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +40,8 @@ func runServe(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 	churn := fs.String("churn", "", "apply synthetic edge-churn batches to `DATASET[@SCALE]` while serving, exercising live incremental re-convergence")
 	churnEvery := fs.Duration("churn-every", 5*time.Second, "interval between synthetic churn batches")
 	churnOps := fs.Int("churn-ops", 32, "edge operations per synthetic churn batch (half deletes, half inserts)")
+	stateDir := fs.String("state-dir", "", "durable state `DIR`: per-dataset mutation WALs + warm-fixpoint snapshots, replayed to the last durable version on restart (empty = ephemeral)")
+	snapEvery := fs.Duration("snapshot-every", 10*time.Second, "warm-fixpoint snapshot flush period under -state-dir (0 = only the final flush at drain)")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs on SIGTERM before cancel-forcing them")
 	drainOut := fs.String("drain-out", "", "write the drain stats JSON to `FILE` on shutdown")
 	if err := fs.Parse(args); err != nil {
@@ -50,14 +53,27 @@ func runServe(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 		return 2
 	}
 
-	svc := serve.New(serve.Config{
+	svc, err := serve.Open(serve.Config{
 		Cores: *cores, QueueDepth: *queue,
 		MemBudget: budget, SpillDir: *spillDir,
 		MaxWorkersPerJob: *maxWorkers,
 		DefaultDeadline:  *deadline, Watchdog: *watchdog,
 		MaxHistory: *history,
+		StateDir:   *stateDir, SnapshotEvery: *snapEvery,
 	})
+	if err != nil {
+		fmt.Fprintf(stderr, "arganrun serve: %v\n", err)
+		return 1
+	}
 	cfg := svc.Config()
+	if rec := svc.Recovery(); rec != nil {
+		tail := ""
+		if rec.TruncatedTail {
+			tail = ", torn tail truncated"
+		}
+		fmt.Fprintf(stdout, "recovered     : %d datasets, %d wal records (%d bytes) replayed, %d warm fixpoints reseeded (%d skipped)%s\n",
+			rec.Datasets, rec.Records, rec.Bytes, rec.WarmReseeded, rec.WarmSkipped, tail)
+	}
 
 	for _, spec := range strings.Split(*preload, ",") {
 		spec = strings.TrimSpace(spec)
@@ -125,8 +141,18 @@ func runServe(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 				case <-churnStop:
 					return
 				case <-tick.C:
+					// The drain latch is the authoritative gate: a SIGTERM can
+					// flip it between the tick firing and the write landing, so
+					// a refused batch during shutdown is a clean stop, not an
+					// error to report.
+					if svc.Draining() {
+						return
+					}
 					mr, err := svc.Churn(name, scale, seed, *churnOps)
 					if err != nil {
+						if errors.Is(err, serve.ErrDraining) {
+							return
+						}
 						fmt.Fprintf(stderr, "arganrun serve: churn: %v\n", err)
 						continue
 					}

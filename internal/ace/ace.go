@@ -9,6 +9,8 @@
 package ace
 
 import (
+	"fmt"
+
 	"argan/internal/graph"
 )
 
@@ -106,6 +108,25 @@ type WarmState[V any] struct {
 func WarmOf[V any](q Query) *WarmState[V] {
 	w, _ := q.Warm.(*WarmState[V])
 	return w
+}
+
+// Validate checks the state's shape against the vertex count of the graph
+// it is about to seed. Warm states built from a just-completed run are
+// correct by construction, but a service that persists fixpoints across
+// restarts re-derives them from disk — Validate is the gate that keeps a
+// stale or corrupt reseed from indexing out of bounds deep inside the
+// engine. A nil state is valid (cold start).
+func (w *WarmState[V]) Validate(n int) error {
+	if w == nil {
+		return nil
+	}
+	if len(w.Values) != n {
+		return fmt.Errorf("ace: warm state carries %d values for a %d-vertex graph", len(w.Values), n)
+	}
+	if w.Active != nil && len(w.Active) != n {
+		return fmt.Errorf("ace: warm state carries %d active marks for a %d-vertex graph", len(w.Active), n)
+	}
+	return nil
 }
 
 // Arg returns Args[k] or def when absent.

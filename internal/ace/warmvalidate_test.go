@@ -1,0 +1,31 @@
+package ace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWarmStateValidate: shape checks for warm state that may have come off
+// disk (durable recovery) rather than out of a live run.
+func TestWarmStateValidate(t *testing.T) {
+	var nilWS *WarmState[float64]
+	if err := nilWS.Validate(10); err != nil {
+		t.Fatalf("nil warm state: %v", err)
+	}
+	ok := &WarmState[float64]{Values: make([]float64, 10)}
+	if err := ok.Validate(10); err != nil {
+		t.Fatalf("matching values: %v", err)
+	}
+	okActive := &WarmState[float64]{Values: make([]float64, 10), Active: make([]bool, 10)}
+	if err := okActive.Validate(10); err != nil {
+		t.Fatalf("matching values+active: %v", err)
+	}
+	short := &WarmState[float64]{Values: make([]float64, 7)}
+	if err := short.Validate(10); err == nil || !strings.Contains(err.Error(), "7 values") {
+		t.Fatalf("short values: %v", err)
+	}
+	badActive := &WarmState[float64]{Values: make([]float64, 10), Active: make([]bool, 4)}
+	if err := badActive.Validate(10); err == nil || !strings.Contains(err.Error(), "4 active") {
+		t.Fatalf("short active: %v", err)
+	}
+}

@@ -1,0 +1,271 @@
+package durable
+
+import (
+	"bufio"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"argan/internal/graph"
+)
+
+// Warm-fixpoint snapshots. One snapshot file holds every retained fixpoint
+// of one dataset at the moment of the flush: per query key (app, source,
+// eps) the version the fixpoint was computed on plus its value and Ψ
+// arrays, serialized through the shared little-endian codec in bounded
+// chunks. The file is written atomically (tmp + rename in store.go) and
+// carries a trailing CRC over the whole body, so a snapshot is either
+// wholly valid or discarded — recovery then proceeds cold from the WAL,
+// which remains the source of truth for versions. Snapshots are an
+// optimization, never an authority.
+
+const (
+	snapMagic  = uint32(0x504E5341) // "ASNP"
+	snapFormat = uint32(1)
+
+	// maxSnapshotEntries bounds the declared entry count; the warm cache
+	// holds a handful of query keys per dataset, so anything huge is
+	// corruption.
+	maxSnapshotEntries = 1 << 16
+	// maxSnapshotVertices bounds one entry's declared array length.
+	maxSnapshotVertices = 1 << 28
+)
+
+// Value-array kinds. The concrete element type of a fixpoint is fixed by
+// its application (sssp/pr: float64, bfs: int32, wcc: uint32); the kind tag
+// lets the decoder rebuild the right dynamic type and lets the recovery
+// path reject an entry whose kind contradicts its app.
+const (
+	KindF64 uint32 = iota
+	KindI32
+	KindU32
+)
+
+// WarmFixpoint is one retained fixpoint as persisted: the query key, the
+// version it converged on, and the global-vertex Values/Psi arrays (both
+// []float64, []int32 or []uint32, matching the app's value type).
+type WarmFixpoint struct {
+	App     string
+	Source  int32
+	Eps     float64
+	Version uint64
+	Values  any
+	Psi     any
+}
+
+// Snapshot is the persisted warm cache of one dataset.
+type Snapshot struct {
+	Entries []WarmFixpoint
+}
+
+// KindOf maps a value array to its kind tag. ok is false for types the
+// snapshot codec does not carry (an entry with such state is skipped at
+// flush, not persisted wrongly).
+func KindOf(values any) (kind uint32, n int, ok bool) {
+	switch v := values.(type) {
+	case []float64:
+		return KindF64, len(v), true
+	case []int32:
+		return KindI32, len(v), true
+	case []uint32:
+		return KindU32, len(v), true
+	}
+	return 0, 0, false
+}
+
+func writeArr(w io.Writer, values any) error {
+	switch v := values.(type) {
+	case []float64:
+		return graph.WriteSliceLE(w, v)
+	case []int32:
+		return graph.WriteSliceLE(w, v)
+	case []uint32:
+		return graph.WriteSliceLE(w, v)
+	}
+	return fmt.Errorf("durable: unsupported warm value type %T", values)
+}
+
+func readArr(r io.Reader, kind uint32, n int, what string) (any, error) {
+	switch kind {
+	case KindF64:
+		return graph.ReadSliceLE[float64](r, n, false, what)
+	case KindI32:
+		return graph.ReadSliceLE[int32](r, n, false, what)
+	case KindU32:
+		return graph.ReadSliceLE[uint32](r, n, false, what)
+	}
+	return nil, fmt.Errorf("durable: %s has unknown kind %d", what, kind)
+}
+
+// EncodedBytes estimates the on-disk size of the snapshot, for budgeting
+// the flush against the service memory pool before any encoding happens.
+func (s *Snapshot) EncodedBytes() int64 {
+	total := int64(16) // header + count + trailer CRC
+	for _, e := range s.Entries {
+		total += int64(4 + len(e.App) + 4 + 8 + 8 + 4 + 4)
+		if _, n, ok := KindOf(e.Values); ok {
+			width := int64(8)
+			if k, _, _ := KindOf(e.Values); k != KindF64 {
+				width = 4
+			}
+			total += 2 * width * int64(n)
+		}
+	}
+	return total
+}
+
+// Write serializes the snapshot: header, entry count, entries sorted by
+// (app, source, eps), then a CRC32 over everything after the header.
+func (s *Snapshot) Write(w io.Writer) error {
+	entries := make([]WarmFixpoint, 0, len(s.Entries))
+	for _, e := range s.Entries {
+		kv, nv, okV := KindOf(e.Values)
+		kp, np, okP := KindOf(e.Psi)
+		if !okV || !okP || kv != kp || nv != np {
+			// A fixpoint whose state the codec cannot carry faithfully is
+			// simply not persisted; the next restart recomputes it cold.
+			continue
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.Eps < b.Eps
+	})
+
+	bw := bufio.NewWriter(w)
+	if err := graph.WriteLE(bw, [2]uint32{snapMagic, snapFormat}); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(bw, crc)
+	if err := graph.WriteLE(mw, uint32(len(entries))); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		kind, n, _ := KindOf(e.Values)
+		app := []byte(e.App)
+		if err := graph.WriteLE(mw, uint32(len(app))); err != nil {
+			return err
+		}
+		if _, err := mw.Write(app); err != nil {
+			return err
+		}
+		if err := graph.WriteLE(mw, e.Source); err != nil {
+			return err
+		}
+		if err := graph.WriteLE(mw, e.Version); err != nil {
+			return err
+		}
+		if err := graph.WriteLE(mw, e.Eps); err != nil {
+			return err
+		}
+		if err := graph.WriteLE(mw, [2]uint32{kind, uint32(n)}); err != nil {
+			return err
+		}
+		if err := writeArr(mw, e.Values); err != nil {
+			return err
+		}
+		if err := writeArr(mw, e.Psi); err != nil {
+			return err
+		}
+	}
+	if err := graph.WriteLE(bw, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// crcReader tees everything read through a running CRC.
+type crcReader struct {
+	r io.Reader
+	h hash.Hash32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.h.Write(p[:n])
+	}
+	return n, err
+}
+
+// ReadSnapshot decodes a snapshot, verifying the trailing CRC. Any
+// corruption — bad magic, truncated arrays, checksum mismatch — returns an
+// error; callers discard the snapshot and recover cold.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	var hdr [2]uint32
+	if err := graph.ReadLE(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("durable: snapshot header: %w", err)
+	}
+	if hdr[0] != snapMagic || hdr[1] != snapFormat {
+		return nil, fmt.Errorf("durable: snapshot has magic %#x format %d, want %#x format %d", hdr[0], hdr[1], snapMagic, snapFormat)
+	}
+	cr := &crcReader{r: br, h: crc32.NewIEEE()}
+	var count uint32
+	if err := graph.ReadLE(cr, &count); err != nil {
+		return nil, fmt.Errorf("durable: snapshot entry count: %w", err)
+	}
+	if count > maxSnapshotEntries {
+		return nil, fmt.Errorf("durable: snapshot declares %d entries, above the %d bound", count, maxSnapshotEntries)
+	}
+	snap := &Snapshot{}
+	for i := 0; i < int(count); i++ {
+		var appLen uint32
+		if err := graph.ReadLE(cr, &appLen); err != nil {
+			return nil, fmt.Errorf("durable: snapshot entry %d: %w", i, err)
+		}
+		if appLen > 64 {
+			return nil, fmt.Errorf("durable: snapshot entry %d declares a %d-byte app name", i, appLen)
+		}
+		app := make([]byte, appLen)
+		if _, err := io.ReadFull(cr, app); err != nil {
+			return nil, fmt.Errorf("durable: snapshot entry %d app: %w", i, err)
+		}
+		var e WarmFixpoint
+		e.App = string(app)
+		if err := graph.ReadLE(cr, &e.Source); err != nil {
+			return nil, fmt.Errorf("durable: snapshot entry %d source: %w", i, err)
+		}
+		if err := graph.ReadLE(cr, &e.Version); err != nil {
+			return nil, fmt.Errorf("durable: snapshot entry %d version: %w", i, err)
+		}
+		if err := graph.ReadLE(cr, &e.Eps); err != nil {
+			return nil, fmt.Errorf("durable: snapshot entry %d eps: %w", i, err)
+		}
+		var kn [2]uint32
+		if err := graph.ReadLE(cr, kn[:]); err != nil {
+			return nil, fmt.Errorf("durable: snapshot entry %d kind: %w", i, err)
+		}
+		kind, n := kn[0], int(kn[1])
+		if n > maxSnapshotVertices {
+			return nil, fmt.Errorf("durable: snapshot entry %d declares %d vertices", i, n)
+		}
+		var err error
+		if e.Values, err = readArr(cr, kind, n, fmt.Sprintf("entry %d values", i)); err != nil {
+			return nil, err
+		}
+		if e.Psi, err = readArr(cr, kind, n, fmt.Sprintf("entry %d psi", i)); err != nil {
+			return nil, err
+		}
+		snap.Entries = append(snap.Entries, e)
+	}
+	want := cr.h.Sum32()
+	var got uint32
+	if err := graph.ReadLE(br, &got); err != nil {
+		return nil, fmt.Errorf("durable: snapshot trailer: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("durable: snapshot checksum %#x, computed %#x", got, want)
+	}
+	return snap, nil
+}

@@ -1,0 +1,139 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store lays out durable state under one directory, one subdirectory per
+// dataset key ("NAME@SCALE", matching the serve data cache's identity):
+//
+//	<dir>/<NAME@SCALE>/wal.log    mutation WAL (wal.go)
+//	<dir>/<NAME@SCALE>/warm.snap  warm-fixpoint snapshot (snapshot.go)
+//
+// The WAL is append+fsync; the snapshot is written to a temp file and
+// renamed over the old one, so at every instant the directory holds a
+// consistent (possibly stale) snapshot and a prefix-valid WAL.
+type Store struct {
+	dir string
+}
+
+const (
+	walFile  = "wal.log"
+	snapFile = "warm.snap"
+)
+
+// OpenStore opens (creating if needed) a state directory.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("durable: state directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: state dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the state directory root.
+func (s *Store) Dir() string { return s.dir }
+
+func validKey(key string) error {
+	if key == "" || strings.ContainsAny(key, "/\\") || key == "." || key == ".." {
+		return fmt.Errorf("durable: invalid dataset key %q", key)
+	}
+	return nil
+}
+
+// WALPath returns the log path for a dataset key (the file may not exist).
+func (s *Store) WALPath(key string) string { return filepath.Join(s.dir, key, walFile) }
+
+// SnapshotPath returns the snapshot path for a dataset key.
+func (s *Store) SnapshotPath(key string) string { return filepath.Join(s.dir, key, snapFile) }
+
+// Keys lists the dataset keys with durable state on disk, sorted, so
+// startup recovery is deterministic in its dataset order.
+func (s *Store) Keys() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, e := range ents {
+		if !e.IsDir() || validKey(e.Name()) != nil {
+			continue
+		}
+		if _, err := os.Stat(s.WALPath(e.Name())); err == nil {
+			keys = append(keys, e.Name())
+			continue
+		}
+		if _, err := os.Stat(s.SnapshotPath(e.Name())); err == nil {
+			keys = append(keys, e.Name())
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// OpenWAL opens (creating if needed) the dataset's mutation log and returns
+// it with the valid records and recovery stats from the open scan.
+func (s *Store) OpenWAL(key string) (*WAL, []Record, RecoverStats, error) {
+	if err := validKey(key); err != nil {
+		return nil, nil, RecoverStats{}, err
+	}
+	if err := os.MkdirAll(filepath.Join(s.dir, key), 0o755); err != nil {
+		return nil, nil, RecoverStats{}, err
+	}
+	return OpenWAL(s.WALPath(key))
+}
+
+// WriteSnapshot persists the dataset's warm cache atomically: encode to a
+// temp file in the same directory, fsync, rename over the live snapshot. A
+// crash at any point leaves either the old snapshot or the new one, never a
+// torn hybrid.
+func (s *Store) WriteSnapshot(key string, snap *Snapshot) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	dir := filepath.Join(s.dir, key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, snapFile+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := snap.Write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), s.SnapshotPath(key))
+}
+
+// ReadSnapshot loads the dataset's snapshot. A missing file returns
+// (nil, nil); a corrupt one returns an error — the caller discards it and
+// recovers cold from the WAL.
+func (s *Store) ReadSnapshot(key string) (*Snapshot, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(s.SnapshotPath(key))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}

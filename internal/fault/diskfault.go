@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+)
+
+// Disk-fault injection for the durability layer (internal/durable): the
+// byte-level damage a kill -9, a bad sector or an interrupted append leaves
+// in a write-ahead log. Each mode is deterministic for a (path-size, seed)
+// pair via the same splitmix64 stream the in-run injector uses, so a
+// recovery test that fails reproduces byte-identically from its seed.
+//
+// The frame-aware modes (DropTail) parse the argan WAL layout — an 8-byte
+// file header followed by [len uint32 | crc uint32 | payload] frames — which
+// is the documented on-disk format of internal/durable; they exist so skew
+// drills (snapshot newer than WAL) can remove exactly one committed record
+// without recomputing checksums.
+
+// DiskFault selects one corruption mode for InjectDisk.
+type DiskFault int
+
+const (
+	// DiskTornTail appends a garbage partial frame: a plausible length
+	// prefix followed by fewer payload bytes than declared, the signature a
+	// kill -9 mid-append leaves. Committed records are untouched.
+	DiskTornTail DiskFault = iota
+	// DiskTruncateTail cuts 1–12 bytes off the end of the file, tearing the
+	// last record's payload (every WAL record is at least 48 bytes, so only
+	// the final record is damaged).
+	DiskTruncateTail
+	// DiskFlipByte flips one byte within the last 16 bytes of the file,
+	// corrupting the final record's payload or CRC in place.
+	DiskFlipByte
+	// DiskZeroLength appends an 8-byte frame declaring a zero-length
+	// record — a forbidden frame recovery must stop at.
+	DiskZeroLength
+	// DiskDropTail removes the last record frame cleanly (frame-aware), so
+	// the log ends one committed version early with valid checksums: the
+	// "WAL older than snapshot" version-skew drill.
+	DiskDropTail
+)
+
+func (d DiskFault) String() string {
+	switch d {
+	case DiskTornTail:
+		return "torn-tail"
+	case DiskTruncateTail:
+		return "truncate-tail"
+	case DiskFlipByte:
+		return "flip-byte"
+	case DiskZeroLength:
+		return "zero-length"
+	case DiskDropTail:
+		return "drop-tail"
+	}
+	return fmt.Sprintf("disk-fault(%d)", int(d))
+}
+
+const (
+	diskWALHeader = 8 // magic + format
+	diskFrameLen  = 8 // length + crc prefix per record
+)
+
+// InjectDisk applies one corruption mode to the file at path. The damage is
+// deterministic for a given (file size, seed): running a failed recovery
+// test again with its printed seed reproduces the same bytes.
+func InjectDisk(path string, mode DiskFault, seed int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
+	h := mix(uint64(seed), uint64(size), uint64(mode))
+
+	switch mode {
+	case DiskTornTail:
+		// Declared length well past what we append: the payload is torn.
+		declared := uint32(256 + h%1024)
+		short := 4 + int(h>>32%8)
+		frame := make([]byte, diskFrameLen+short)
+		frame[0], frame[1], frame[2], frame[3] = byte(declared), byte(declared>>8), byte(declared>>16), byte(declared>>24)
+		for i := 4; i < len(frame); i++ {
+			frame[i] = byte(mix(h, uint64(i), 0))
+		}
+		_, err = f.WriteAt(frame, size)
+		return err
+	case DiskTruncateTail:
+		cut := int64(1 + h%12)
+		if cut >= size {
+			return fmt.Errorf("fault: %s: file too small (%d bytes) to truncate %d", path, size, cut)
+		}
+		return f.Truncate(size - cut)
+	case DiskFlipByte:
+		if size < 16 {
+			return fmt.Errorf("fault: %s: file too small (%d bytes) to flip a tail byte", path, size)
+		}
+		off := size - 1 - int64(h%16)
+		var b [1]byte
+		if _, err := f.ReadAt(b[:], off); err != nil {
+			return err
+		}
+		flip := byte(1 + (h>>32)%255) // never the identity xor
+		b[0] ^= flip
+		_, err = f.WriteAt(b[:], off)
+		return err
+	case DiskZeroLength:
+		_, err = f.WriteAt(make([]byte, diskFrameLen), size)
+		return err
+	case DiskDropTail:
+		offs, err := diskFrameOffsets(f, size)
+		if err != nil {
+			return err
+		}
+		if len(offs) == 0 {
+			return fmt.Errorf("fault: %s: no record frames to drop", path)
+		}
+		return f.Truncate(offs[len(offs)-1])
+	}
+	return fmt.Errorf("fault: unknown disk fault mode %d", mode)
+}
+
+// diskFrameOffsets walks the WAL frame chain and returns each record's
+// starting offset. It trusts length prefixes only as far as the file size,
+// which is all DropTail needs.
+func diskFrameOffsets(f *os.File, size int64) ([]int64, error) {
+	var offs []int64
+	off := int64(diskWALHeader)
+	for off+diskFrameLen <= size {
+		var frame [diskFrameLen]byte
+		if _, err := f.ReadAt(frame[:], off); err != nil {
+			return nil, err
+		}
+		length := int64(uint32(frame[0]) | uint32(frame[1])<<8 | uint32(frame[2])<<16 | uint32(frame[3])<<24)
+		if length == 0 || off+diskFrameLen+length > size {
+			break
+		}
+		offs = append(offs, off)
+		off += diskFrameLen + length
+	}
+	return offs, nil
+}

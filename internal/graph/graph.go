@@ -351,6 +351,15 @@ func (g *Graph) Freeze() {
 // Frozen reports whether Freeze has been called.
 func (g *Graph) Frozen() bool { return g.frozen }
 
+// FrozenFingerprint returns the fingerprint recorded at freeze time without
+// rehashing. Fingerprint is O(E), so replay paths that already froze a graph
+// (the durable WAL recovery comparing each replayed version against the
+// fingerprint logged at commit time) read the stamp instead of paying the
+// hash twice. ok is false for unfrozen graphs, whose stamp is meaningless.
+func (g *Graph) FrozenFingerprint() (fp uint64, ok bool) {
+	return g.fprint, g.frozen
+}
+
 // CheckFrozen re-validates a frozen graph and returns a typed error if it
 // was mutated since Freeze (nil for unfrozen graphs): ErrVersionMismatch
 // when the version counter moved — someone applied a mutation batch to the

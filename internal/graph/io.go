@@ -169,13 +169,28 @@ func readerSize(r io.Reader) (size int64, ok bool) {
 	return 0, false
 }
 
-// readSliceLE reads count fixed-size elements into a fresh slice. When the
+// WriteSliceLE writes a fixed-size element slice in bounded chunks, so an
+// encoder working under a memory budget (the durable warm-fixpoint snapshot
+// writer) never stages more than one chunk of encoding state regardless of
+// slice length. It is the writer dual of ReadSliceLE.
+func WriteSliceLE[T int32 | int64 | uint32 | float64](w io.Writer, data []T) error {
+	const chunk = 1 << 16
+	for off := 0; off < len(data); off += chunk {
+		end := min(off+chunk, len(data))
+		if err := WriteLE(w, data[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSliceLE reads count fixed-size elements into a fresh slice. When the
 // input may be shorter than the header claims (sized=false, so the caller
 // could not pre-validate), it reads in bounded chunks and grows the result
 // incrementally, so a corrupt header that declares billions of elements
 // fails fast with a truncation error instead of one huge up-front
 // allocation.
-func readSliceLE[T int32 | int64 | uint32 | float64](r io.Reader, count int, sized bool, what string) ([]T, error) {
+func ReadSliceLE[T int32 | int64 | uint32 | float64](r io.Reader, count int, sized bool, what string) ([]T, error) {
 	if count == 0 {
 		return []T{}, nil
 	}
@@ -258,17 +273,17 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 	g := &Graph{n: n, directed: hdr[1]&1 != 0}
 	var err error
-	if g.outIndex, err = readSliceLE[int64](br, n+1, sized, "out-index"); err != nil {
+	if g.outIndex, err = ReadSliceLE[int64](br, n+1, sized, "out-index"); err != nil {
 		return nil, err
 	}
-	if g.outTo, err = readSliceLE[VID](br, m, sized, "arc targets"); err != nil {
+	if g.outTo, err = ReadSliceLE[VID](br, m, sized, "arc targets"); err != nil {
 		return nil, err
 	}
-	if g.outW, err = readSliceLE[float64](br, m, sized, "arc weights"); err != nil {
+	if g.outW, err = ReadSliceLE[float64](br, m, sized, "arc weights"); err != nil {
 		return nil, err
 	}
 	if hdr[1]&2 != 0 {
-		if g.labels, err = readSliceLE[int32](br, n, sized, "labels"); err != nil {
+		if g.labels, err = ReadSliceLE[int32](br, n, sized, "labels"); err != nil {
 			return nil, err
 		}
 	}

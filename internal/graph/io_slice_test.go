@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWriteSliceLERoundTrip exercises the chunked slice writer against the
+// bounded reader for every supported element type, including a slice longer
+// than the 64K-element chunk so the multi-chunk path is covered.
+func TestWriteSliceLERoundTrip(t *testing.T) {
+	n := (1 << 16) + 3
+	f64 := make([]float64, n)
+	i32 := make([]int32, n)
+	u32 := make([]uint32, n)
+	i64 := make([]int64, n)
+	for i := 0; i < n; i++ {
+		f64[i] = float64(i) * 0.5
+		i32[i] = int32(i - 7)
+		u32[i] = uint32(i * 3)
+		i64[i] = int64(i) << 20
+	}
+
+	roundTrip := func(t *testing.T, write func(*bytes.Buffer) error, read func(*bytes.Buffer) error) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := read(&buf); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+	}
+
+	roundTrip(t,
+		func(b *bytes.Buffer) error { return WriteSliceLE(b, f64) },
+		func(b *bytes.Buffer) error {
+			got, err := ReadSliceLE[float64](b, n, false, "f64")
+			if err != nil {
+				return err
+			}
+			for i := range got {
+				if got[i] != f64[i] {
+					t.Fatalf("f64[%d] = %v, want %v", i, got[i], f64[i])
+				}
+			}
+			return nil
+		})
+	roundTrip(t,
+		func(b *bytes.Buffer) error { return WriteSliceLE(b, i32) },
+		func(b *bytes.Buffer) error {
+			got, err := ReadSliceLE[int32](b, n, false, "i32")
+			if err != nil {
+				return err
+			}
+			for i := range got {
+				if got[i] != i32[i] {
+					t.Fatalf("i32[%d] = %v, want %v", i, got[i], i32[i])
+				}
+			}
+			return nil
+		})
+	roundTrip(t,
+		func(b *bytes.Buffer) error { return WriteSliceLE(b, u32) },
+		func(b *bytes.Buffer) error {
+			got, err := ReadSliceLE[uint32](b, n, false, "u32")
+			if err != nil {
+				return err
+			}
+			for i := range got {
+				if got[i] != u32[i] {
+					t.Fatalf("u32[%d] = %v, want %v", i, got[i], u32[i])
+				}
+			}
+			return nil
+		})
+	roundTrip(t,
+		func(b *bytes.Buffer) error { return WriteSliceLE(b, i64) },
+		func(b *bytes.Buffer) error {
+			got, err := ReadSliceLE[int64](b, n, false, "i64")
+			if err != nil {
+				return err
+			}
+			for i := range got {
+				if got[i] != i64[i] {
+					t.Fatalf("i64[%d] = %v, want %v", i, got[i], i64[i])
+				}
+			}
+			return nil
+		})
+}
+
+// TestFrozenFingerprintAccessor: the accessor must expose the fingerprint
+// Freeze computed without rehashing, and report ok=false before Freeze.
+func TestFrozenFingerprintAccessor(t *testing.T) {
+	g := testGraph(t, true, 11)
+	if _, ok := g.FrozenFingerprint(); ok {
+		t.Fatal("unfrozen graph reports a frozen fingerprint")
+	}
+	g.Freeze()
+	fp, ok := g.FrozenFingerprint()
+	if !ok {
+		t.Fatal("frozen graph reports ok=false")
+	}
+	if fp != g.Fingerprint() {
+		t.Fatalf("FrozenFingerprint %#x != Fingerprint() %#x", fp, g.Fingerprint())
+	}
+}

@@ -1,0 +1,58 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestPoolHold: commitment-only reservations compete with tenant slices for
+// the same budget but never mint a governor.
+func TestPoolHold(t *testing.T) {
+	p := NewPool(100, t.TempDir())
+
+	release, err := p.Hold(40)
+	if err != nil {
+		t.Fatalf("Hold(40): %v", err)
+	}
+	if p.Committed() != 40 {
+		t.Fatalf("committed %d after hold, want 40", p.Committed())
+	}
+	// A tenant slice that no longer fits is refused — the hold really
+	// competes for the budget.
+	if _, _, err := p.Acquire(70); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("Acquire(70) under a 40-byte hold: %v", err)
+	}
+	// And an over-budget hold is refused the same way.
+	if _, err := p.Hold(61); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("Hold(61) under a 40-byte hold: %v", err)
+	}
+	release()
+	release() // idempotent
+	if p.Committed() != 0 {
+		t.Fatalf("committed %d after release, want 0", p.Committed())
+	}
+	if _, err := p.Hold(0); err == nil {
+		t.Fatal("Hold(0) accepted on a bounded pool")
+	}
+
+	// Holds are commitments, not lifetime slices: the acquire/release
+	// counters used by drain accounting must not move.
+	a, r := p.Lifetime()
+	if a != 0 || r != 0 {
+		t.Fatalf("lifetime counters moved on holds: acquired=%d released=%d", a, r)
+	}
+
+	// Unbounded pools: every hold succeeds and reserves nothing.
+	u := NewPool(0, "")
+	rel, err := u.Hold(1 << 40)
+	if err != nil {
+		t.Fatalf("unbounded Hold: %v", err)
+	}
+	rel()
+	var nilPool *Pool
+	if rel, err := nilPool.Hold(10); err != nil {
+		t.Fatalf("nil pool Hold: %v", err)
+	} else {
+		rel()
+	}
+}

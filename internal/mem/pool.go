@@ -113,6 +113,43 @@ func (p *Pool) Acquire(want int64) (*Governor, func(), error) {
 	return gov, release, nil
 }
 
+// Hold reserves want bytes of the pool's budget without carving a governor
+// slice: the commitment-only form for short-lived maintenance work — the
+// durable layer's warm-fixpoint snapshot encoder — that must compete with
+// tenant slices for the budget instead of stacking on top of it. When the
+// budget cannot cover the hold, ErrPoolExhausted comes back and the caller
+// defers its work rather than overcommitting. The returned release func is
+// idempotent. On an unbounded pool nothing is reserved and Hold always
+// succeeds.
+func (p *Pool) Hold(want int64) (func(), error) {
+	if p == nil || p.total <= 0 {
+		return func() {}, nil
+	}
+	if want <= 0 {
+		return nil, fmt.Errorf("mem: pool hold must be positive, got %d", want)
+	}
+	p.mu.Lock()
+	if p.committed+want > p.total {
+		free := p.total - p.committed
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: hold %d, %d free of %d", ErrPoolExhausted, want, free, p.total)
+	}
+	p.committed += want
+	p.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.mu.Lock()
+			p.committed -= want
+			if p.committed < 0 {
+				p.mu.Unlock()
+				panic(fmt.Sprintf("mem: pool committed balance underflowed to %d releasing a %d-byte hold", p.committed, want))
+			}
+			p.mu.Unlock()
+		})
+	}, nil
+}
+
 // Lifetime reports the pool's cumulative acquire/release counts: every
 // successfully acquired slice must eventually be released exactly once, so a
 // drained pool has acquired == released and Committed() == 0.

@@ -2,9 +2,12 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"argan/internal/core"
+	"argan/internal/durable"
 	"argan/internal/graph"
 )
 
@@ -79,6 +82,11 @@ const maxMutLog = 128
 // frozen graph, its fragment partitions per worker count, the mutation log,
 // retained fixpoints and sequential references. All fields are guarded by
 // mu; the graphs and fragments handed out under it are immutable.
+//
+// When the service is durable (Config.StateDir), the state also owns the
+// dataset's WAL: mutate appends+fsyncs each batch before swapping the new
+// version in, and the warm generation counters track which retained
+// fixpoints the snapshot flusher still owes to disk.
 type dsState struct {
 	mu    sync.Mutex
 	g     *graph.Graph
@@ -86,18 +94,43 @@ type dsState struct {
 	log   []mutRecord
 	warm  map[warmKey]*warmEntry
 	refs  map[refKey]*entry[any]
+
+	// Durable fields. key/wal/rec are set once during the state fill (before
+	// the state is shared) and immutable after; warmGen/warmFlushed/warmHits
+	// are guarded by mu like the cache itself.
+	key         string       // "NAME@SCALE" store identity ("" = ephemeral)
+	wal         *durable.WAL // nil when ephemeral
+	rec         dsRecovery   // what startup recovery replayed for this dataset
+	warmGen     uint64       // bumped by storeWarm
+	warmFlushed uint64       // warmGen as of the last persisted snapshot
+	warmHits    int64        // jobs that re-converged from a retained fixpoint
+}
+
+// noteWarmHit counts one job that seeded from a retained fixpoint, feeding
+// the argan_dataset_warm_hits_total family.
+func (ds *dsState) noteWarmHit() {
+	ds.mu.Lock()
+	ds.warmHits++
+	ds.mu.Unlock()
 }
 
 type dataCache struct {
 	mu     sync.Mutex
 	graphs map[string]*entry[*graph.Graph]
 	states map[dsKey]*entry[*dsState]
+
+	// store is the durable state directory (nil = ephemeral service). Set
+	// once before the cache is shared.
+	store *durable.Store
 }
 
 // entry is a once-per-key fill slot: concurrent requesters block on the
-// first loader instead of duplicating the build.
+// first loader instead of duplicating the build. done publishes the fill
+// for readers that must not block on a slow loader (metrics collection,
+// dataset listings): a false load means "still loading, skip".
 type entry[T any] struct {
 	once sync.Once
+	done atomic.Bool
 	val  T
 	err  error
 }
@@ -122,8 +155,15 @@ func (c *dataCache) graph(dataset string, scale float64) (*graph.Graph, error) {
 		// LoadDataset memoizes and freezes internally (fingerprinted), so
 		// this is the single base build for the server's lifetime.
 		e.val, e.err = graph.LoadDataset(dataset, scale)
+		e.done.Store(true)
 	})
 	return e.val, e.err
+}
+
+// dsName is the durable-store identity of a (dataset, scale); %g keeps the
+// round trip through parseDSKey exact.
+func dsName(dataset string, scale float64) string {
+	return fmt.Sprintf("%s@%g", dataset, scale)
 }
 
 // state returns the versioned state for a (dataset, scale), loading the
@@ -138,17 +178,30 @@ func (c *dataCache) state(dataset string, scale float64) (*dsState, error) {
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
+		defer e.done.Store(true)
 		g, err := c.graph(dataset, scale)
 		if err != nil {
 			e.err = err
 			return
 		}
-		e.val = &dsState{
+		ds := &dsState{
 			g:     g,
 			frags: make(map[int]*entry[[]*graph.Fragment]),
 			warm:  make(map[warmKey]*warmEntry),
 			refs:  make(map[refKey]*entry[any]),
 		}
+		if c.store != nil {
+			// Durable service: open the dataset's WAL, replay it on top of
+			// the deterministic base, and reseed the warm cache from the
+			// snapshot — one recovery path whether the state is touched at
+			// startup (Open enumerates the store) or on first request.
+			ds.key = dsName(dataset, scale)
+			if err := ds.recoverDurable(c.store); err != nil {
+				e.err = fmt.Errorf("recover %s: %w", ds.key, err)
+				return
+			}
+		}
+		e.val = ds
 	})
 	return e.val, e.err
 }
@@ -249,9 +302,22 @@ func (c *dataCache) mutate(dataset string, scale float64, b graph.MutationBatch,
 		}
 		ne := &entry[[]*graph.Fragment]{val: nfs}
 		ne.once.Do(func() {}) // mark filled
+		ne.done.Store(true)
 		nfrags[workers] = ne
 		res.RebuiltFragments += len(rebuilt)
 		res.SharedFragments += workers - len(rebuilt)
+	}
+	if ds.wal != nil {
+		// Durability point: the batch is appended and fsynced as the LAST
+		// fallible step before the in-memory swap. An append failure leaves
+		// both memory and disk at the old version; once Append returns, the
+		// acknowledged version is provably on disk. The frozen fingerprint
+		// rides along so restart replay can verify each reconstructed
+		// version bit-for-bit.
+		fp, _ := ng.FrozenFingerprint()
+		if err := ds.wal.Append(durable.Record{Version: ng.Version(), Fingerprint: fp, Batch: b}); err != nil {
+			return nil, fmt.Errorf("dataset %s@%g: wal append: %w", dataset, scale, err)
+		}
 	}
 	ds.g = ng
 	ds.frags = nfrags
@@ -318,6 +384,10 @@ func (ds *dsState) storeWarm(wk warmKey, e *warmEntry) {
 	defer ds.mu.Unlock()
 	if cur := ds.warm[wk]; cur == nil || cur.version <= e.version {
 		ds.warm[wk] = e
+		// The snapshot flusher owes this state to disk now; the generation
+		// counter (not a bool) means a store landing mid-flush keeps the
+		// dataset dirty instead of being masked by the flush completing.
+		ds.warmGen++
 	}
 }
 
@@ -343,29 +413,73 @@ func (ds *dsState) reference(key refKey, compute func() any) any {
 	return e.val
 }
 
-// versions lists the datasets the cache has materialized, for the API.
-func (c *dataCache) versions() []DatasetInfo {
+// dsHandle pairs a materialized state with its cache key.
+type dsHandle struct {
+	key dsKey
+	ds  *dsState
+}
+
+// materialized snapshots the filled dataset states, sorted by (dataset,
+// scale) so every consumer — the API listing, the metric families, the
+// snapshot flusher — iterates deterministically.
+func (c *dataCache) materialized() []dsHandle {
 	c.mu.Lock()
 	keys := make([]dsKey, 0, len(c.states))
-	entries := make([]*entry[*dsState], 0, len(c.states))
-	for k, e := range c.states {
+	for k := range c.states {
 		keys = append(keys, k)
-		entries = append(entries, e)
 	}
-	c.mu.Unlock()
-	var out []DatasetInfo
-	for i, e := range entries {
-		ds := e.val
-		if ds == nil {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dataset != keys[j].dataset {
+			return keys[i].dataset < keys[j].dataset
+		}
+		return keys[i].scale < keys[j].scale
+	})
+	out := make([]dsHandle, 0, len(keys))
+	for _, k := range keys {
+		e := c.states[k]
+		if !e.done.Load() || e.val == nil {
 			continue // still loading or failed
 		}
-		ds.mu.Lock()
+		out = append(out, dsHandle{key: k, ds: e.val})
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// versions lists the datasets the cache has materialized, for the API.
+func (c *dataCache) versions() []DatasetInfo {
+	var out []DatasetInfo
+	for _, h := range c.materialized() {
+		h.ds.mu.Lock()
 		out = append(out, DatasetInfo{
-			Dataset: keys[i].dataset, Scale: keys[i].scale,
-			Version:  ds.g.Version(),
-			Vertices: ds.g.NumVertices(), Edges: ds.g.NumEdges(),
+			Dataset: h.key.dataset, Scale: h.key.scale,
+			Version:  h.ds.g.Version(),
+			Vertices: h.ds.g.NumVertices(), Edges: h.ds.g.NumEdges(),
 		})
-		ds.mu.Unlock()
+		h.ds.mu.Unlock()
+	}
+	return out
+}
+
+// dsMetric is one dataset's sample for the per-dataset metric families.
+type dsMetric struct {
+	dataset  string
+	scale    float64
+	version  uint64
+	warmHits int64
+}
+
+// dsMetrics samples every materialized dataset for /metrics, in the same
+// deterministic order as versions().
+func (c *dataCache) dsMetrics() []dsMetric {
+	var out []dsMetric
+	for _, h := range c.materialized() {
+		h.ds.mu.Lock()
+		out = append(out, dsMetric{
+			dataset: h.key.dataset, scale: h.key.scale,
+			version: h.ds.g.Version(), warmHits: h.ds.warmHits,
+		})
+		h.ds.mu.Unlock()
 	}
 	return out
 }

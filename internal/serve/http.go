@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
-	"strings"
 	"time"
 
 	"argan/internal/graph"
@@ -193,10 +195,23 @@ func (s *Service) healthFn() func() obsserve.Health {
 	}
 }
 
-// Client is a typed client for the job API.
+// Client is a typed client for the job API. Retries > 0 makes it tolerant
+// of transient connection failures (a service mid-restart, a listener not
+// yet bound): failed requests are retried with doubling, capped backoff.
+// Retry is idempotency-aware — GETs retry on any transport error, but a
+// POST is retried only when the error proves the request never reached the
+// service (a dial-phase failure). A POST that died after the connection was
+// established is never replayed: the service may have applied it, and
+// replaying a mutation or submission would double it.
 type Client struct {
 	Base string // e.g. "http://127.0.0.1:9090"
 	HTTP *http.Client
+	// Retries is how many additional attempts a transiently failed request
+	// gets (0 = fail on the first error).
+	Retries int
+	// Backoff is the delay before the first retry, doubling per attempt and
+	// capped at 5s. <= 0 defaults to 250ms.
+	Backoff time.Duration
 }
 
 func (c *Client) client() *http.Client {
@@ -204,6 +219,57 @@ func (c *Client) client() *http.Client {
 		return c.HTTP
 	}
 	return http.DefaultClient
+}
+
+// maxBackoff caps the doubling retry delay.
+const maxBackoff = 5 * time.Second
+
+// neverSent reports that a request provably never reached the server: the
+// transport failed in the dial phase, before any bytes were written. Only
+// such failures make a non-idempotent request safe to retry.
+func neverSent(err error) bool {
+	var opErr *net.OpError
+	return errors.As(err, &opErr) && opErr.Op == "dial"
+}
+
+// doRetry runs one request attempt function under the client's retry
+// policy. Once a response has been received (err == nil) there are no
+// retries at this layer, whatever its status code — decode() maps service
+// refusals to typed errors and the caller decides.
+func (c *Client) doRetry(attempt func() (*http.Response, error), idempotent bool) (*http.Response, error) {
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	for try := 0; ; try++ {
+		resp, err := attempt()
+		if err == nil || try >= c.Retries || (!idempotent && !neverSent(err)) {
+			return resp, err
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// get issues an idempotent GET under the retry policy.
+func (c *Client) get(path string) (*http.Response, error) {
+	return c.doRetry(func() (*http.Response, error) {
+		return c.client().Get(c.Base + path)
+	}, true)
+}
+
+// post issues a POST under the retry policy. The body reader is rebuilt per
+// attempt, and only dial-phase failures are retried (see neverSent).
+func (c *Client) post(path string, body []byte) (*http.Response, error) {
+	return c.doRetry(func() (*http.Response, error) {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		return c.client().Post(c.Base+path, "application/json", rd)
+	}, false)
 }
 
 // decode reads a JSON response, mapping admission status codes back onto
@@ -241,7 +307,7 @@ func (c *Client) Submit(spec JobSpec) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	resp, err := c.client().Post(c.Base+"/api/jobs", "application/json", strings.NewReader(string(body)))
+	resp, err := c.post("/api/jobs", body)
 	if err != nil {
 		return "", err
 	}
@@ -255,7 +321,7 @@ func (c *Client) Submit(spec JobSpec) (string, error) {
 // Status fetches one job's status.
 func (c *Client) Status(id string) (JobStatus, error) {
 	var st JobStatus
-	resp, err := c.client().Get(c.Base + "/api/jobs/" + id)
+	resp, err := c.get("/api/jobs/" + id)
 	if err != nil {
 		return st, err
 	}
@@ -265,7 +331,7 @@ func (c *Client) Status(id string) (JobStatus, error) {
 // List fetches every job.
 func (c *Client) List() ([]JobStatus, error) {
 	var sts []JobStatus
-	resp, err := c.client().Get(c.Base + "/api/jobs")
+	resp, err := c.get("/api/jobs")
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +341,7 @@ func (c *Client) List() ([]JobStatus, error) {
 // Result fetches a finished job's summary. A job still pending/running
 // returns ErrNotFinished.
 func (c *Client) Result(id string) (*JobResult, error) {
-	resp, err := c.client().Get(c.Base + "/api/jobs/" + id + "/result")
+	resp, err := c.get("/api/jobs/" + id + "/result")
 	if err != nil {
 		return nil, err
 	}
@@ -286,13 +352,11 @@ func (c *Client) Result(id string) (*JobResult, error) {
 	return &res, nil
 }
 
-// Cancel cancels a job.
+// Cancel cancels a job. Cancellation is idempotent server-side (canceling
+// a finished job is a no-op), but the POST still follows the conservative
+// dial-only retry rule; callers wanting at-most-once semantics get them.
 func (c *Client) Cancel(id string) error {
-	req, err := http.NewRequest(http.MethodPost, c.Base+"/api/jobs/"+id+"/cancel", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.client().Do(req)
+	resp, err := c.post("/api/jobs/"+id+"/cancel", nil)
 	if err != nil {
 		return err
 	}
@@ -303,7 +367,7 @@ func (c *Client) Cancel(id string) error {
 // Stats fetches the service counters.
 func (c *Client) Stats() (Stats, error) {
 	var st Stats
-	resp, err := c.client().Get(c.Base + "/api/service")
+	resp, err := c.get("/api/service")
 	if err != nil {
 		return st, err
 	}
@@ -318,7 +382,7 @@ func (c *Client) Mutate(dataset string, req MutateRequest) (*MutateResult, error
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.client().Post(c.Base+"/api/datasets/"+dataset+"/mutate", "application/json", strings.NewReader(string(body)))
+	resp, err := c.post("/api/datasets/"+dataset+"/mutate", body)
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +396,7 @@ func (c *Client) Mutate(dataset string, req MutateRequest) (*MutateResult, error
 // Datasets fetches the materialized datasets and their current versions.
 func (c *Client) Datasets() ([]DatasetInfo, error) {
 	var infos []DatasetInfo
-	resp, err := c.client().Get(c.Base + "/api/datasets")
+	resp, err := c.get("/api/datasets")
 	if err != nil {
 		return nil, err
 	}

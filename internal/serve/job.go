@@ -197,8 +197,18 @@ func incRun[V any, W any](pin pinned, sp JobSpec, q ace.Query, cfg gap.LiveConfi
 		fallback = "program is neither invertible nor idempotent"
 	}
 	if prior != nil {
-		q.Warm = plan(prior, touched)
-		verify = true // every increment is verified against the reference
+		ws := plan(prior, touched)
+		// Reseeded fixpoints may come off disk (durable recovery): shape-check
+		// against the pinned graph before handing them to the engine, and
+		// fall back to a cold run rather than crash on a corrupt-but-plausible
+		// snapshot that slipped past the coarser reseed checks.
+		if err := ws.Validate(pin.g.NumVertices()); err != nil {
+			prior, fallback = nil, fmt.Sprintf("warm state rejected: %v", err)
+		} else {
+			q.Warm = ws
+			verify = true // every increment is verified against the reference
+			pin.ds.noteWarmHit()
+		}
 	}
 
 	var want []W

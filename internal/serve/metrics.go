@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"strconv"
 
 	obsserve "argan/internal/obs/serve"
 )
@@ -122,6 +123,33 @@ func (s *Service) registerMetrics(srv *obsserve.Server) error {
 			func(sn jobSnap) (float64, bool) { return sn.updates, true }),
 		perJob("argan_job_workers_dead", "Job workers with stale heartbeats awaiting localized recovery.", "gauge", false,
 			func(sn jobSnap) (float64, bool) { return sn.dead, sn.state == StateRunning }),
+	)
+
+	// Per-dataset families, labeled {dataset, scale}. Samples come from
+	// dsMetrics(), which iterates materialized datasets in sorted order, so
+	// the exposition stays deterministic as the set grows lazily.
+	perDataset := func(name, help, typ string, sample func(dsMetric) float64) obsserve.Metric {
+		return obsserve.Metric{Name: name, Help: help, Type: typ,
+			Collect: func() []obsserve.Sample {
+				ms := s.data.dsMetrics()
+				out := make([]obsserve.Sample, 0, len(ms))
+				for _, m := range ms {
+					out = append(out, obsserve.Sample{
+						Labels: map[string]string{
+							"dataset": m.dataset,
+							"scale":   strconv.FormatFloat(m.scale, 'g', -1, 64),
+						},
+						Value: sample(m),
+					})
+				}
+				return out
+			}}
+	}
+	fams = append(fams,
+		perDataset("argan_dataset_version", "Current version of the materialized dataset (0 = base, +1 per applied mutation batch).", "gauge",
+			func(m dsMetric) float64 { return float64(m.version) }),
+		perDataset("argan_dataset_warm_hits_total", "Jobs that re-converged incrementally from a retained warm fixpoint of the dataset.", "counter",
+			func(m dsMetric) float64 { return float64(m.warmHits) }),
 	)
 
 	for _, m := range fams {

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"argan/internal/durable"
 	"argan/internal/fault"
 	"argan/internal/gap"
 	"argan/internal/mem"
@@ -81,6 +82,16 @@ type Config struct {
 	// 0 keeps the driver default (30s); it bounds how long a wedged job
 	// can hold its core tokens.
 	Watchdog time.Duration
+	// StateDir, when set, makes the service crash-durable: every applied
+	// mutation batch is appended+fsynced to a per-dataset WAL before it is
+	// acknowledged, warm fixpoints are snapshotted periodically, and Open
+	// replays the directory back to the last durable version on restart.
+	// Empty = ephemeral (all state dies with the process).
+	StateDir string
+	// SnapshotEvery is the warm-fixpoint flush period (<= 0 disables the
+	// periodic flusher; a final snapshot is still taken at drain). Only
+	// meaningful with StateDir.
+	SnapshotEvery time.Duration
 	// MaxHistory bounds how many terminal jobs the service retains for
 	// Status/Result/List and the per-job metric families. Past the bound
 	// the oldest terminal jobs are evicted (their JobResults freed, their
@@ -303,6 +314,13 @@ type Service struct {
 	// regression tests assert on it.
 	timersLive atomic.Int64
 
+	// Durable-layer counters (guarded by mu) and recovery summary
+	// (immutable after Open).
+	snapshots, snapshotsDeferred, snapshotErrs int64
+	recovery                                   *RecoveryStats
+	snapStop, snapDone                         chan struct{}
+	shutdownOnce                               sync.Once
+
 	drainStart  time.Time
 	drainMS     float64
 	drainJobs   int
@@ -322,18 +340,26 @@ type Stats struct {
 	// operations in them. Incremental/Recomputes split completed runs that
 	// had a prior fixpoint available into warm re-convergences vs flagged
 	// full recomputes.
-	Mutations, MutatedEdges  int64
-	Incremental, Recomputes  int64
-	DeadlineTimers           int64
-	DrainMS                  float64
+	Mutations, MutatedEdges int64
+	Incremental, Recomputes int64
+	DeadlineTimers          int64
+	DrainMS                 float64
+	// Snapshots counts persisted warm-fixpoint flushes; SnapshotsDeferred
+	// flushes skipped because the memory pool could not cover the encode;
+	// SnapshotErrs failed flush attempts. All zero on ephemeral services.
+	Snapshots, SnapshotsDeferred, SnapshotErrs int64
+	// Recovery is what startup recovery replayed (nil without a StateDir).
+	Recovery *RecoveryStats `json:",omitempty"`
 }
 
-// New builds a Service. Datasets are loaded and partitioned lazily on first
-// use and cached frozen (fingerprint-verified) for every later job; use
-// Preload to pay that cost at startup instead of on the first request.
-func New(cfg Config) *Service {
+// Open builds a Service, recovering durable state first when StateDir is
+// set: the state directory is enumerated, each known dataset's WAL is
+// replayed (fingerprint-verified) on top of its deterministic base, warm
+// fixpoints are reseeded from snapshots, and the periodic flusher starts.
+// Datasets without durable state still load lazily on first use.
+func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:       cfg,
 		pool:      mem.NewPool(cfg.MemBudget, cfg.SpillDir),
 		jobs:      make(map[string]*job),
@@ -341,6 +367,36 @@ func New(cfg Config) *Service {
 		drained:   make(chan struct{}),
 		data:      newDataCache(),
 	}
+	if cfg.StateDir != "" {
+		store, err := durable.OpenStore(cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		s.data.store = store
+		rs, err := s.recoverAll()
+		if err != nil {
+			return nil, fmt.Errorf("serve: recover state dir %s: %w", cfg.StateDir, err)
+		}
+		s.recovery = &rs
+		if cfg.SnapshotEvery > 0 {
+			s.snapStop = make(chan struct{})
+			s.snapDone = make(chan struct{})
+			go s.snapshotLoop(cfg.SnapshotEvery)
+		}
+	}
+	return s, nil
+}
+
+// New builds an ephemeral-or-durable Service like Open but panics on
+// durable-state errors; it exists for callers (and a large body of tests)
+// that predate the durability layer and never set StateDir, for which Open
+// cannot fail.
+func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("serve.New: %v (use serve.Open to handle durable-state errors)", err))
+	}
+	return s
 }
 
 // Config returns the resolved configuration.
@@ -371,6 +427,9 @@ func (s *Service) Stats() Stats {
 		Incremental: s.incremental, Recomputes: s.recomputes,
 		DeadlineTimers: s.timersLive.Load(),
 		DrainMS:        s.drainMS,
+		Snapshots:      s.snapshots, SnapshotsDeferred: s.snapshotsDeferred,
+		SnapshotErrs: s.snapshotErrs,
+		Recovery:     s.recovery,
 	}
 }
 
@@ -710,6 +769,11 @@ func (s *Service) Drain(timeout time.Duration) DrainStats {
 		}
 	}
 	<-s.drained
+
+	// Every admitted job is terminal: flush the warm cache one last time
+	// and close the WALs so the state dir is consistent the moment Drain
+	// returns (idempotent across repeat callers).
+	s.shutdownDurable()
 
 	// The drain wall time was recorded by checkDrained at gate-close, so
 	// first and repeat callers all rebuild the same stats here.
